@@ -1,0 +1,214 @@
+package incastlab_test
+
+// The benchmark harness regenerates every table and figure of the paper
+// (one benchmark per artifact) plus the DESIGN.md ablations. Each benchmark
+// iteration runs the complete experiment; the first iteration of each also
+// prints the experiment's summary — the same rows/series the paper reports
+// — so `go test -bench=. -benchmem` doubles as the reproduction log.
+//
+// By default the experiments run in Quick mode (reduced corpus sizes) so
+// the full suite finishes in minutes. Set INCASTLAB_FULL=1 to run the
+// paper-sized corpora (what EXPERIMENTS.md records); cmd/figures does the
+// same with nicer output handling.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"incastlab"
+)
+
+// benchOptions picks quick or full experiment sizing.
+func benchOptions() incastlab.Options {
+	return incastlab.Options{Seed: 1, Quick: os.Getenv("INCASTLAB_FULL") == ""}
+}
+
+// printedSummaries dedups summary printing across -benchtime iterations.
+var printedSummaries sync.Map
+
+func runExperiment(b *testing.B, name string, run func(incastlab.Options) incastlab.Result) {
+	b.Helper()
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := run(opt)
+		if _, done := printedSummaries.LoadOrStore(name, true); !done {
+			fmt.Printf("\n%s\n", res.Summary())
+		}
+	}
+}
+
+// --- One benchmark per paper artifact. ----------------------------------
+
+func BenchmarkTable1Services(b *testing.B) {
+	runExperiment(b, "table1", func(o incastlab.Options) incastlab.Result {
+		return incastlab.Table1(o)
+	})
+}
+
+func BenchmarkFig1ExampleTrace(b *testing.B) {
+	runExperiment(b, "fig1", func(o incastlab.Options) incastlab.Result {
+		return incastlab.Fig1ExampleTrace(o)
+	})
+}
+
+func BenchmarkFig2And4BurstCharacteristics(b *testing.B) {
+	runExperiment(b, "fig2_fig4", func(o incastlab.Options) incastlab.Result {
+		return incastlab.Fig2And4BurstCharacterization(o)
+	})
+}
+
+func BenchmarkFig3Stability(b *testing.B) {
+	runExperiment(b, "fig3", func(o incastlab.Options) incastlab.Result {
+		return incastlab.Fig3Stability(o)
+	})
+}
+
+func BenchmarkFig5DCTCPModes(b *testing.B) {
+	runExperiment(b, "fig5", func(o incastlab.Options) incastlab.Result {
+		return incastlab.Fig5Modes(o)
+	})
+}
+
+func BenchmarkFig6ShortBursts(b *testing.B) {
+	runExperiment(b, "fig6", func(o incastlab.Options) incastlab.Result {
+		return incastlab.Fig6ShortBursts(o)
+	})
+}
+
+func BenchmarkFig7InFlightSkew(b *testing.B) {
+	runExperiment(b, "fig7", func(o incastlab.Options) incastlab.Result {
+		return incastlab.Fig7InFlight(o)
+	})
+}
+
+// --- Ablations (design choices DESIGN.md calls out). ---------------------
+
+func BenchmarkAblationG(b *testing.B) {
+	runExperiment(b, "ablation_g", func(o incastlab.Options) incastlab.Result {
+		return incastlab.AblationG(o)
+	})
+}
+
+func BenchmarkAblationECNThreshold(b *testing.B) {
+	runExperiment(b, "ablation_ecn", func(o incastlab.Options) incastlab.Result {
+		return incastlab.AblationECNThreshold(o)
+	})
+}
+
+func BenchmarkAblationSharedBuffer(b *testing.B) {
+	runExperiment(b, "ablation_shared", func(o incastlab.Options) incastlab.Result {
+		return incastlab.AblationSharedBuffer(o)
+	})
+}
+
+func BenchmarkAblationDelayedACKs(b *testing.B) {
+	runExperiment(b, "ablation_delack", func(o incastlab.Options) incastlab.Result {
+		return incastlab.AblationDelayedACKs(o)
+	})
+}
+
+func BenchmarkAblationGuardrail(b *testing.B) {
+	runExperiment(b, "ablation_guardrail", func(o incastlab.Options) incastlab.Result {
+		return incastlab.AblationGuardrail(o)
+	})
+}
+
+func BenchmarkAblationCCA(b *testing.B) {
+	runExperiment(b, "ablation_cca", func(o incastlab.Options) incastlab.Result {
+		return incastlab.AblationCCA(o)
+	})
+}
+
+func BenchmarkAblationMinRTO(b *testing.B) {
+	runExperiment(b, "ablation_min_rto", func(o incastlab.Options) incastlab.Result {
+		return incastlab.AblationMinRTO(o)
+	})
+}
+
+// BenchmarkCrossValidation runs the Millisampler-over-simulator check.
+func BenchmarkCrossValidation(b *testing.B) {
+	runExperiment(b, "crossval", func(o incastlab.Options) incastlab.Result {
+		return incastlab.CrossValidation(o)
+	})
+}
+
+func BenchmarkAblationIdleRestart(b *testing.B) {
+	runExperiment(b, "ablation_idle_restart", func(o incastlab.Options) incastlab.Result {
+		return incastlab.AblationIdleRestart(o)
+	})
+}
+
+func BenchmarkAblationReceiverWindow(b *testing.B) {
+	runExperiment(b, "ablation_receiver_window", func(o incastlab.Options) incastlab.Result {
+		return incastlab.AblationReceiverWindow(o)
+	})
+}
+
+func BenchmarkAblationMarkingDiscipline(b *testing.B) {
+	runExperiment(b, "ablation_marking", func(o incastlab.Options) incastlab.Result {
+		return incastlab.AblationMarkingDiscipline(o)
+	})
+}
+
+// BenchmarkExtQueryTail runs the partition/aggregate fan-in sweep.
+func BenchmarkExtQueryTail(b *testing.B) {
+	runExperiment(b, "ext_query_tail", func(o incastlab.Options) incastlab.Result {
+		return incastlab.QueryTailLatency(o)
+	})
+}
+
+// BenchmarkExtRackContention runs the shared-buffer neighbor-incast study.
+func BenchmarkExtRackContention(b *testing.B) {
+	runExperiment(b, "ext_rack_contention", func(o incastlab.Options) incastlab.Result {
+		return incastlab.RackContention(o)
+	})
+}
+
+// BenchmarkExtModeBoundary sweeps the incast degree across both regime
+// boundaries.
+func BenchmarkExtModeBoundary(b *testing.B) {
+	runExperiment(b, "ext_mode_boundary", func(o incastlab.Options) incastlab.Result {
+		return incastlab.ModeBoundary(o)
+	})
+}
+
+// --- Substrate micro-benchmarks. -----------------------------------------
+
+// BenchmarkSimulatorPacketRate measures the packet-level simulator's
+// throughput: one 100-flow, 1 ms burst end to end. Reported as ns/op for
+// ~3.4k delivered packets (data + ACKs).
+func BenchmarkSimulatorPacketRate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		incastlab.RunIncastSim(incastlab.SimConfig{
+			Flows:         100,
+			BurstDuration: incastlab.Millisecond,
+			Bursts:        2,
+			Interval:      5 * incastlab.Millisecond,
+		})
+	}
+}
+
+// BenchmarkMillisamplerAnalyze measures the measurement pipeline: generate
+// and analyze one 2-second aggregator trace.
+func BenchmarkMillisamplerAnalyze(b *testing.B) {
+	p, _ := incastlab.ServiceByName("aggregator")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := p.Generate(incastlab.GenConfig{Seed: uint64(i + 1), DurationMS: 2000})
+		incastlab.AnalyzeTraces([]*incastlab.MeasurementTrace{tr})
+	}
+}
+
+// BenchmarkPredictorObserve measures the Section 3.3 predictor's ingest
+// path.
+func BenchmarkPredictorObserve(b *testing.B) {
+	pr := incastlab.NewPredictor(incastlab.DefaultPredictorConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pr.Observe(100 + i%50)
+	}
+}

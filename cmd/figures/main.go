@@ -1,0 +1,113 @@
+// Command figures regenerates every table and figure of "Understanding
+// Incast Bursts in Modern Datacenters" (IMC 2024), plus the ablations, as
+// CSV artifacts and text summaries.
+//
+// Usage:
+//
+//	figures [-out DIR] [-seed N] [-quick] [-only name1,name2] [-list]
+//
+// CSVs land under DIR (default "out"); summaries print to stdout and are
+// also written to DIR/summary.txt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"incastlab"
+)
+
+// experiments enumerates the runners by name, in presentation order.
+var experiments = []struct {
+	name string
+	run  func(incastlab.Options) incastlab.Result
+}{
+	{"table1", func(o incastlab.Options) incastlab.Result { return incastlab.Table1(o) }},
+	{"fig1", func(o incastlab.Options) incastlab.Result { return incastlab.Fig1ExampleTrace(o) }},
+	{"fig2_fig4", func(o incastlab.Options) incastlab.Result { return incastlab.Fig2And4BurstCharacterization(o) }},
+	{"fig3", func(o incastlab.Options) incastlab.Result { return incastlab.Fig3Stability(o) }},
+	{"fig5", func(o incastlab.Options) incastlab.Result { return incastlab.Fig5Modes(o) }},
+	{"fig6", func(o incastlab.Options) incastlab.Result { return incastlab.Fig6ShortBursts(o) }},
+	{"fig7", func(o incastlab.Options) incastlab.Result { return incastlab.Fig7InFlight(o) }},
+	{"crossval", func(o incastlab.Options) incastlab.Result { return incastlab.CrossValidation(o) }},
+	{"ablation_g", func(o incastlab.Options) incastlab.Result { return incastlab.AblationG(o) }},
+	{"ablation_ecn_threshold", func(o incastlab.Options) incastlab.Result { return incastlab.AblationECNThreshold(o) }},
+	{"ablation_shared_buffer", func(o incastlab.Options) incastlab.Result { return incastlab.AblationSharedBuffer(o) }},
+	{"ablation_delayed_acks", func(o incastlab.Options) incastlab.Result { return incastlab.AblationDelayedACKs(o) }},
+	{"ablation_guardrail", func(o incastlab.Options) incastlab.Result { return incastlab.AblationGuardrail(o) }},
+	{"ablation_cca", func(o incastlab.Options) incastlab.Result { return incastlab.AblationCCA(o) }},
+	{"ablation_min_rto", func(o incastlab.Options) incastlab.Result { return incastlab.AblationMinRTO(o) }},
+	{"ablation_idle_restart", func(o incastlab.Options) incastlab.Result { return incastlab.AblationIdleRestart(o) }},
+	{"ablation_receiver_window", func(o incastlab.Options) incastlab.Result { return incastlab.AblationReceiverWindow(o) }},
+	{"ablation_marking", func(o incastlab.Options) incastlab.Result { return incastlab.AblationMarkingDiscipline(o) }},
+	{"ext_query_tail", func(o incastlab.Options) incastlab.Result { return incastlab.QueryTailLatency(o) }},
+	{"ext_rack_contention", func(o incastlab.Options) incastlab.Result { return incastlab.RackContention(o) }},
+	{"ext_mode_boundary", func(o incastlab.Options) incastlab.Result { return incastlab.ModeBoundary(o) }},
+}
+
+func main() {
+	out := flag.String("out", "out", "output directory for CSV artifacts")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	quick := flag.Bool("quick", false, "reduced corpus sizes (seconds instead of minutes)")
+	only := flag.String("only", "", "comma-separated experiment names (default: all)")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Println(e.name)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+		for name := range selected {
+			if !knownExperiment(name) {
+				log.Fatalf("unknown experiment %q (use -list)", name)
+			}
+		}
+	}
+
+	opt := incastlab.Options{Seed: *seed, Quick: *quick}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("create output dir: %v", err)
+	}
+	summaryFile, err := os.Create(filepath.Join(*out, "summary.txt"))
+	if err != nil {
+		log.Fatalf("create summary: %v", err)
+	}
+	defer summaryFile.Close()
+	sink := io.MultiWriter(os.Stdout, summaryFile)
+
+	for _, e := range experiments {
+		if len(selected) > 0 && !selected[e.name] {
+			continue
+		}
+		started := time.Now()
+		res := e.run(opt)
+		if err := res.WriteFiles(*out); err != nil {
+			log.Fatalf("%s: write artifacts: %v", e.name, err)
+		}
+		fmt.Fprintf(sink, "%s\n[%s completed in %v; CSVs under %s]\n\n",
+			res.Summary(), e.name, time.Since(started).Round(time.Millisecond), *out)
+	}
+}
+
+func knownExperiment(name string) bool {
+	for _, e := range experiments {
+		if e.name == name {
+			return true
+		}
+	}
+	return false
+}

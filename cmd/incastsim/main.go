@@ -1,0 +1,155 @@
+// Command incastsim runs one packet-level incast simulation over the
+// paper's dumbbell topology and reports the congestion outcome: queue
+// behavior, burst completion times, marks, drops, and timeouts.
+//
+// Examples:
+//
+//	incastsim -flows 100                          # Mode 1/2 boundary
+//	incastsim -flows 1400                         # Mode 3 (timeouts)
+//	incastsim -flows 500 -cca swift               # pacing under incast
+//	incastsim -flows 500 -wave 64                 # Section 5.2 scheduling
+//	incastsim -flows 200 -guardrail               # Section 5.1 clamp
+//	incastsim -flows 1000 -shared 2000000 -contend 700000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"incastlab"
+)
+
+func main() {
+	flows := flag.Int("flows", 100, "incast degree N")
+	durationMS := flag.Float64("duration", 15, "burst duration in ms")
+	bursts := flag.Int("bursts", 11, "bursts to run (first is discarded)")
+	intervalMS := flag.Float64("interval", 250, "burst start-to-start interval in ms")
+	cca := flag.String("cca", "dctcp", "congestion control: dctcp, reno, swift")
+	g := flag.Float64("g", 1.0/16, "DCTCP alpha gain")
+	ecnK := flag.Int("ecn", 65, "switch ECN marking threshold in packets")
+	queuePkts := flag.Int("queue", 1333, "switch queue capacity in packets")
+	shared := flag.Int("shared", 0, "shared switch buffer bytes (0 = dedicated queues)")
+	contend := flag.Int("contend", 0, "external rack contention bytes in the shared buffer")
+	wave := flag.Int("wave", 0, "wave-schedule the incast with this concurrency (0 = off)")
+	guardrail := flag.Bool("guardrail", false, "clamp ramp-up at the predicted fair share")
+	ictcp := flag.Bool("ictcp", false, "manage receive windows with a receiver-side ICTCP controller")
+	seed := flag.Uint64("seed", 1, "jitter seed")
+	plot := flag.Bool("plot", true, "print the ASCII queue plot")
+	flag.Parse()
+
+	net := incastlab.DefaultDumbbellConfig(*flows)
+	net.ECNThresholdPackets = *ecnK
+	net.QueueCapacityPackets = *queuePkts
+	net.QueueCapacityBytes = *queuePkts * 1500
+	if *shared > 0 {
+		net.SharedBufferBytes = *shared
+		net.SharedBufferAlpha = 1
+	}
+
+	cfg := incastlab.SimConfig{
+		Flows:               *flows,
+		BurstDuration:       incastlab.Time(*durationMS * float64(incastlab.Millisecond)),
+		Bursts:              *bursts,
+		Interval:            incastlab.Time(*intervalMS * float64(incastlab.Millisecond)),
+		Net:                 net,
+		ExternalBufferBytes: *contend,
+		Seed:                *seed,
+	}
+	switch *cca {
+	case "dctcp":
+		gv := *g
+		cfg.Alg = func(int) incastlab.CongestionControl {
+			c := incastlab.DefaultDCTCPConfig()
+			c.G = gv
+			return incastlab.NewDCTCP(c)
+		}
+	case "reno":
+		cfg.Alg = func(int) incastlab.CongestionControl { return incastlab.NewReno(10 * 1460) }
+	case "swift":
+		rtt := net.BaseRTT()
+		cfg.Alg = func(int) incastlab.CongestionControl {
+			return incastlab.NewSwift(incastlab.DefaultSwiftConfig(rtt))
+		}
+	default:
+		log.Fatalf("unknown cca %q (dctcp, reno, swift)", *cca)
+	}
+	if *guardrail {
+		inner := cfg.Alg
+		bdp := net.BDPBytes()
+		kBytes := net.ECNThresholdPackets * 1500
+		n := *flows
+		cfg.Alg = func(i int) incastlab.CongestionControl {
+			gr := incastlab.NewGuardrail(inner(i), bdp, kBytes)
+			gr.Predict(n)
+			return gr
+		}
+	}
+	if *wave > 0 {
+		cfg.Admitter = incastlab.NewWave(*wave)
+	}
+	cfg.EnableICTCP = *ictcp
+
+	started := time.Now()
+	res := incastlab.RunIncastSim(cfg)
+	elapsed := time.Since(started)
+
+	fmt.Printf("incast: %d flows x %.3gms bursts, %s, topology %dG/%dG, K=%d, queue=%d pkts\n",
+		res.Flows, *durationMS, res.AlgName,
+		net.HostLinkBps/1e9, net.CoreLinkBps/1e9, net.ECNThresholdPackets, net.QueueCapacityPackets)
+	fmt.Printf("  mean BCT        %v (max %v; optimal %.3gms)\n", res.MeanBCT, res.MaxBCT, *durationMS)
+	fmt.Printf("  queue           busy-avg %.0f pkts, max %.0f, burst-start spike %.0f, %.0f%% of busy samples below K\n",
+		busyAvg(res), res.MaxQueue, res.SpikePackets, 100*res.FracBelowK)
+	fmt.Printf("  loss/recovery   %d drops, %d fast retransmits, %d timeouts, %d retransmitted packets\n",
+		res.Drops, res.FastRetransmits, res.Timeouts, res.RetransmitPackets)
+	fmt.Printf("  marking         %d CE marks over %d packets sent\n", res.Marks, res.SentPackets)
+	fmt.Printf("  (simulated in %v wall clock)\n", elapsed.Round(time.Millisecond))
+
+	if *plot {
+		if err := printQueue(res); err != nil {
+			fmt.Fprintf(os.Stderr, "plot: %v\n", err)
+		}
+	}
+}
+
+func busyAvg(res *incastlab.SimResult) float64 {
+	var sum float64
+	n := 0
+	for _, v := range res.AvgQueue.Values {
+		if v > 0 {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func printQueue(res *incastlab.SimResult) error {
+	fmt.Println("\nQueue depth over the averaged burst (packets vs ms):")
+	step := len(res.AvgQueue.Values) / 60
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(res.AvgQueue.Values); i += step {
+		v := res.AvgQueue.Values[i]
+		bar := int(v / float64(res.QueueCapacity) * 60)
+		if bar > 60 {
+			bar = 60
+		}
+		fmt.Printf("%7.2fms %6.0f |%s\n", float64(res.AvgQueue.TimeAt(i))/1e6, v, bars(bar))
+	}
+	return nil
+}
+
+func bars(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}

@@ -1,0 +1,112 @@
+// Command millisample runs the measurement-study pipeline for one service:
+// it synthesizes per-millisecond host traces, detects bursts at the paper's
+// 50%-of-line-rate threshold, and prints the per-burst statistics the paper
+// reports in Figures 1, 2, and 4.
+//
+// Examples:
+//
+//	millisample -service aggregator
+//	millisample -service video -hosts 20 -rounds 9
+//	millisample -service storage -trace        # dump one raw 1 ms trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+	"strings"
+
+	"incastlab"
+)
+
+func main() {
+	service := flag.String("service", "aggregator", "service profile (see -listservices)")
+	hosts := flag.Int("hosts", 20, "hosts to sample")
+	rounds := flag.Int("rounds", 9, "collection rounds")
+	traceMS := flag.Int("ms", 2000, "trace duration in milliseconds")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	dumpTrace := flag.Bool("trace", false, "dump one raw trace instead of the aggregate report")
+	saveDir := flag.String("savedir", "", "archive the generated traces as CSV under this directory")
+	listServices := flag.Bool("listservices", false, "list service profiles and exit")
+	flag.Parse()
+
+	if *listServices {
+		for _, p := range incastlab.Services() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Description)
+		}
+		return
+	}
+
+	p, ok := incastlab.ServiceByName(*service)
+	if !ok {
+		var names []string
+		for _, s := range incastlab.Services() {
+			names = append(names, s.Name)
+		}
+		log.Fatalf("unknown service %q (have: %s)", *service, strings.Join(names, ", "))
+	}
+
+	if *dumpTrace {
+		tr := p.Generate(incastlab.GenConfig{Seed: *seed, DurationMS: *traceMS})
+		fmt.Println("ms  util  flows  ecn_frac  retx_frac")
+		for i, s := range tr.Samples {
+			capacity := float64(tr.LineRateBps) / 8 * float64(tr.IntervalNS) / 1e9
+			if s.Bytes == 0 {
+				continue
+			}
+			fmt.Printf("%4d  %.2f  %5d  %8.2f  %9.4f\n",
+				i, s.Bytes/capacity, s.Flows, frac(s.ECNBytes, s.Bytes), frac(s.RetxBytes, s.Bytes))
+		}
+		return
+	}
+
+	cfg := incastlab.DefaultCollectConfig()
+	cfg.Seed = *seed
+	cfg.Hosts = *hosts
+	cfg.Rounds = *rounds
+	cfg.TraceMS = *traceMS
+	traces := incastlab.Collect(p, cfg)
+	if *saveDir != "" {
+		for i, tr := range traces {
+			path := filepath.Join(*saveDir, fmt.Sprintf("%s_trace_%03d.csv", p.Name, i))
+			if err := tr.Save(path); err != nil {
+				log.Fatalf("archive trace: %v", err)
+			}
+		}
+		fmt.Printf("archived %d traces under %s\n", len(traces), *saveDir)
+	}
+	rep := incastlab.AnalyzeTraces(traces)
+
+	fmt.Printf("service %q: %d traces (%d hosts x %d rounds x %dms), %d bursts (%.0f%% incasts)\n",
+		p.Name, rep.Traces, *hosts, *rounds, *traceMS, rep.Bursts, 100*rep.IncastFraction())
+	fmt.Printf("mean link utilization: %.1f%%\n\n", 100*rep.MeanUtilization)
+
+	fmt.Println("metric                          p50      p90      p99      max")
+	row := func(name string, q50, q90, q99, max float64) {
+		fmt.Printf("%-28s %8.3g %8.3g %8.3g %8.3g\n", name, q50, q90, q99, max)
+	}
+	row("bursts per second", rep.BurstsPerSecond.Quantile(0.5), rep.BurstsPerSecond.Quantile(0.9),
+		rep.BurstsPerSecond.Quantile(0.99), rep.BurstsPerSecond.Max())
+	row("burst duration (ms)", rep.DurationMS.Quantile(0.5), rep.DurationMS.Quantile(0.9),
+		rep.DurationMS.Quantile(0.99), rep.DurationMS.Max())
+	row("active flows per burst", rep.Flows.Quantile(0.5), rep.Flows.Quantile(0.9),
+		rep.Flows.Quantile(0.99), rep.Flows.Max())
+	row("queue watermark (frac)", rep.QueueWatermark.Quantile(0.5), rep.QueueWatermark.Quantile(0.9),
+		rep.QueueWatermark.Quantile(0.99), rep.QueueWatermark.Max())
+	row("ECN-marked fraction", rep.ECNFraction.Quantile(0.5), rep.ECNFraction.Quantile(0.9),
+		rep.ECNFraction.Quantile(0.99), rep.ECNFraction.Max())
+	row("retx (frac of line rate)", rep.RetxFraction.Quantile(0.5), rep.RetxFraction.Quantile(0.9),
+		rep.RetxFraction.Quantile(0.99), rep.RetxFraction.Max())
+
+	fmt.Printf("\nbursts with no ECN marking: %.0f%%   bursts with no retransmissions: %.1f%%\n",
+		100*rep.ECNFraction.At(0), 100*rep.RetxFraction.At(0))
+	fmt.Printf("bursts below the 25-flow incast threshold: %.0f%%\n", 100*(1-rep.IncastFraction()))
+}
+
+func frac(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,79 @@
+// Guardrail: the paper's Section 5 proposals in action. The Section 3.3
+// observation — per-service incast degree distributions are stable and
+// therefore predictable — feeds two proactive mechanisms:
+//
+//  1. a guardrail (Section 5.1) that clamps per-flow ramp-up at the
+//     predicted fair share, so stragglers cannot "unlearn" the incast
+//     window between bursts; and
+//  2. a receiver-driven wave scheduler (Section 5.2) that splits one large
+//     incast into a series of healthy small ones.
+//
+// The example predicts the incast degree from Millisampler observations of
+// the "aggregator" service and then compares vanilla DCTCP, guardrail, and
+// wave scheduling on the same simulated incast.
+package main
+
+import (
+	"fmt"
+
+	"incastlab"
+)
+
+func main() {
+	// --- Step 1: learn the service's incast degree from measurements. ----
+	p, _ := incastlab.ServiceByName("aggregator")
+	cfg := incastlab.DefaultCollectConfig()
+	cfg.Hosts, cfg.Rounds = 8, 3
+
+	pr := incastlab.NewPredictor(incastlab.DefaultPredictorConfig())
+	for _, tr := range incastlab.Collect(p, cfg) {
+		for _, b := range incastlab.DetectBursts(tr) {
+			if b.IsIncast() {
+				pr.Observe(b.PeakFlows)
+			}
+		}
+	}
+	fmt.Printf("observed %d incasts; mean degree %.0f, predicted worst case (p99) %d flows\n",
+		pr.N(), pr.Mean(), pr.PredictedDegree())
+	fmt.Printf("stability (CoV of degree): %.2f — low, as Figure 3 promises\n\n", pr.Stability())
+
+	// --- Step 2: size the guardrail from the prediction. -----------------
+	// We simulate an incast near the service's typical degree.
+	const flows = 150
+	net := incastlab.DefaultDumbbellConfig(flows)
+	bdp := net.BDPBytes()
+	kBytes := net.ECNThresholdPackets * 1500
+
+	schemes := []struct {
+		name string
+		cfg  incastlab.SimConfig
+	}{
+		{"dctcp (reactive)", incastlab.SimConfig{}},
+		{"dctcp + guardrail (predict & clamp)", incastlab.SimConfig{
+			Alg: func(int) incastlab.CongestionControl {
+				g := incastlab.NewGuardrail(incastlab.NewDCTCP(incastlab.DefaultDCTCPConfig()), bdp, kBytes)
+				g.Predict(flows) // per-bottleneck prediction for this incast
+				return g
+			},
+		}},
+		{"dctcp + wave scheduling (W=64)", incastlab.SimConfig{
+			Admitter: incastlab.NewWave(64),
+		}},
+	}
+
+	fmt.Printf("simulating a %d-flow, 15 ms incast under three schemes:\n\n", flows)
+	fmt.Printf("%-38s %10s %10s %8s %8s %9s\n",
+		"scheme", "BCT", "queue-max", "spike", "drops", "timeouts")
+	for _, s := range schemes {
+		c := s.cfg
+		c.Flows = flows
+		c.Bursts = 6
+		res := incastlab.RunIncastSim(c)
+		fmt.Printf("%-38s %10v %10.0f %8.0f %8d %9d\n",
+			s.name, res.MeanBCT, res.MaxQueue, res.SpikePackets, res.Drops, res.Timeouts)
+	}
+
+	fmt.Println("\nthe guardrail removes the burst-start straggler spike at the same BCT;")
+	fmt.Println("wave scheduling keeps only a healthy number of flows active at once,")
+	fmt.Println("trading a little completion time for a far shallower queue.")
+}

@@ -1,0 +1,3 @@
+module incastlab
+
+go 1.22

@@ -1,0 +1,312 @@
+// Package incastlab is a laboratory for studying incast traffic bursts in
+// datacenter networks. It reproduces, end to end and in pure Go, the
+// measurement and simulation study of "Understanding Incast Bursts in
+// Modern Datacenters" (IMC 2024):
+//
+//   - a packet-level discrete-event network simulator (links, ECN-marking
+//     switch queues with optional shared buffers, a dumbbell topology) with
+//     a TCP-like transport and pluggable congestion control (DCTCP, Reno, a
+//     Swift-like pacer, and the paper's Section 5.1 "guardrail");
+//   - a Millisampler-style host measurement pipeline (1 ms samples, burst
+//     detection at 50% of line rate, per-burst statistics) together with
+//     calibrated stochastic models of the paper's five production services;
+//   - experiment runners that regenerate every table and figure of the
+//     paper plus a set of ablations, as CSV artifacts and text summaries;
+//   - the Section 5 proposals as working components: an incast-degree
+//     predictor built on the paper's stability observation, and a
+//     receiver-driven wave scheduler that splits large incasts into a
+//     series of healthy small ones.
+//
+// This package is a facade: it re-exports the stable public surface of the
+// internal packages. Start with Quickstart-style usage:
+//
+//	result := incastlab.RunIncastSim(incastlab.SimConfig{Flows: 100})
+//	fmt.Println(result.MeanBCT, result.MaxQueue, result.Timeouts)
+//
+// or regenerate the whole paper:
+//
+//	for _, r := range incastlab.AllExperiments(incastlab.Options{}) {
+//	    fmt.Println(r.Summary())
+//	    r.WriteFiles("out")
+//	}
+package incastlab
+
+import (
+	"fmt"
+
+	"incastlab/internal/app"
+	"incastlab/internal/cc"
+	"incastlab/internal/core"
+	"incastlab/internal/millisampler"
+	"incastlab/internal/netsim"
+	"incastlab/internal/predict"
+	"incastlab/internal/schedule"
+	"incastlab/internal/services"
+	"incastlab/internal/sim"
+	"incastlab/internal/stats"
+	"incastlab/internal/tcp"
+	"incastlab/internal/workload"
+)
+
+// Time is simulation time in nanoseconds.
+type Time = sim.Time
+
+// Convenient duration units in simulation time.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Experiment API --------------------------------------------------------
+
+// Options configures the experiment runners (seed, quick mode).
+type Options = core.Options
+
+// Result is a runnable experiment's output: CSV artifacts plus a text
+// summary.
+type Result = core.Result
+
+// AllExperiments regenerates every table, figure, and ablation in
+// presentation order.
+func AllExperiments(opt Options) []Result { return core.All(opt) }
+
+// Table1 returns the five-services registry (paper Table 1).
+func Table1(opt Options) *core.Table1Result { return core.Table1(opt) }
+
+// Fig1ExampleTrace generates the two-second example trace (paper Fig 1).
+func Fig1ExampleTrace(opt Options) *core.Fig1Result { return core.Fig1ExampleTrace(opt) }
+
+// Fig2And4BurstCharacterization runs the five-service measurement campaign
+// (paper Figs 2 and 4).
+func Fig2And4BurstCharacterization(opt Options) *core.Fig2And4Result {
+	return core.Fig2And4BurstCharacterization(opt)
+}
+
+// Fig3Stability runs the 18-hour stability campaign (paper Fig 3).
+func Fig3Stability(opt Options) *core.Fig3Result { return core.Fig3Stability(opt) }
+
+// Fig5Modes runs the DCTCP operating-mode sweep (paper Fig 5).
+func Fig5Modes(opt Options) *core.Fig5Result { return core.Fig5Modes(opt) }
+
+// Fig6ShortBursts runs the 2 ms burst sweep (paper Fig 6).
+func Fig6ShortBursts(opt Options) *core.Fig6Result { return core.Fig6ShortBursts(opt) }
+
+// Fig7InFlight runs the per-flow in-flight skew experiment (paper Fig 7).
+func Fig7InFlight(opt Options) *core.Fig7Result { return core.Fig7InFlight(opt) }
+
+// CrossValidation runs the Millisampler pipeline over the packet
+// simulator's receiver, checking the two methodologies against each other.
+func CrossValidation(opt Options) *core.CrossValidationResult { return core.CrossValidation(opt) }
+
+// Ablations (see DESIGN.md).
+var (
+	AblationG                 = core.AblationG
+	AblationECNThreshold      = core.AblationECNThreshold
+	AblationSharedBuffer      = core.AblationSharedBuffer
+	AblationDelayedACKs       = core.AblationDelayedACKs
+	AblationGuardrail         = core.AblationGuardrail
+	AblationCCA               = core.AblationCCA
+	AblationMinRTO            = core.AblationMinRTO
+	AblationIdleRestart       = core.AblationIdleRestart
+	AblationReceiverWindow    = core.AblationReceiverWindow
+	AblationMarkingDiscipline = core.AblationMarkingDiscipline
+)
+
+// Simulation API --------------------------------------------------------
+
+// SimConfig describes one packet-level incast simulation (defaults follow
+// the paper's Section 4 setup).
+type SimConfig = core.SimConfig
+
+// SimResult is a simulation's aggregated outcome.
+type SimResult = core.SimResult
+
+// RunIncastSim executes one repeated-burst incast simulation.
+func RunIncastSim(cfg SimConfig) *SimResult { return core.RunIncastSim(cfg) }
+
+// DumbbellConfig describes the simulated topology.
+type DumbbellConfig = netsim.DumbbellConfig
+
+// DefaultDumbbellConfig returns the paper's topology for n senders.
+func DefaultDumbbellConfig(n int) DumbbellConfig { return netsim.DefaultDumbbellConfig(n) }
+
+// IncastConfig and Admitter expose the burst workload driver for custom
+// experiments beyond the canned runners.
+type (
+	IncastConfig = workload.IncastConfig
+	Admitter     = workload.Admitter
+)
+
+// Congestion control -----------------------------------------------------
+
+// CongestionControl is the pluggable congestion-control interface.
+type CongestionControl = cc.Algorithm
+
+// DCTCPConfig tunes DCTCP; NewDCTCP builds an instance.
+type DCTCPConfig = cc.DCTCPConfig
+
+// NewDCTCP builds a DCTCP instance.
+func NewDCTCP(cfg DCTCPConfig) *cc.DCTCP { return cc.NewDCTCP(cfg) }
+
+// DefaultDCTCPConfig returns the paper's DCTCP parameters (IW 10, g=1/16).
+func DefaultDCTCPConfig() DCTCPConfig { return cc.DefaultDCTCPConfig() }
+
+// NewReno builds the loss-based baseline.
+func NewReno(initialWindow int) *cc.Reno { return cc.NewReno(initialWindow) }
+
+// D2TCPConfig tunes the deadline-aware DCTCP variant.
+type D2TCPConfig = cc.D2TCPConfig
+
+// NewD2TCP builds a Deadline-Aware Datacenter TCP instance.
+func NewD2TCP(cfg D2TCPConfig) *cc.D2TCP { return cc.NewD2TCP(cfg) }
+
+// DefaultD2TCPConfig returns DCTCP parameters with a neutral deadline.
+func DefaultD2TCPConfig() D2TCPConfig { return cc.DefaultD2TCPConfig() }
+
+// SwiftConfig tunes the Swift-like delay-based pacer.
+type SwiftConfig = cc.SwiftConfig
+
+// NewSwift builds a Swift-like instance.
+func NewSwift(cfg SwiftConfig) *cc.Swift { return cc.NewSwift(cfg) }
+
+// DefaultSwiftConfig scales Swift parameters to a base RTT.
+func DefaultSwiftConfig(baseRTT Time) SwiftConfig { return cc.DefaultSwiftConfig(baseRTT) }
+
+// NewGuardrail wraps an algorithm with the Section 5.1 ramp-up clamp.
+func NewGuardrail(inner CongestionControl, bdpBytes, ecnThresholdBytes int) *cc.Guardrail {
+	return cc.NewGuardrail(inner, bdpBytes, ecnThresholdBytes)
+}
+
+// Measurement API --------------------------------------------------------
+
+// ServiceProfile is a calibrated model of one production service.
+type ServiceProfile = services.Profile
+
+// Services returns the five services of Table 1.
+func Services() []ServiceProfile { return services.All() }
+
+// ServiceByName looks up a service profile.
+func ServiceByName(name string) (ServiceProfile, bool) { return services.ByName(name) }
+
+// GenConfig addresses one synthetic trace collection.
+type GenConfig = services.GenConfig
+
+// CollectConfig describes a measurement campaign; Collect runs it.
+type CollectConfig = services.CollectConfig
+
+// DefaultCollectConfig returns the paper's 20-host, 9-round campaign.
+func DefaultCollectConfig() CollectConfig { return services.DefaultCollectConfig() }
+
+// Collect generates the corpus of traces for one service.
+func Collect(p ServiceProfile, cfg CollectConfig) []*MeasurementTrace {
+	return services.Collect(p, cfg)
+}
+
+// MeasurementTrace is a Millisampler trace: per-millisecond host samples.
+type MeasurementTrace = millisampler.Trace
+
+// Burst is one detected burst with the paper's per-burst metrics.
+type Burst = millisampler.Burst
+
+// BurstReport aggregates burst statistics over a trace corpus.
+type BurstReport = millisampler.Report
+
+// DetectBursts extracts bursts at the paper's 50%-of-line-rate threshold.
+func DetectBursts(t *MeasurementTrace) []Burst {
+	return millisampler.Detect(t, millisampler.DefaultBurstThreshold)
+}
+
+// AnalyzeTraces builds the aggregate burst report for a corpus.
+func AnalyzeTraces(traces []*MeasurementTrace) *BurstReport { return millisampler.Analyze(traces) }
+
+// LoadTrace reads a trace archived with MeasurementTrace.Save.
+func LoadTrace(path string) (*MeasurementTrace, error) { return millisampler.Load(path) }
+
+// Section 5 components ---------------------------------------------------
+
+// Predictor tracks a service's incast-degree distribution and predicts the
+// scale of upcoming incasts (paper Section 3.3/5.1).
+type Predictor = predict.Predictor
+
+// PredictorConfig tunes a Predictor.
+type PredictorConfig = predict.Config
+
+// NewPredictor builds a Predictor.
+func NewPredictor(cfg PredictorConfig) *Predictor { return predict.New(cfg) }
+
+// DefaultPredictorConfig returns a 512-burst window, p99 prediction.
+func DefaultPredictorConfig() PredictorConfig { return predict.DefaultConfig() }
+
+// Wave is the receiver-driven wave scheduler (paper Section 5.2).
+type Wave = schedule.Wave
+
+// NewWave builds a Wave admitter with the given concurrency limit.
+func NewWave(size int) *Wave { return schedule.NewWave(size) }
+
+// Application API ---------------------------------------------------------
+
+// PartitionAggregateConfig describes a closed-loop coordinator/worker
+// fan-out application (the pattern that causes incast).
+type PartitionAggregateConfig = app.PartitionAggregateConfig
+
+// QueryRecord is one completed partition/aggregate query.
+type QueryRecord = app.QueryRecord
+
+// Summary is a descriptive-statistics bundle (mean and percentiles).
+type Summary = stats.Summary
+
+// DefaultPartitionAggregateConfig returns a fan-out of n workers with
+// 20 KB responses and 1 ms think time.
+func DefaultPartitionAggregateConfig(n int) PartitionAggregateConfig {
+	return app.DefaultPartitionAggregateConfig(n)
+}
+
+// PartitionAggregateResult is the outcome of RunPartitionAggregate.
+type PartitionAggregateResult struct {
+	// Queries holds the per-query records.
+	Queries []QueryRecord
+	// QCT summarizes query completion times in milliseconds.
+	QCT Summary
+	// Timeouts counts RTO events across all worker flows.
+	Timeouts int64
+}
+
+// RunPartitionAggregate builds the paper's dumbbell for cfg.Workers,
+// runs the closed-loop application under DCTCP, and summarizes the query
+// completion times.
+func RunPartitionAggregate(cfg PartitionAggregateConfig) *PartitionAggregateResult {
+	eng := sim.NewEngine()
+	if cfg.Sender.MSS == 0 {
+		cfg.Sender = tcp.DefaultSenderConfig()
+	}
+	pa := app.NewPartitionAggregate(eng, netsim.DefaultDumbbellConfig(cfg.Workers), cfg,
+		func(int) cc.Algorithm { return cc.NewDCTCP(cc.DefaultDCTCPConfig()) })
+	eng.RunUntil(60 * Second)
+	if !pa.Done() {
+		panic(fmt.Sprintf("incastlab: partition/aggregate with %d workers did not complete", cfg.Workers))
+	}
+	var timeouts int64
+	for _, s := range pa.Senders() {
+		timeouts += s.Stats().Timeouts
+	}
+	return &PartitionAggregateResult{
+		Queries:  pa.Queries(),
+		QCT:      pa.QCTStats(),
+		Timeouts: timeouts,
+	}
+}
+
+// QueryTailLatency sweeps partition/aggregate fan-in at constant query
+// volume — the extension experiment behind examples/partitionaggregate.
+func QueryTailLatency(opt Options) *core.QueryTailResult { return core.QueryTailLatency(opt) }
+
+// RackContention reproduces the Section 3.4 shared-buffer effect at packet
+// level: a neighbor incast on the same rack turns a lossless incast into a
+// timeout-bound one.
+func RackContention(opt Options) *core.RackContentionResult { return core.RackContention(opt) }
+
+// ModeBoundary sweeps the incast degree to locate the operating-mode
+// boundaries the paper's arithmetic predicts (K+BDP and capacity+BDP).
+func ModeBoundary(opt Options) *core.ModeBoundaryResult { return core.ModeBoundary(opt) }

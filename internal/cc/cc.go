@@ -1,0 +1,136 @@
+// Package cc implements the congestion-control algorithms studied and
+// discussed by the paper behind one pluggable interface:
+//
+//   - Reno: the classic AIMD loss-based baseline.
+//   - DCTCP: ECN-fraction proportional backoff (the deployed algorithm the
+//     paper diagnoses).
+//   - Guardrail: DCTCP wrapped with the Section 5.1 proposal — a cap on
+//     ramp-up sized from the predicted incast degree.
+//   - Swift: a delay-based algorithm with sub-MSS windows realized by
+//     pacing, modeling the Section 5.2 discussion of pacing modes.
+//
+// Windows are in bytes. Window-based algorithms never report less than one
+// MSS (the paper's "degenerate point"); only the pacer can go below by
+// stretching the time between packets.
+package cc
+
+import (
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+// Ack describes one cumulative acknowledgment, as seen by the sender.
+type Ack struct {
+	// Now is the arrival time of the ACK.
+	Now sim.Time
+	// BytesAcked is how many new bytes this ACK cumulatively acknowledged.
+	BytesAcked int
+	// AckNo is the cumulative acknowledgment number after this ACK.
+	AckNo int64
+	// SndNxt is the sender's next-to-send sequence number, used by DCTCP to
+	// delimit per-window observation rounds.
+	SndNxt int64
+	// ECE reports whether the ACK carried the ECN echo.
+	ECE bool
+	// RTT is the RTT sample carried by this ACK, or 0 if none (e.g. the
+	// ACK acknowledges a retransmission).
+	RTT sim.Time
+}
+
+// Algorithm is a congestion-control algorithm driven by ACK, loss, and
+// timeout events from the transport.
+type Algorithm interface {
+	// Name identifies the algorithm in results and traces.
+	Name() string
+	// OnAck processes one cumulative ACK.
+	OnAck(a Ack)
+	// OnLoss reacts to a fast-retransmit loss detection (once per loss
+	// recovery episode, not per lost packet).
+	OnLoss(now sim.Time)
+	// OnTimeout reacts to a retransmission timeout.
+	OnTimeout(now sim.Time)
+	// Window returns the congestion window in bytes: the amount of data the
+	// sender may keep in flight.
+	Window() int
+	// PacingGap returns the minimum spacing between consecutive data
+	// packets, or zero for pure window-based transmission.
+	PacingGap() sim.Time
+}
+
+// MinWindow is the floor for window-based algorithms: one MSS. The paper
+// calls the state where every flow sits at this floor the degenerate point.
+const MinWindow = netsim.MSS
+
+// IdleRestarter is implemented by algorithms that support RFC 2861-style
+// congestion window validation: after an idle period the window collapses
+// back to the initial window instead of trusting stale state. The paper's
+// simulations deliberately do NOT restart — persistent connections carry
+// their windows across bursts, which is what makes the Section 4.3
+// straggler divergence possible.
+type IdleRestarter interface {
+	// OnIdleRestart clamps the window to the initial window.
+	OnIdleRestart()
+}
+
+// Reno is a classic slow-start + AIMD algorithm (RFC 5681 flavored,
+// simplified to what the simulations need). It ignores ECN echoes.
+type Reno struct {
+	cwnd     int
+	ssthresh int
+	initial  int
+}
+
+// NewReno creates a Reno instance with the given initial window in bytes.
+func NewReno(initialWindow int) *Reno {
+	if initialWindow < MinWindow {
+		initialWindow = MinWindow
+	}
+	return &Reno{cwnd: initialWindow, ssthresh: 1 << 30, initial: initialWindow}
+}
+
+// OnIdleRestart implements IdleRestarter.
+func (r *Reno) OnIdleRestart() {
+	if r.cwnd > r.initial {
+		r.cwnd = r.initial
+	}
+}
+
+// Name implements Algorithm.
+func (r *Reno) Name() string { return "reno" }
+
+// OnAck grows the window: exponentially in slow start, ~1 MSS/RTT after.
+func (r *Reno) OnAck(a Ack) {
+	if r.cwnd < r.ssthresh {
+		r.cwnd += a.BytesAcked
+		if r.cwnd > r.ssthresh {
+			r.cwnd = r.ssthresh
+		}
+		return
+	}
+	r.cwnd += netsim.MSS * a.BytesAcked / r.cwnd
+}
+
+// OnLoss halves the window (fast recovery).
+func (r *Reno) OnLoss(now sim.Time) {
+	r.ssthresh = maxInt(r.cwnd/2, MinWindow)
+	r.cwnd = r.ssthresh
+}
+
+// OnTimeout collapses to one segment and restarts slow start.
+func (r *Reno) OnTimeout(now sim.Time) {
+	r.ssthresh = maxInt(r.cwnd/2, MinWindow)
+	r.cwnd = MinWindow
+}
+
+// Window implements Algorithm.
+func (r *Reno) Window() int { return r.cwnd }
+
+// PacingGap implements Algorithm; Reno is purely window-based.
+func (r *Reno) PacingGap() sim.Time { return 0 }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,350 @@
+package cc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+func ackOf(bytes int, ece bool, ackNo, sndNxt int64) Ack {
+	return Ack{Now: 0, BytesAcked: bytes, AckNo: ackNo, SndNxt: sndNxt, ECE: ece, RTT: 30 * sim.Microsecond}
+}
+
+func TestRenoSlowStartDoubles(t *testing.T) {
+	r := NewReno(10 * netsim.MSS)
+	start := r.Window()
+	// One window's worth of ACKs doubles the window in slow start.
+	var acked int64
+	for acked < int64(start) {
+		r.OnAck(ackOf(netsim.MSS, false, acked+netsim.MSS, acked+2*int64(start)))
+		acked += netsim.MSS
+	}
+	if r.Window() != 2*start {
+		t.Fatalf("window = %d, want %d", r.Window(), 2*start)
+	}
+}
+
+func TestRenoCongestionAvoidanceLinear(t *testing.T) {
+	r := NewReno(10 * netsim.MSS)
+	r.OnLoss(0) // ssthresh = 5 MSS, cwnd = 5 MSS: now in CA
+	w := r.Window()
+	// One full window of ACKs should add about one MSS.
+	var acked int
+	for acked < w {
+		r.OnAck(ackOf(netsim.MSS, false, 0, 0))
+		acked += netsim.MSS
+	}
+	grown := r.Window() - w
+	if grown < netsim.MSS/2 || grown > 2*netsim.MSS {
+		t.Fatalf("CA growth per RTT = %d bytes, want ~1 MSS", grown)
+	}
+}
+
+func TestRenoLossHalves(t *testing.T) {
+	r := NewReno(20 * netsim.MSS)
+	r.OnLoss(0)
+	if r.Window() != 10*netsim.MSS {
+		t.Fatalf("window after loss = %d", r.Window())
+	}
+}
+
+func TestRenoTimeoutCollapses(t *testing.T) {
+	r := NewReno(20 * netsim.MSS)
+	r.OnTimeout(0)
+	if r.Window() != MinWindow {
+		t.Fatalf("window after timeout = %d, want %d", r.Window(), MinWindow)
+	}
+}
+
+func TestRenoNeverBelowMinWindow(t *testing.T) {
+	r := NewReno(netsim.MSS)
+	for i := 0; i < 10; i++ {
+		r.OnLoss(0)
+		r.OnTimeout(0)
+	}
+	if r.Window() < MinWindow {
+		t.Fatalf("window = %d below floor", r.Window())
+	}
+}
+
+func TestDCTCPAlphaConvergesToMarkingFraction(t *testing.T) {
+	d := NewDCTCP(DCTCPConfig{InitialWindow: 10 * netsim.MSS, G: 1.0 / 16.0, InitialAlpha: 0})
+	// Feed 200 observation windows with 50% marking.
+	var seq int64
+	for w := 0; w < 200; w++ {
+		for i := 0; i < 10; i++ {
+			ece := i < 5
+			seq += netsim.MSS
+			d.OnAck(Ack{BytesAcked: netsim.MSS, AckNo: seq, SndNxt: seq + 10*netsim.MSS, ECE: ece})
+		}
+	}
+	if math.Abs(d.Alpha()-0.5) > 0.1 {
+		t.Fatalf("alpha = %v, want ~0.5", d.Alpha())
+	}
+}
+
+func TestDCTCPFullMarkingHalvesWindow(t *testing.T) {
+	// With alpha == 1, an ECE-marked window halves cwnd (1 - 1/2).
+	d := NewDCTCP(DCTCPConfig{InitialWindow: 16 * netsim.MSS, G: 1, InitialAlpha: 1})
+	w := d.Window()
+	d.OnAck(Ack{BytesAcked: netsim.MSS, AckNo: netsim.MSS, SndNxt: int64(w), ECE: true})
+	if got := d.Window(); got != w/2 {
+		t.Fatalf("window = %d, want %d", got, w/2)
+	}
+}
+
+func TestDCTCPReducesOncePerWindow(t *testing.T) {
+	d := NewDCTCP(DCTCPConfig{InitialWindow: 16 * netsim.MSS, G: 1, InitialAlpha: 1})
+	w := d.Window()
+	sndNxt := int64(w)
+	// Several marked ACKs within the same window: only one reduction. Use
+	// AckNo below sndNxt so no window boundary is crossed after the first.
+	d.OnAck(Ack{BytesAcked: netsim.MSS, AckNo: netsim.MSS, SndNxt: sndNxt, ECE: true})
+	after1 := d.Window()
+	d.OnAck(Ack{BytesAcked: netsim.MSS, AckNo: 2 * netsim.MSS, SndNxt: sndNxt, ECE: true})
+	d.OnAck(Ack{BytesAcked: netsim.MSS, AckNo: 3 * netsim.MSS, SndNxt: sndNxt, ECE: true})
+	if d.Window() != after1 {
+		t.Fatalf("window reduced more than once per window: %d -> %d", after1, d.Window())
+	}
+}
+
+func TestDCTCPDegeneratePoint(t *testing.T) {
+	// Persistent 100% marking drives the window to exactly one MSS and no
+	// lower — the paper's degenerate point.
+	d := NewDCTCP(DefaultDCTCPConfig())
+	var seq int64
+	for w := 0; w < 100; w++ {
+		seq += netsim.MSS
+		d.OnAck(Ack{BytesAcked: netsim.MSS, AckNo: seq, SndNxt: seq + int64(d.Window()), ECE: true})
+	}
+	if d.Window() != MinWindow {
+		t.Fatalf("window = %d, want degenerate point %d", d.Window(), MinWindow)
+	}
+	// And it recovers when marking stops.
+	for w := 0; w < 10; w++ {
+		seq += netsim.MSS
+		d.OnAck(Ack{BytesAcked: netsim.MSS, AckNo: seq, SndNxt: seq + int64(d.Window()), ECE: false})
+	}
+	if d.Window() <= MinWindow {
+		t.Fatal("window should grow once marking stops")
+	}
+}
+
+func TestDCTCPNoMarksGrowsLikeSlowStart(t *testing.T) {
+	d := NewDCTCP(DCTCPConfig{InitialWindow: 2 * netsim.MSS, G: 1.0 / 16.0, InitialAlpha: 1})
+	w := d.Window()
+	var acked int64
+	for acked < int64(w) {
+		acked += netsim.MSS
+		d.OnAck(Ack{BytesAcked: netsim.MSS, AckNo: acked, SndNxt: acked + int64(w), ECE: false})
+	}
+	if d.Window() != 2*w {
+		t.Fatalf("window = %d, want doubled %d", d.Window(), 2*w)
+	}
+}
+
+func TestDCTCPAlphaDecaysWithoutMarks(t *testing.T) {
+	d := NewDCTCP(DCTCPConfig{InitialWindow: 10 * netsim.MSS, G: 1.0 / 4.0, InitialAlpha: 1})
+	var seq int64
+	for w := 0; w < 50; w++ {
+		seq += netsim.MSS
+		d.OnAck(Ack{BytesAcked: netsim.MSS, AckNo: seq, SndNxt: seq + netsim.MSS, ECE: false})
+	}
+	if d.Alpha() > 0.01 {
+		t.Fatalf("alpha = %v, want ~0 after mark-free windows", d.Alpha())
+	}
+}
+
+func TestDCTCPConfigValidation(t *testing.T) {
+	for _, cfg := range []DCTCPConfig{
+		{InitialWindow: netsim.MSS, G: 0},
+		{InitialWindow: netsim.MSS, G: 1.5},
+		{InitialWindow: netsim.MSS, G: 0.5, InitialAlpha: -0.1},
+		{InitialWindow: netsim.MSS, G: 0.5, InitialAlpha: 1.1},
+	} {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			NewDCTCP(cfg)
+		}()
+	}
+}
+
+// TestDCTCPWindowBoundsProperty: under arbitrary ACK sequences the window
+// stays within [MinWindow, huge] and alpha within [0, 1].
+func TestDCTCPWindowBoundsProperty(t *testing.T) {
+	f := func(events []byte) bool {
+		d := NewDCTCP(DefaultDCTCPConfig())
+		var seq int64
+		for _, e := range events {
+			seq += netsim.MSS
+			switch {
+			case e < 128:
+				d.OnAck(Ack{BytesAcked: netsim.MSS, AckNo: seq,
+					SndNxt: seq + int64(d.Window()), ECE: e%2 == 0})
+			case e < 192:
+				d.OnLoss(0)
+			default:
+				d.OnTimeout(0)
+			}
+			if d.Window() < MinWindow {
+				return false
+			}
+			if d.Alpha() < 0 || d.Alpha() > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardrailClampsWindow(t *testing.T) {
+	inner := NewDCTCP(DefaultDCTCPConfig())
+	g := NewGuardrail(inner, 37500, 65*1500)
+	if g.Window() != inner.Window() {
+		t.Fatal("uncapped guardrail should pass through")
+	}
+	g.SetCap(2 * netsim.MSS)
+	if g.Window() != 2*netsim.MSS {
+		t.Fatalf("capped window = %d", g.Window())
+	}
+	g.SetCap(0)
+	if g.Window() != inner.Window() {
+		t.Fatal("removing the cap should restore pass-through")
+	}
+}
+
+func TestGuardrailPredictSizesFairShare(t *testing.T) {
+	bdp, k := 37500, 65*1500
+	g := NewGuardrail(NewDCTCP(DefaultDCTCPConfig()), bdp, k)
+	g.Predict(100)
+	want := (bdp + k) / 100
+	if want < netsim.MSS {
+		want = netsim.MSS
+	}
+	if g.Cap() != want {
+		t.Fatalf("cap = %d, want %d", g.Cap(), want)
+	}
+	g.Predict(0)
+	if g.Cap() != 0 {
+		t.Fatal("predicting no incast should remove the cap")
+	}
+}
+
+func TestGuardrailCapFloorsAtMSS(t *testing.T) {
+	g := NewGuardrail(NewDCTCP(DefaultDCTCPConfig()), 37500, 65*1500)
+	g.Predict(100000) // absurd degree; share far below one MSS
+	if g.Cap() != netsim.MSS {
+		t.Fatalf("cap = %d, want MSS floor", g.Cap())
+	}
+}
+
+func TestGuardrailForwardsEvents(t *testing.T) {
+	inner := NewDCTCP(DefaultDCTCPConfig())
+	g := NewGuardrail(inner, 37500, 65*1500)
+	w := inner.Window()
+	g.OnTimeout(0)
+	if inner.Window() >= w {
+		t.Fatal("OnTimeout was not forwarded")
+	}
+	if g.Name() != "dctcp+guardrail" {
+		t.Fatalf("name = %q", g.Name())
+	}
+}
+
+func TestFairShareCap(t *testing.T) {
+	if c := FairShareCap(37500, 97500, 10); c != 13500 {
+		t.Fatalf("cap = %d", c)
+	}
+	if c := FairShareCap(37500, 97500, 1000000); c != netsim.MSS {
+		t.Fatalf("cap = %d, want MSS floor", c)
+	}
+}
+
+func TestSwiftIncreasesBelowTarget(t *testing.T) {
+	base := 30 * sim.Microsecond
+	s := NewSwift(DefaultSwiftConfig(base))
+	w := s.FractionalWindow()
+	s.OnAck(Ack{Now: 0, BytesAcked: netsim.MSS, RTT: base})
+	if s.FractionalWindow() <= w {
+		t.Fatal("window should grow below target delay")
+	}
+}
+
+func TestSwiftDecreasesAboveTarget(t *testing.T) {
+	base := 30 * sim.Microsecond
+	s := NewSwift(DefaultSwiftConfig(base))
+	w := s.FractionalWindow()
+	s.OnAck(Ack{Now: sim.Second, BytesAcked: netsim.MSS, RTT: 10 * base})
+	if s.FractionalWindow() >= w {
+		t.Fatal("window should shrink above target delay")
+	}
+}
+
+func TestSwiftSubMSSPacing(t *testing.T) {
+	base := 30 * sim.Microsecond
+	s := NewSwift(DefaultSwiftConfig(base))
+	// Drive the window far below one MSS with persistent congestion.
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		now += sim.Second
+		s.OnAck(Ack{Now: now, BytesAcked: netsim.MSS, RTT: 20 * base})
+	}
+	if s.FractionalWindow() >= float64(netsim.MSS) {
+		t.Fatalf("fractional window = %v, want < 1 MSS", s.FractionalWindow())
+	}
+	if s.Window() != netsim.MSS {
+		t.Fatalf("transmission window = %d, want 1 MSS", s.Window())
+	}
+	gap := s.PacingGap()
+	if gap <= 0 {
+		t.Fatal("sub-MSS operation requires a pacing gap")
+	}
+	// The gap must stretch beyond one RTT: "one packet every several RTTs".
+	if gap < 20*base {
+		t.Fatalf("gap = %v, want at least one congested RTT", gap)
+	}
+}
+
+func TestSwiftAtMostOneDecreasePerRTT(t *testing.T) {
+	base := 30 * sim.Microsecond
+	s := NewSwift(DefaultSwiftConfig(base))
+	s.OnAck(Ack{Now: 1000, BytesAcked: netsim.MSS, RTT: 10 * base})
+	w := s.FractionalWindow()
+	// Immediately after, within the same RTT, no further decrease.
+	s.OnAck(Ack{Now: 1001, BytesAcked: netsim.MSS, RTT: 10 * base})
+	if s.FractionalWindow() != w {
+		t.Fatal("swift decreased twice within one RTT")
+	}
+}
+
+func TestSwiftRTTZeroIgnored(t *testing.T) {
+	s := NewSwift(DefaultSwiftConfig(30 * sim.Microsecond))
+	w := s.FractionalWindow()
+	s.OnAck(Ack{BytesAcked: netsim.MSS, RTT: 0})
+	if s.FractionalWindow() != w {
+		t.Fatal("ACK without RTT sample should not move the window")
+	}
+}
+
+func TestSwiftWindowFloor(t *testing.T) {
+	cfg := DefaultSwiftConfig(30 * sim.Microsecond)
+	s := NewSwift(cfg)
+	for i := 0; i < 50; i++ {
+		s.OnTimeout(0)
+		s.OnLoss(0)
+	}
+	if s.FractionalWindow() < cfg.MinWindowBytes {
+		t.Fatalf("window %v below floor %v", s.FractionalWindow(), cfg.MinWindowBytes)
+	}
+}

@@ -1,0 +1,69 @@
+package cc
+
+import "math"
+
+// D2TCPConfig tunes Deadline-Aware Datacenter TCP.
+type D2TCPConfig struct {
+	// DCTCP supplies the underlying congestion machinery.
+	DCTCP DCTCPConfig
+	// D is the deadline imminence factor: > 1 means the deadline is tight
+	// (back off less), < 1 means slack (back off more). Vamanan et al.
+	// bound it to [0.5, 2]; 0 means neutral (1).
+	D float64
+}
+
+// DefaultD2TCPConfig returns the paper's DCTCP parameters with a neutral
+// deadline factor (identical behavior to DCTCP).
+func DefaultD2TCPConfig() D2TCPConfig {
+	return D2TCPConfig{DCTCP: DefaultDCTCPConfig(), D: 1}
+}
+
+// D2TCP implements Deadline-Aware Datacenter TCP (Vamanan et al., SIGCOMM
+// 2012), one of the O(50)-flow designs the paper cites: DCTCP's backoff is
+// gamma-corrected by the flow's deadline imminence — penalty p = alpha^d,
+// window *= (1 - p/2). With alpha in (0,1), a tight deadline (d > 1)
+// yields p < alpha and hence a gentler backoff, while a slack flow
+// (d < 1) yields ground sooner. Under deep incast it inherits DCTCP's
+// 1-MSS floor and therefore the same degenerate point.
+type D2TCP struct {
+	*DCTCP
+	d float64
+}
+
+// NewD2TCP creates a D2TCP instance.
+func NewD2TCP(cfg D2TCPConfig) *D2TCP {
+	t := &D2TCP{DCTCP: NewDCTCP(cfg.DCTCP)}
+	t.setD(cfg.D)
+	t.DCTCP.penalty = func(alpha float64) float64 {
+		return math.Pow(alpha, t.d) / 2
+	}
+	return t
+}
+
+func (t *D2TCP) setD(d float64) {
+	if d == 0 {
+		d = 1
+	}
+	if d < 0.5 {
+		d = 0.5
+	}
+	if d > 2 {
+		d = 2
+	}
+	t.d = d
+}
+
+// Name implements Algorithm.
+func (t *D2TCP) Name() string { return "d2tcp" }
+
+// SetDeadlineFactor updates the imminence factor as the flow progresses
+// (applications recompute it per RTT in the original design).
+func (t *D2TCP) SetDeadlineFactor(d float64) { t.setD(d) }
+
+// DeadlineFactor returns the current imminence factor.
+func (t *D2TCP) DeadlineFactor() float64 { return t.d }
+
+var (
+	_ Algorithm     = (*D2TCP)(nil)
+	_ IdleRestarter = (*D2TCP)(nil)
+)

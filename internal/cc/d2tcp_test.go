@@ -1,0 +1,74 @@
+package cc
+
+import (
+	"testing"
+
+	"incastlab/internal/netsim"
+)
+
+// markedWindowReduction drives one fully-marked window through the
+// algorithm and returns the resulting window.
+func markedWindowReduction(alg Algorithm, start int) int {
+	alg.OnAck(Ack{BytesAcked: netsim.MSS, AckNo: netsim.MSS, SndNxt: int64(start), ECE: true})
+	return alg.Window()
+}
+
+func TestD2TCPNeutralMatchesDCTCP(t *testing.T) {
+	// With d = 1 the penalty is alpha/2: identical to DCTCP.
+	mk := func() (Algorithm, Algorithm) {
+		dc := DCTCPConfig{InitialWindow: 16 * netsim.MSS, G: 1, InitialAlpha: 1}
+		return NewDCTCP(dc), NewD2TCP(D2TCPConfig{DCTCP: dc, D: 1})
+	}
+	dctcp, d2 := mk()
+	if a, b := markedWindowReduction(dctcp, 16*netsim.MSS), markedWindowReduction(d2, 16*netsim.MSS); a != b {
+		t.Fatalf("neutral D2TCP reduced to %d, DCTCP to %d", b, a)
+	}
+}
+
+func TestD2TCPDeadlineGammaCorrection(t *testing.T) {
+	// p = alpha^d with alpha = 0.25: the tight flow (d=2) gets
+	// p = 0.0625, the slack flow (d=0.5) gets p = 0.5 — tight deadlines
+	// back off less and must retain the larger window.
+	// A small gain keeps alpha near its 0.25 seed through the first
+	// marked window (with G=1 the first window observation would snap
+	// alpha straight to 1 and mask the correction).
+	dc := DCTCPConfig{InitialWindow: 64 * netsim.MSS, G: 1.0 / 16, InitialAlpha: 0.25}
+	tight := NewD2TCP(D2TCPConfig{DCTCP: dc, D: 2})
+	slack := NewD2TCP(D2TCPConfig{DCTCP: dc, D: 0.5})
+	wTight := markedWindowReduction(tight, 64*netsim.MSS)
+	wSlack := markedWindowReduction(slack, 64*netsim.MSS)
+	if wTight <= wSlack {
+		t.Fatalf("tight-deadline window %d <= slack %d; tight flows must back off less",
+			wTight, wSlack)
+	}
+}
+
+func TestD2TCPFactorClamping(t *testing.T) {
+	d2 := NewD2TCP(D2TCPConfig{DCTCP: DefaultDCTCPConfig(), D: 99})
+	if d2.DeadlineFactor() != 2 {
+		t.Fatalf("factor = %v, want clamped to 2", d2.DeadlineFactor())
+	}
+	d2.SetDeadlineFactor(0.01)
+	if d2.DeadlineFactor() != 0.5 {
+		t.Fatalf("factor = %v, want clamped to 0.5", d2.DeadlineFactor())
+	}
+	if NewD2TCP(D2TCPConfig{DCTCP: DefaultDCTCPConfig()}).DeadlineFactor() != 1 {
+		t.Fatal("zero factor should default to neutral")
+	}
+}
+
+func TestD2TCPDegeneratePoint(t *testing.T) {
+	// Like DCTCP, persistent marking pins the window at one MSS.
+	d2 := NewD2TCP(DefaultD2TCPConfig())
+	var seq int64
+	for i := 0; i < 100; i++ {
+		seq += netsim.MSS
+		d2.OnAck(Ack{BytesAcked: netsim.MSS, AckNo: seq, SndNxt: seq + int64(d2.Window()), ECE: true})
+	}
+	if d2.Window() != MinWindow {
+		t.Fatalf("window = %d, want degenerate point", d2.Window())
+	}
+	if d2.Name() != "d2tcp" {
+		t.Fatalf("name = %q", d2.Name())
+	}
+}

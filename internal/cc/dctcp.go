@@ -1,0 +1,155 @@
+package cc
+
+import (
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+// DCTCPConfig tunes the DCTCP algorithm.
+type DCTCPConfig struct {
+	// InitialWindow is the starting congestion window in bytes
+	// (default 10 MSS, the Linux default).
+	InitialWindow int
+	// G is the EWMA gain for the congestion estimate alpha. The paper's
+	// production deployment uses 1/16 (from Equation 15 of the DCTCP
+	// paper); the original paper also discusses 1/2 and 1/4.
+	G float64
+	// InitialAlpha is the starting congestion estimate. Linux starts at 1
+	// (conservative); 0 ramps faster. Default 1.
+	InitialAlpha float64
+}
+
+// DefaultDCTCPConfig returns the paper's parameters: IW = 10 MSS, g = 1/16.
+func DefaultDCTCPConfig() DCTCPConfig {
+	return DCTCPConfig{
+		InitialWindow: 10 * netsim.MSS,
+		G:             1.0 / 16.0,
+		InitialAlpha:  1,
+	}
+}
+
+// DCTCP implements Data Center TCP: the sender estimates the fraction of
+// ECN-marked bytes per window (alpha, an EWMA with gain g) and, once per
+// window in which any mark was echoed, shrinks the congestion window
+// proportionally: cwnd *= 1 - alpha/2. Slow start and additive increase are
+// inherited from standard TCP. The window never drops below one MSS; with N
+// flows all at the floor, total in-flight data is N packets, which is what
+// breaks the algorithm at high incast degree (the paper's Mode 2).
+type DCTCP struct {
+	cfg      DCTCPConfig
+	cwnd     int
+	ssthresh int
+
+	alpha float64
+
+	// Per-observation-window accounting: the window ends when AckNo passes
+	// nextSeq (one RTT of data), at which point alpha is updated.
+	ackedBytes  int64
+	markedBytes int64
+	nextSeq     int64
+
+	// reducedThisWindow ensures at most one multiplicative decrease per
+	// window of data, mirroring TCP's once-per-RTT reaction.
+	reducedThisWindow bool
+
+	// penalty maps alpha to the multiplicative-decrease fraction. DCTCP
+	// uses alpha/2; D2TCP substitutes the deadline-corrected
+	// alpha^(1/d)/2 through this hook.
+	penalty func(alpha float64) float64
+}
+
+// NewDCTCP creates a DCTCP instance.
+func NewDCTCP(cfg DCTCPConfig) *DCTCP {
+	if cfg.InitialWindow < MinWindow {
+		cfg.InitialWindow = MinWindow
+	}
+	if cfg.G <= 0 || cfg.G > 1 {
+		panic("cc: DCTCP g must be in (0, 1]")
+	}
+	if cfg.InitialAlpha < 0 || cfg.InitialAlpha > 1 {
+		panic("cc: DCTCP initial alpha must be in [0, 1]")
+	}
+	return &DCTCP{
+		cfg:      cfg,
+		cwnd:     cfg.InitialWindow,
+		ssthresh: 1 << 30,
+		alpha:    cfg.InitialAlpha,
+		penalty:  func(alpha float64) float64 { return alpha / 2 },
+	}
+}
+
+// Name implements Algorithm.
+func (d *DCTCP) Name() string { return "dctcp" }
+
+// Alpha returns the current congestion estimate, for instrumentation.
+func (d *DCTCP) Alpha() float64 { return d.alpha }
+
+// OnAck processes an ACK: account marked bytes, close out observation
+// windows, apply at most one proportional decrease per window, and otherwise
+// grow like standard TCP.
+func (d *DCTCP) OnAck(a Ack) {
+	d.ackedBytes += int64(a.BytesAcked)
+	if a.ECE {
+		d.markedBytes += int64(a.BytesAcked)
+	}
+
+	// End of an observation window: one window's worth of data has been
+	// acknowledged. Update alpha from the observed marking fraction.
+	if a.AckNo >= d.nextSeq {
+		if d.ackedBytes > 0 {
+			f := float64(d.markedBytes) / float64(d.ackedBytes)
+			d.alpha = (1-d.cfg.G)*d.alpha + d.cfg.G*f
+		}
+		d.ackedBytes, d.markedBytes = 0, 0
+		d.nextSeq = a.SndNxt
+		d.reducedThisWindow = false
+	}
+
+	if a.ECE {
+		if !d.reducedThisWindow {
+			d.reducedThisWindow = true
+			d.cwnd = int(float64(d.cwnd) * (1 - d.penalty(d.alpha)))
+			if d.cwnd < MinWindow {
+				d.cwnd = MinWindow
+			}
+			d.ssthresh = d.cwnd
+		}
+		// No growth on marked ACKs.
+		return
+	}
+
+	if d.cwnd < d.ssthresh {
+		d.cwnd += a.BytesAcked
+		if d.cwnd > d.ssthresh {
+			d.cwnd = d.ssthresh
+		}
+		return
+	}
+	d.cwnd += netsim.MSS * a.BytesAcked / d.cwnd
+}
+
+// OnLoss halves the window, as for standard TCP: DCTCP falls back to loss
+// behavior when marking was not enough.
+func (d *DCTCP) OnLoss(now sim.Time) {
+	d.ssthresh = maxInt(d.cwnd/2, MinWindow)
+	d.cwnd = d.ssthresh
+}
+
+// OnTimeout collapses the window to one MSS.
+func (d *DCTCP) OnTimeout(now sim.Time) {
+	d.ssthresh = maxInt(d.cwnd/2, MinWindow)
+	d.cwnd = MinWindow
+}
+
+// Window implements Algorithm.
+func (d *DCTCP) Window() int { return d.cwnd }
+
+// PacingGap implements Algorithm; DCTCP is window-based.
+func (d *DCTCP) PacingGap() sim.Time { return 0 }
+
+// OnIdleRestart implements IdleRestarter: clamp to the initial window.
+func (d *DCTCP) OnIdleRestart() {
+	if d.cwnd > d.cfg.InitialWindow {
+		d.cwnd = d.cfg.InitialWindow
+	}
+}

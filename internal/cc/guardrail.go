@@ -1,0 +1,109 @@
+package cc
+
+import (
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+// Guardrail wraps another window-based algorithm with the paper's
+// Section 5.1 proposal: "simple guardrails that prevent TCP from ramping up
+// excessively during incast". The cap is sized from a *prediction* of the
+// incast degree (Section 3.3 shows per-service flow-count distributions are
+// stable, hence predictable): with N flows expected to share a bottleneck
+// whose queue should sit near the marking threshold K, each flow's fair
+// share of in-flight data is (BDP + K) / N.
+//
+// The inner algorithm keeps evolving its own state; Guardrail clamps both
+// the reported window and the inner ramp so that stragglers cannot
+// "unlearn" the incast window between bursts (the Section 4.3 divergence).
+type Guardrail struct {
+	inner Algorithm
+
+	// capBytes is the current clamp; non-positive means no clamp.
+	capBytes int
+
+	// bdpBytes and ecnThresholdBytes size the cap from predictions.
+	bdpBytes          int
+	ecnThresholdBytes int
+}
+
+// NewGuardrail wraps inner. Callers size the cap either directly with
+// SetCap or from a predicted incast degree with Predict.
+func NewGuardrail(inner Algorithm, bdpBytes, ecnThresholdBytes int) *Guardrail {
+	if inner == nil {
+		panic("cc: guardrail needs an inner algorithm")
+	}
+	if bdpBytes <= 0 || ecnThresholdBytes <= 0 {
+		panic("cc: guardrail needs positive BDP and ECN threshold")
+	}
+	return &Guardrail{inner: inner, bdpBytes: bdpBytes, ecnThresholdBytes: ecnThresholdBytes}
+}
+
+// Name implements Algorithm.
+func (g *Guardrail) Name() string { return g.inner.Name() + "+guardrail" }
+
+// Inner returns the wrapped algorithm.
+func (g *Guardrail) Inner() Algorithm { return g.inner }
+
+// SetCap sets the clamp directly, in bytes. Values below one MSS clamp to
+// one MSS (the transport cannot send less); non-positive removes the clamp.
+func (g *Guardrail) SetCap(bytes int) {
+	if bytes > 0 && bytes < MinWindow {
+		bytes = MinWindow
+	}
+	g.capBytes = bytes
+}
+
+// Cap returns the current clamp in bytes (non-positive = none).
+func (g *Guardrail) Cap() int { return g.capBytes }
+
+// Predict sizes the cap for an expected incast of n flows: each flow gets
+// its share of BDP plus the marking headroom. Predicting n <= 0 removes the
+// cap (no incast expected).
+func (g *Guardrail) Predict(n int) {
+	if n <= 0 {
+		g.capBytes = 0
+		return
+	}
+	g.SetCap((g.bdpBytes + g.ecnThresholdBytes) / n)
+}
+
+// OnAck forwards to the inner algorithm.
+func (g *Guardrail) OnAck(a Ack) { g.inner.OnAck(a) }
+
+// OnLoss forwards to the inner algorithm.
+func (g *Guardrail) OnLoss(now sim.Time) { g.inner.OnLoss(now) }
+
+// OnTimeout forwards to the inner algorithm.
+func (g *Guardrail) OnTimeout(now sim.Time) { g.inner.OnTimeout(now) }
+
+// Window returns the inner window clamped to the cap.
+func (g *Guardrail) Window() int {
+	w := g.inner.Window()
+	if g.capBytes > 0 && w > g.capBytes {
+		return g.capBytes
+	}
+	return w
+}
+
+// PacingGap stretches packet spacing when the cap is below one MSS's worth
+// of fair share; with the MSS floor this is rarely needed, so it simply
+// forwards to the inner algorithm.
+func (g *Guardrail) PacingGap() sim.Time { return g.inner.PacingGap() }
+
+// OnIdleRestart forwards to the inner algorithm when it supports restarts.
+func (g *Guardrail) OnIdleRestart() {
+	if ir, ok := g.inner.(IdleRestarter); ok {
+		ir.OnIdleRestart()
+	}
+}
+
+// FairShareCap returns the cap Guardrail would pick for n flows given the
+// bottleneck parameters, exported for tests and planning tools.
+func FairShareCap(bdpBytes, ecnThresholdBytes, n int) int {
+	c := (bdpBytes + ecnThresholdBytes) / n
+	if c < netsim.MSS {
+		return netsim.MSS
+	}
+	return c
+}

@@ -1,0 +1,126 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+// driveRandom feeds an arbitrary event stream into alg and reports whether
+// the window invariant (>= MinWindow for window-based algorithms) held
+// throughout.
+func driveRandom(alg Algorithm, events []byte) bool {
+	var seq int64
+	now := sim.Time(0)
+	for _, e := range events {
+		now += sim.Time(e) * sim.Microsecond
+		seq += netsim.MSS
+		switch {
+		case e < 170:
+			alg.OnAck(Ack{
+				Now:        now,
+				BytesAcked: netsim.MSS,
+				AckNo:      seq,
+				SndNxt:     seq + int64(alg.Window()),
+				ECE:        e%3 == 0,
+				RTT:        sim.Time(10+int(e)) * sim.Microsecond,
+			})
+		case e < 220:
+			alg.OnLoss(now)
+		default:
+			alg.OnTimeout(now)
+		}
+		if alg.Window() < MinWindow {
+			return false
+		}
+		if alg.PacingGap() < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRenoWindowBoundsProperty(t *testing.T) {
+	f := func(events []byte) bool { return driveRandom(NewReno(10*netsim.MSS), events) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestD2TCPWindowBoundsProperty(t *testing.T) {
+	f := func(events []byte, d uint8) bool {
+		cfg := DefaultD2TCPConfig()
+		cfg.D = 0.5 + float64(d)/170 // spans [0.5, 2]
+		return driveRandom(NewD2TCP(cfg), events)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwiftWindowBoundsProperty(t *testing.T) {
+	f := func(events []byte) bool {
+		alg := NewSwift(DefaultSwiftConfig(30 * sim.Microsecond))
+		if !driveRandom(alg, events) {
+			return false
+		}
+		// Swift's fractional window must respect its configured floor.
+		return alg.FractionalWindow() >= DefaultSwiftConfig(30*sim.Microsecond).MinWindowBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardrailWindowBoundsProperty(t *testing.T) {
+	f := func(events []byte, degree uint16) bool {
+		g := NewGuardrail(NewDCTCP(DefaultDCTCPConfig()), 37500, 97500)
+		g.Predict(int(degree))
+		if !driveRandom(g, events) {
+			return false
+		}
+		// The cap is always honored when set.
+		if g.Cap() > 0 && g.Window() > g.Cap() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDCTCPAlphaMonotonicityProperty: with full marking alpha converges
+// upward toward 1; with no marking it decays toward 0 — never overshooting
+// either bound.
+func TestDCTCPAlphaMonotonicityProperty(t *testing.T) {
+	f := func(marked bool, windows uint8) bool {
+		cfg := DefaultDCTCPConfig()
+		cfg.InitialAlpha = 0.5
+		d := NewDCTCP(cfg)
+		var seq int64
+		prev := d.Alpha()
+		for w := 0; w < int(windows); w++ {
+			seq += netsim.MSS
+			d.OnAck(Ack{BytesAcked: netsim.MSS, AckNo: seq,
+				SndNxt: seq + netsim.MSS, ECE: marked})
+			a := d.Alpha()
+			if a < 0 || a > 1 {
+				return false
+			}
+			if marked && a < prev-1e-12 {
+				return false
+			}
+			if !marked && a > prev+1e-12 {
+				return false
+			}
+			prev = a
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package cc
+
+import (
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+// SwiftConfig tunes the Swift-like delay-based algorithm.
+type SwiftConfig struct {
+	// TargetDelay is the end-to-end delay target; windows shrink when
+	// measured RTT exceeds it.
+	TargetDelay sim.Time
+	// BaseRTT is the uncongested round-trip time, used to convert windows
+	// to pacing gaps when the window is below one MSS.
+	BaseRTT sim.Time
+	// InitialWindow is the starting window in bytes.
+	InitialWindow int
+	// AI is the additive increase in bytes per RTT when below target.
+	AI int
+	// Beta is the maximum fractional multiplicative decrease per RTT.
+	Beta float64
+	// MinWindowBytes is the floor; Swift supports windows far below one
+	// MSS (e.g. 0.01 packets) by pacing. Default MSS/100.
+	MinWindowBytes float64
+}
+
+// DefaultSwiftConfig returns parameters scaled to the paper's dumbbell:
+// target delay a few times base RTT, fair-share-friendly gains.
+func DefaultSwiftConfig(baseRTT sim.Time) SwiftConfig {
+	return SwiftConfig{
+		TargetDelay:    baseRTT + baseRTT/2,
+		BaseRTT:        baseRTT,
+		InitialWindow:  10 * netsim.MSS,
+		AI:             netsim.MSS,
+		Beta:           0.8,
+		MinWindowBytes: float64(netsim.MSS) / 100,
+	}
+}
+
+// Swift is a delay-based algorithm in the spirit of Kumar et al. (SIGCOMM
+// 2020): additive increase while RTT is below target, multiplicative
+// decrease proportional to the excess delay otherwise. Its distinguishing
+// feature for incast is operation *below* one packet per RTT: when the
+// window shrinks under one MSS the sender keeps the window at one MSS but
+// stretches the pacing gap so the average rate matches the fractional
+// window — "sending one packet every several RTTs". The paper's Section 5.2
+// explains why this only helps long incasts; the benchmarks reproduce that
+// trade-off.
+type Swift struct {
+	cfg SwiftConfig
+	// wnd is the fractional window in bytes.
+	wnd float64
+	// lastDecrease enforces at most one multiplicative decrease per RTT.
+	lastDecrease sim.Time
+	lastRTT      sim.Time
+}
+
+// NewSwift creates a Swift instance.
+func NewSwift(cfg SwiftConfig) *Swift {
+	if cfg.TargetDelay <= 0 || cfg.BaseRTT <= 0 {
+		panic("cc: swift needs positive target delay and base RTT")
+	}
+	if cfg.InitialWindow < 1 {
+		cfg.InitialWindow = netsim.MSS
+	}
+	if cfg.AI <= 0 {
+		cfg.AI = netsim.MSS
+	}
+	if cfg.Beta <= 0 || cfg.Beta >= 1 {
+		panic("cc: swift beta must be in (0, 1)")
+	}
+	if cfg.MinWindowBytes <= 0 {
+		cfg.MinWindowBytes = float64(netsim.MSS) / 100
+	}
+	return &Swift{cfg: cfg, wnd: float64(cfg.InitialWindow), lastDecrease: -1 << 60}
+}
+
+// Name implements Algorithm.
+func (s *Swift) Name() string { return "swift" }
+
+// FractionalWindow returns the internal window in bytes, which may be less
+// than one MSS.
+func (s *Swift) FractionalWindow() float64 { return s.wnd }
+
+// OnAck adjusts the window from the delay sample.
+func (s *Swift) OnAck(a Ack) {
+	if a.RTT <= 0 {
+		return
+	}
+	s.lastRTT = a.RTT
+	if a.RTT < s.cfg.TargetDelay {
+		// Additive increase, spread across the ACKs of one window.
+		inc := float64(s.cfg.AI) * float64(a.BytesAcked) / maxFloat(s.wnd, 1)
+		s.wnd += inc
+		return
+	}
+	// Multiplicative decrease scaled by how far beyond target we are, at
+	// most once per RTT.
+	if a.Now-s.lastDecrease < a.RTT {
+		return
+	}
+	s.lastDecrease = a.Now
+	excess := float64(a.RTT-s.cfg.TargetDelay) / float64(a.RTT)
+	factor := 1 - s.cfg.Beta*excess
+	if factor < 0.3 {
+		factor = 0.3
+	}
+	s.wnd *= factor
+	if s.wnd < s.cfg.MinWindowBytes {
+		s.wnd = s.cfg.MinWindowBytes
+	}
+}
+
+// OnLoss applies a strong decrease.
+func (s *Swift) OnLoss(now sim.Time) {
+	s.wnd *= 0.5
+	if s.wnd < s.cfg.MinWindowBytes {
+		s.wnd = s.cfg.MinWindowBytes
+	}
+}
+
+// OnTimeout collapses to the minimum window.
+func (s *Swift) OnTimeout(now sim.Time) { s.wnd = s.cfg.MinWindowBytes }
+
+// Window reports the transmission window: at least one MSS (the transport
+// sends whole segments); fractional windows are realized by PacingGap.
+func (s *Swift) Window() int {
+	if s.wnd < float64(netsim.MSS) {
+		return netsim.MSS
+	}
+	return int(s.wnd)
+}
+
+// PacingGap stretches inter-packet spacing when the fractional window is
+// below one MSS: one MSS every (MSS/wnd) RTTs.
+func (s *Swift) PacingGap() sim.Time {
+	if s.wnd >= float64(netsim.MSS) {
+		return 0
+	}
+	rtt := s.lastRTT
+	if rtt <= 0 {
+		rtt = s.cfg.BaseRTT
+	}
+	gap := float64(rtt) * float64(netsim.MSS) / s.wnd
+	return sim.Time(gap)
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

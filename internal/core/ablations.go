@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"incastlab/internal/cc"
+	"incastlab/internal/netsim"
+	"incastlab/internal/predict"
+	"incastlab/internal/schedule"
+	"incastlab/internal/sim"
+	"incastlab/internal/trace"
+)
+
+// AblationResult is a compact table-plus-notes result shared by all
+// ablation experiments.
+type AblationResult struct {
+	ExpName string
+	Table   *trace.Table
+	Notes   string
+}
+
+// Name implements Result.
+func (r *AblationResult) Name() string { return r.ExpName }
+
+// WriteFiles implements Result.
+func (r *AblationResult) WriteFiles(dir string) error {
+	return r.Table.SaveCSV(filepath.Join(dir, r.ExpName+".csv"))
+}
+
+// Summary implements Result.
+func (r *AblationResult) Summary() string {
+	var b strings.Builder
+	b.WriteString(section("Ablation: " + r.ExpName))
+	b.WriteString(r.Table.Text())
+	if r.Notes != "" {
+		b.WriteString(r.Notes)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ablationRow renders a run's shared metric columns.
+func ablationRow(m *SimResult) []string {
+	return []string{
+		trace.Float(avgBusyQueue(m)), trace.Float(m.MaxQueue), trace.Float(m.SpikePackets),
+		trace.Float(m.MeanBCT.Milliseconds()),
+		fmt.Sprint(m.Timeouts), fmt.Sprint(m.Drops),
+		trace.Float(markRate(m)),
+	}
+}
+
+// markRate returns the fraction of sent packets that were CE-marked.
+func markRate(m *SimResult) float64 {
+	if m.SentPackets == 0 {
+		return 0
+	}
+	return float64(m.Marks) / float64(m.SentPackets)
+}
+
+var ablationHeader = []string{"queue_busy_avg_pkts", "queue_max_pkts", "spike_pkts",
+	"mean_bct_ms", "timeouts", "drops", "mark_rate"}
+
+// ablationBursts picks the burst count by Quick mode.
+func ablationBursts(opt Options) int {
+	if opt.Quick {
+		return 4
+	}
+	return 11
+}
+
+// AblationG sweeps DCTCP's EWMA gain g in the healthy mode: small g reacts
+// slowly (smoother but sluggish alpha), large g overreacts.
+func AblationG(opt Options) *AblationResult {
+	t := &trace.Table{Header: append([]string{"g"}, ablationHeader...)}
+	for _, g := range []float64{1.0 / 2, 1.0 / 4, 1.0 / 16, 1.0 / 64} {
+		g := g
+		m := RunIncastSim(SimConfig{
+			Flows:         80,
+			BurstDuration: 15 * sim.Millisecond,
+			Bursts:        ablationBursts(opt),
+			Seed:          opt.seed(),
+			Alg: func(int) cc.Algorithm {
+				c := cc.DefaultDCTCPConfig()
+				c.G = g
+				return cc.NewDCTCP(c)
+			},
+		})
+		t.AddRow(append([]string{trace.Float(g)}, ablationRow(m)...)...)
+	}
+	return &AblationResult{
+		ExpName: "ablation_g",
+		Table:   t,
+		Notes:   "The paper tunes g = 1/16 (Section 2); larger gains react faster but oscillate harder.",
+	}
+}
+
+// AblationECNThreshold sweeps the switch marking threshold K: small K
+// marks early (short queues, risk of underutilization with bursty hosts —
+// why the production deployment uses a higher threshold than the DCTCP
+// paper recommends), large K tolerates deep standing queues.
+func AblationECNThreshold(opt Options) *AblationResult {
+	t := &trace.Table{Header: append([]string{"ecn_threshold_pkts"}, ablationHeader...)}
+	for _, k := range []int{20, 65, 200} {
+		net := netsim.DefaultDumbbellConfig(80)
+		net.ECNThresholdPackets = k
+		m := RunIncastSim(SimConfig{
+			Flows:         80,
+			BurstDuration: 15 * sim.Millisecond,
+			Bursts:        ablationBursts(opt),
+			Net:           net,
+			Seed:          opt.seed(),
+		})
+		t.AddRow(append([]string{fmt.Sprint(k)}, ablationRow(m)...)...)
+	}
+	return &AblationResult{
+		ExpName: "ablation_ecn_threshold",
+		Table:   t,
+		Notes:   "Queue depth tracks K: DCTCP parks the queue near the threshold it is given.",
+	}
+}
+
+// AblationSharedBuffer compares the paper's dedicated 1333-packet queue
+// against a shared switch buffer under rack-level contention at 1000
+// flows: sharing shrinks the effective capacity and converts the lossless
+// degenerate mode into the timeout mode (the paper's Section 3/4.1.1
+// explanation for production losses at flow counts the dedicated-queue
+// simulation survives).
+func AblationSharedBuffer(opt Options) *AblationResult {
+	t := &trace.Table{Header: append([]string{"buffer"}, ablationHeader...)}
+
+	dedicated := RunIncastSim(SimConfig{
+		Flows:         1000,
+		BurstDuration: 15 * sim.Millisecond,
+		Bursts:        ablationBursts(opt),
+		Seed:          opt.seed(),
+	})
+	t.AddRow(append([]string{"dedicated_2MB"}, ablationRow(dedicated)...)...)
+
+	net := netsim.DefaultDumbbellConfig(1000)
+	net.SharedBufferBytes = 2 * 1000 * 1000
+	net.SharedBufferAlpha = 1
+	shared := RunIncastSim(SimConfig{
+		Flows:               1000,
+		BurstDuration:       15 * sim.Millisecond,
+		Bursts:              ablationBursts(opt),
+		Net:                 net,
+		ExternalBufferBytes: 700 * 1000,
+		Seed:                opt.seed(),
+	})
+	t.AddRow(append([]string{"shared_2MB_contended"}, ablationRow(shared)...)...)
+
+	return &AblationResult{
+		ExpName: "ablation_shared_buffer",
+		Table:   t,
+		Notes:   "Rack-level contention on shared memory causes loss at flow counts a dedicated queue absorbs.",
+	}
+}
+
+// AblationDelayedACKs compares immediate ACKs (the paper's configuration)
+// against delayed ACKs, which the paper disables "because it exacerbates
+// burstiness and masks the impact of DCTCP's congestion control".
+func AblationDelayedACKs(opt Options) *AblationResult {
+	t := &trace.Table{Header: append([]string{"acks"}, ablationHeader...)}
+	for _, delayed := range []bool{false, true} {
+		cfg := SimConfig{
+			Flows:         80,
+			BurstDuration: 15 * sim.Millisecond,
+			Bursts:        ablationBursts(opt),
+			Seed:          opt.seed(),
+		}
+		label := "immediate"
+		if delayed {
+			cfg.Receiver.DelayedAcks = true
+			cfg.Receiver.AckEvery = 2
+			label = "delayed"
+		}
+		m := RunIncastSim(cfg)
+		t.AddRow(append([]string{label}, ablationRow(m)...)...)
+	}
+	return &AblationResult{
+		ExpName: "ablation_delayed_acks",
+		Table:   t,
+		Notes:   "Coalesced ACKs release data in larger clumps, deepening the queue excursions.",
+	}
+}
+
+// AblationGuardrail evaluates the Section 5 proposals: DCTCP alone, DCTCP
+// clamped by the predicted-incast-degree guardrail (5.1), and DCTCP under
+// receiver-driven wave scheduling (5.2), at a healthy and a degenerate
+// flow count.
+func AblationGuardrail(opt Options) *AblationResult {
+	t := &trace.Table{Header: append([]string{"flows", "scheme"}, ablationHeader...)}
+	for _, n := range []int{80, 500} {
+		net := netsim.DefaultDumbbellConfig(n)
+		bdp := net.BDPBytes()
+		kBytes := net.ECNThresholdPackets * netsim.MTU
+
+		// The predictor learns the service's incast degree from observed
+		// bursts (Section 3.3 stability makes this meaningful); here it
+		// observes the true degree with sampling noise.
+		pr := predict.New(predict.DefaultConfig())
+		rng := sim.NewRand(opt.seed())
+		for i := 0; i < 64; i++ {
+			pr.Observe(n - 3 + rng.IntN(7))
+		}
+		degree := pr.PredictedDegree()
+
+		schemes := []struct {
+			name string
+			cfg  SimConfig
+		}{
+			{"dctcp", SimConfig{}},
+			{"dctcp+guardrail", SimConfig{Alg: func(int) cc.Algorithm {
+				g := cc.NewGuardrail(cc.NewDCTCP(cc.DefaultDCTCPConfig()), bdp, kBytes)
+				g.Predict(degree)
+				return g
+			}}},
+			{"dctcp+wave64", SimConfig{Admitter: schedule.NewWave(64)}},
+		}
+		for _, s := range schemes {
+			cfg := s.cfg
+			cfg.Flows = n
+			cfg.BurstDuration = 15 * sim.Millisecond
+			cfg.Bursts = ablationBursts(opt)
+			cfg.Seed = opt.seed()
+			m := RunIncastSim(cfg)
+			t.AddRow(append([]string{fmt.Sprint(n), s.name}, ablationRow(m)...)...)
+		}
+	}
+	return &AblationResult{
+		ExpName: "ablation_guardrail",
+		Table:   t,
+		Notes: "Guardrails cap ramp-up at the predicted fair share, removing the straggler spike;\n" +
+			"wave scheduling turns one large incast into a series of healthy small ones.",
+	}
+}
+
+// AblationCCA compares congestion-control algorithms under the same
+// healthy-mode incast: loss-based Reno (ECN-blind), DCTCP, and the
+// delay-based Swift-like pacer.
+func AblationCCA(opt Options) *AblationResult {
+	t := &trace.Table{Header: append([]string{"cca"}, ablationHeader...)}
+	net := netsim.DefaultDumbbellConfig(80)
+	algs := []struct {
+		name string
+		mk   func(int) cc.Algorithm
+	}{
+		{"reno", func(int) cc.Algorithm { return cc.NewReno(10 * netsim.MSS) }},
+		{"dctcp", nil},
+		{"d2tcp-tight", func(int) cc.Algorithm {
+			cfg := cc.DefaultD2TCPConfig()
+			cfg.D = 2
+			return cc.NewD2TCP(cfg)
+		}},
+		{"swift", func(int) cc.Algorithm {
+			return cc.NewSwift(cc.DefaultSwiftConfig(net.BaseRTT()))
+		}},
+	}
+	for _, a := range algs {
+		m := RunIncastSim(SimConfig{
+			Flows:         80,
+			BurstDuration: 15 * sim.Millisecond,
+			Bursts:        ablationBursts(opt),
+			Alg:           a.mk,
+			Seed:          opt.seed(),
+		})
+		t.AddRow(append([]string{a.name}, ablationRow(m)...)...)
+	}
+	return &AblationResult{
+		ExpName: "ablation_cca",
+		Table:   t,
+		Notes: "Reno ignores marks and fills the queue until it drops; DCTCP parks near K.\n" +
+			"Swift's sub-MSS pacing keeps the steady queue shallow but, exactly as the paper's\n" +
+			"Section 5.2 argues, infrequent probing starves it of feedback on millisecond bursts:\n" +
+			"completion times blow up. Pacing helps long incasts, not these.",
+	}
+}
+
+// AblationMinRTO validates the Mode 3 mechanism directly: with windows at
+// one MSS, dup-ACK recovery is impossible and burst completion is bound by
+// the minimum retransmission timeout. Sweeping min-RTO at a flow count in
+// steady overflow should move the BCT nearly one-for-one.
+func AblationMinRTO(opt Options) *AblationResult {
+	t := &trace.Table{Header: append([]string{"min_rto_ms"}, ablationHeader...)}
+	for _, rto := range []sim.Time{10 * sim.Millisecond, 50 * sim.Millisecond, 200 * sim.Millisecond} {
+		cfg := SimConfig{
+			Flows:         1400,
+			BurstDuration: 15 * sim.Millisecond,
+			Bursts:        ablationBursts(opt),
+			Seed:          opt.seed(),
+		}
+		cfg.Sender.MinRTO = rto
+		m := RunIncastSim(cfg)
+		t.AddRow(append([]string{trace.Float(rto.Milliseconds())}, ablationRow(m)...)...)
+	}
+	return &AblationResult{
+		ExpName: "ablation_min_rto",
+		Table:   t,
+		Notes:   "Mode 3 BCT tracks the minimum RTO: losses at 1-MSS windows are only ever repaired by timeouts.",
+	}
+}
+
+// AblationIdleRestart contrasts the paper's persistent connections (window
+// state carried across bursts — the precondition for Section 4.3's
+// straggler divergence) with RFC 2861/5681 congestion window validation,
+// which clamps an idle connection's window to min(IW, cwnd) before it
+// transmits again. The result is a negative one worth having on paper:
+// during incast, per-flow windows already sit at or below the initial
+// window, so standards-track idle restarts change nothing — straggler
+// divergence survives them. Taming it requires clamping *below* IW, which
+// is exactly what the Section 5.1 guardrail does.
+func AblationIdleRestart(opt Options) *AblationResult {
+	t := &trace.Table{Header: append([]string{"windows"}, ablationHeader...)}
+	for _, restart := range []bool{false, true} {
+		cfg := SimConfig{
+			Flows:         80,
+			BurstDuration: 15 * sim.Millisecond,
+			Bursts:        ablationBursts(opt),
+			Seed:          opt.seed(),
+		}
+		label := "persistent"
+		if restart {
+			cfg.Sender.RestartAfterIdle = true
+			label = "idle_restart"
+		}
+		m := RunIncastSim(cfg)
+		t.AddRow(append([]string{label}, ablationRow(m)...)...)
+	}
+	return &AblationResult{
+		ExpName: "ablation_idle_restart",
+		Table:   t,
+		Notes: "RFC 2861/5681 restarts clamp to min(IW, cwnd); incast windows are already below IW,\n" +
+			"so idle restarts are a no-op here. Straggler divergence survives standards-track cwnd\n" +
+			"validation — only a sub-IW clamp (the Section 5.1 guardrail) removes it.",
+	}
+}
+
+// AblationReceiverWindow evaluates ICTCP, the receiver-driven scheme the
+// paper groups with the O(50)-flow designs: the receiving host steers each
+// connection's advertised window. At moderate degree it rescues ECN-blind
+// Reno from overrunning the queue; at hundreds of flows its 2-MSS window
+// floor pins 2N packets in flight and the scheme degenerates exactly like
+// sender-side windows do — the paper's argument for why receiver windows
+// alone do not scale to modern incast degrees.
+func AblationReceiverWindow(opt Options) *AblationResult {
+	t := &trace.Table{Header: append([]string{"flows", "scheme"}, ablationHeader...)}
+	for _, n := range []int{40, 400} {
+		for _, ictcp := range []bool{false, true} {
+			cfg := SimConfig{
+				Flows:         n,
+				BurstDuration: 15 * sim.Millisecond,
+				Bursts:        ablationBursts(opt),
+				Seed:          opt.seed(),
+				Alg:           func(int) cc.Algorithm { return cc.NewReno(10 * netsim.MSS) },
+				EnableICTCP:   ictcp,
+			}
+			label := "reno"
+			if ictcp {
+				label = "reno+ictcp"
+			}
+			m := RunIncastSim(cfg)
+			t.AddRow(append([]string{fmt.Sprint(n), label}, ablationRow(m)...)...)
+		}
+	}
+	return &AblationResult{
+		ExpName: "ablation_receiver_window",
+		Table:   t,
+		Notes: "ICTCP tames Reno's queue at 40 flows; at 400 flows the 2-MSS receive-window floor\n" +
+			"pins 2N packets in flight and the receiver-driven scheme degenerates too.",
+	}
+}
+
+// AblationMarkingDiscipline contrasts DCTCP's instantaneous-queue marking
+// (what the paper's switches do) with classic RED-style averaged marking.
+// The DCTCP paper argues instantaneous marking is essential for fast
+// feedback; with an EWMA, millisecond bursts come and go faster than the
+// average moves, so marking lags the congestion and the queue excursions
+// deepen.
+func AblationMarkingDiscipline(opt Options) *AblationResult {
+	t := &trace.Table{Header: append([]string{"marking"}, ablationHeader...)}
+	for _, w := range []float64{0, 0.002} {
+		net := netsim.DefaultDumbbellConfig(80)
+		net.ECNAverageWeight = w
+		m := RunIncastSim(SimConfig{
+			Flows:         80,
+			BurstDuration: 15 * sim.Millisecond,
+			Bursts:        ablationBursts(opt),
+			Net:           net,
+			Seed:          opt.seed(),
+		})
+		label := "instantaneous"
+		if w > 0 {
+			label = fmt.Sprintf("ewma_w=%g", w)
+		}
+		t.AddRow(append([]string{label}, ablationRow(m)...)...)
+	}
+	return &AblationResult{
+		ExpName: "ablation_marking",
+		Table:   t,
+		Notes:   "Averaged (RED-style) marking lags millisecond bursts; instantaneous marking is what keeps DCTCP responsive.",
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+// All runs every experiment — each paper table and figure plus every
+// ablation — and returns the results in presentation order. This is what
+// cmd/figures executes.
+func All(opt Options) []Result {
+	return []Result{
+		Table1(opt),
+		Fig1ExampleTrace(opt),
+		Fig2And4BurstCharacterization(opt),
+		Fig3Stability(opt),
+		Fig5Modes(opt),
+		Fig6ShortBursts(opt),
+		Fig7InFlight(opt),
+		CrossValidation(opt),
+		AblationG(opt),
+		AblationECNThreshold(opt),
+		AblationSharedBuffer(opt),
+		AblationDelayedACKs(opt),
+		AblationGuardrail(opt),
+		AblationCCA(opt),
+		AblationMinRTO(opt),
+		AblationIdleRestart(opt),
+		AblationReceiverWindow(opt),
+		AblationMarkingDiscipline(opt),
+		QueryTailLatency(opt),
+		RackContention(opt),
+		ModeBoundary(opt),
+	}
+}

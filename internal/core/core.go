@@ -1,0 +1,54 @@
+// Package core is incastlab's experiment engine: it regenerates every table
+// and figure of "Understanding Incast Bursts in Modern Datacenters"
+// (IMC 2024) from the library's substrates, plus the ablations DESIGN.md
+// calls out. Each experiment returns a structured result that can render
+// itself as CSV files (for plotting) and as human-readable text.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	Table1           – the five services
+//	Fig1ExampleTrace – 2 s example trace of one aggregator host
+//	Fig2And4         – burst frequency/duration/flows + queue/ECN/retx CDFs
+//	Fig3Stability    – flow-count stability over hours and across hosts
+//	Fig5Modes        – DCTCP operating modes (queue vs time)
+//	Fig6ShortBursts  – 2 ms bursts at several incast degrees
+//	Fig7InFlight     – per-flow in-flight skew and straggler ramp-up
+//	Ablation*        – parameter and design-choice studies
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Options configures every experiment runner.
+type Options struct {
+	// Seed drives all randomness; 0 means 1.
+	Seed uint64
+	// Quick shrinks corpus sizes and burst counts so the full suite runs
+	// in seconds (used by tests); published numbers use Quick=false.
+	Quick bool
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Result is implemented by every experiment result: it can write its CSV
+// artifacts into a directory and summarize itself as text.
+type Result interface {
+	// Name returns the experiment identifier (e.g. "fig5").
+	Name() string
+	// WriteFiles writes the result's CSV artifacts under dir.
+	WriteFiles(dir string) error
+	// Summary renders a human-readable digest.
+	Summary() string
+}
+
+// section formats a summary heading.
+func section(title string) string {
+	return fmt.Sprintf("%s\n%s\n", title, strings.Repeat("=", len(title)))
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"incastlab/internal/millisampler"
+	"incastlab/internal/services"
+	"incastlab/internal/sim"
+	"incastlab/internal/stats"
+	"incastlab/internal/trace"
+)
+
+// Table1Result reproduces Table 1: the five example services.
+type Table1Result struct {
+	Services []services.Profile
+}
+
+// Table1 returns the service registry.
+func Table1(opt Options) *Table1Result {
+	return &Table1Result{Services: services.All()}
+}
+
+// Name implements Result.
+func (r *Table1Result) Name() string { return "table1" }
+
+func (r *Table1Result) table() *trace.Table {
+	t := trace.NewTable("service", "description")
+	for _, p := range r.Services {
+		t.AddRow(p.Name, p.Description)
+	}
+	return t
+}
+
+// WriteFiles implements Result.
+func (r *Table1Result) WriteFiles(dir string) error {
+	return r.table().SaveCSV(filepath.Join(dir, "table1_services.csv"))
+}
+
+// Summary implements Result.
+func (r *Table1Result) Summary() string {
+	return section("Table 1: five example services") + r.table().Text()
+}
+
+// Fig1Result reproduces Figure 1: a two-second example trace from one
+// "aggregator" host at 1 ms granularity — throughput, active flows,
+// ECN-marked throughput, and retransmissions.
+type Fig1Result struct {
+	Trace  *millisampler.Trace
+	Bursts []millisampler.Burst
+	// MeanUtilization should land near the paper's 10.6%.
+	MeanUtilization float64
+}
+
+// Fig1ExampleTrace generates and analyzes the example trace.
+func Fig1ExampleTrace(opt Options) *Fig1Result {
+	p, ok := services.ByName("aggregator")
+	if !ok {
+		panic("core: aggregator profile missing")
+	}
+	ms := 2000
+	if opt.Quick {
+		ms = 500
+	}
+	// Like the paper, the example is chosen to be illustrative: scan a few
+	// hosts and prefer the first trace that exhibits a retransmission
+	// burst (they strike fewer than 1% of bursts, so an arbitrary host
+	// often shows none).
+	var tr *millisampler.Trace
+	var bursts []millisampler.Burst
+	for host := 0; host < 20; host++ {
+		cand := p.Generate(services.GenConfig{Seed: opt.seed(), Host: host, DurationMS: ms})
+		cb := millisampler.Detect(cand, millisampler.DefaultBurstThreshold)
+		if tr == nil {
+			tr, bursts = cand, cb
+		}
+		for _, b := range cb {
+			if b.RetxLineRateFraction > 0 {
+				tr, bursts = cand, cb
+				host = 20 // found; stop scanning
+				break
+			}
+		}
+	}
+	return &Fig1Result{
+		Trace:           tr,
+		Bursts:          bursts,
+		MeanUtilization: tr.MeanUtilization(),
+	}
+}
+
+// Name implements Result.
+func (r *Fig1Result) Name() string { return "fig1" }
+
+// WriteFiles implements Result: the four per-millisecond series.
+func (r *Fig1Result) WriteFiles(dir string) error {
+	t := trace.NewTable("time_ms", "throughput_util", "active_flows", "ecn_util", "retx_util")
+	capacity := float64(r.Trace.LineRateBps) / 8 * float64(r.Trace.IntervalNS) / 1e9
+	for i, s := range r.Trace.Samples {
+		t.AddFloats(float64(i), s.Bytes/capacity, float64(s.Flows),
+			s.ECNBytes/capacity, s.RetxBytes/capacity)
+	}
+	return t.SaveCSV(filepath.Join(dir, "fig1_example_trace.csv"))
+}
+
+// Summary implements Result.
+func (r *Fig1Result) Summary() string {
+	var b strings.Builder
+	b.WriteString(section("Figure 1: example incast bursts at one aggregator host"))
+	incasts := 0
+	var maxFlows int
+	var maxRetx float64
+	for _, burst := range r.Bursts {
+		if burst.IsIncast() {
+			incasts++
+		}
+		if burst.PeakFlows > maxFlows {
+			maxFlows = burst.PeakFlows
+		}
+		if burst.RetxLineRateFraction > maxRetx {
+			maxRetx = burst.RetxLineRateFraction
+		}
+	}
+	fmt.Fprintf(&b, "duration=%.1fs  mean utilization=%.1f%% (paper: 10.6%%)\n",
+		r.Trace.DurationSeconds(), 100*r.MeanUtilization)
+	fmt.Fprintf(&b, "bursts=%d (incasts: %d)  peak flows=%d  worst retransmit=%.1f%% of line rate (paper: up to 24%%)\n",
+		len(r.Bursts), incasts, maxFlows, 100*maxRetx)
+
+	n := len(r.Trace.Samples)
+	xs := make([]float64, n)
+	util := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		util[i] = r.Trace.Utilization(i)
+	}
+	b.WriteString(trace.PlotString("Ingress throughput (fraction of line rate)",
+		"ms", "utilization", []trace.Series{{Name: "util", X: xs, Y: util}}, 72, 10))
+	return b.String()
+}
+
+// ServiceReport pairs a service with its analyzed burst corpus.
+type ServiceReport struct {
+	Service string
+	Report  *millisampler.Report
+}
+
+// Fig2And4Result reproduces Figures 2 and 4: per-service CDFs of burst
+// frequency, duration, and flow count (Fig 2) and of queue watermark, ECN
+// marking, and retransmissions (Fig 4), over the 20-host x 9-round corpus.
+type Fig2And4Result struct {
+	Reports []ServiceReport
+}
+
+// Fig2And4BurstCharacterization runs the measurement campaign for all five
+// services.
+func Fig2And4BurstCharacterization(opt Options) *Fig2And4Result {
+	cfg := services.DefaultCollectConfig()
+	cfg.Seed = opt.seed()
+	if opt.Quick {
+		cfg.Hosts = 4
+		cfg.Rounds = 2
+	}
+	r := &Fig2And4Result{}
+	for _, p := range services.All() {
+		r.Reports = append(r.Reports, ServiceReport{
+			Service: p.Name,
+			Report:  millisampler.Analyze(services.Collect(p, cfg)),
+		})
+	}
+	return r
+}
+
+// Name implements Result.
+func (r *Fig2And4Result) Name() string { return "fig2_fig4" }
+
+func (r *Fig2And4Result) table() *trace.Table {
+	t := trace.NewTable("service", "bursts", "incast_frac", "util",
+		"freq_p50_per_s", "dur_p50_ms", "dur_p90_ms",
+		"flows_p50", "flows_p99", "low_flow_frac",
+		"wm_p50", "ecn_zero_frac", "ecn_p95", "retx_zero_frac", "retx_p999")
+	for _, sr := range r.Reports {
+		rep := sr.Report
+		t.AddRow(sr.Service,
+			fmt.Sprint(rep.Bursts), trace.Float(rep.IncastFraction()), trace.Float(rep.MeanUtilization),
+			trace.Float(rep.BurstsPerSecond.Quantile(0.5)),
+			trace.Float(rep.DurationMS.Quantile(0.5)), trace.Float(rep.DurationMS.Quantile(0.9)),
+			trace.Float(rep.Flows.Quantile(0.5)), trace.Float(rep.Flows.Quantile(0.99)),
+			trace.Float(rep.Flows.At(20)),
+			trace.Float(rep.QueueWatermark.Quantile(0.5)),
+			trace.Float(rep.ECNFraction.At(0)), trace.Float(rep.ECNFraction.Quantile(0.95)),
+			trace.Float(rep.RetxFraction.At(0)), trace.Float(rep.RetxFraction.Quantile(0.999)))
+	}
+	return t
+}
+
+// WriteFiles implements Result: a summary plus per-metric CDF files with
+// one (x, F) column pair per service.
+func (r *Fig2And4Result) WriteFiles(dir string) error {
+	if err := r.table().SaveCSV(filepath.Join(dir, "fig2_fig4_summary.csv")); err != nil {
+		return err
+	}
+	metrics := []struct {
+		file string
+		get  func(*millisampler.Report) *stats.CDF
+	}{
+		{"fig2a_burst_frequency.csv", func(r *millisampler.Report) *stats.CDF { return r.BurstsPerSecond }},
+		{"fig2b_burst_duration.csv", func(r *millisampler.Report) *stats.CDF { return r.DurationMS }},
+		{"fig2c_burst_flows.csv", func(r *millisampler.Report) *stats.CDF { return r.Flows }},
+		{"fig4a_queue_watermark.csv", func(r *millisampler.Report) *stats.CDF { return r.QueueWatermark }},
+		{"fig4b_ecn_fraction.csv", func(r *millisampler.Report) *stats.CDF { return r.ECNFraction }},
+		{"fig4c_retx_fraction.csv", func(r *millisampler.Report) *stats.CDF { return r.RetxFraction }},
+	}
+	const points = 200
+	for _, m := range metrics {
+		header := []string{"quantile"}
+		for _, sr := range r.Reports {
+			header = append(header, sr.Service)
+		}
+		t := &trace.Table{Header: header}
+		for i := 0; i < points; i++ {
+			q := float64(i) / float64(points-1)
+			row := []string{trace.Float(q)}
+			for _, sr := range r.Reports {
+				row = append(row, trace.Float(m.get(sr.Report).Quantile(q)))
+			}
+			t.AddRow(row...)
+		}
+		if err := t.SaveCSV(filepath.Join(dir, m.file)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary implements Result.
+func (r *Fig2And4Result) Summary() string {
+	return section("Figures 2 & 4: burst characteristics and network effects across services") +
+		r.table().Text()
+}
+
+// Fig3Result reproduces Figure 3: stability of the incast degree over time
+// (3a: per-service mean flow count per round over 18 h) and across hosts
+// (3b: per-host mean and p99 for the aggregator).
+type Fig3Result struct {
+	// Services lists the service names in row order.
+	Services []string
+	// RoundHours gives each round's wall-clock offset in hours.
+	RoundHours []float64
+	// RoundMeans[s][r] is service s's mean per-burst flow count in round r,
+	// averaged over hosts.
+	RoundMeans [][]float64
+	// HostMeans/HostP99s are per-host aggregator statistics over all
+	// rounds (Fig 3b).
+	HostMeans, HostP99s []float64
+}
+
+// Fig3Stability runs the 18-hour campaign: 2-second traces from 20 hosts
+// every 10 minutes.
+func Fig3Stability(opt Options) *Fig3Result {
+	hosts, rounds, traceMS := 20, 108, 2000
+	spacing := 600 * sim.Second
+	if opt.Quick {
+		hosts, rounds, traceMS = 4, 10, 1000
+		spacing = 2 * 3600 * sim.Second // still spans the video mode switch
+	}
+	r := &Fig3Result{}
+	aggHostFlows := make([][]float64, hosts)
+
+	for _, p := range services.All() {
+		r.Services = append(r.Services, p.Name)
+		means := make([]float64, rounds)
+		for round := 0; round < rounds; round++ {
+			at := sim.Time(round) * spacing
+			var roundMean stats.Online
+			for h := 0; h < hosts; h++ {
+				tr := p.Generate(services.GenConfig{
+					Seed: opt.seed(), Host: h, At: at, DurationMS: traceMS,
+				})
+				bursts := millisampler.Detect(tr, millisampler.DefaultBurstThreshold)
+				for _, bu := range bursts {
+					roundMean.Add(float64(bu.PeakFlows))
+					if p.Name == "aggregator" {
+						aggHostFlows[h] = append(aggHostFlows[h], float64(bu.PeakFlows))
+					}
+				}
+			}
+			means[round] = roundMean.Mean()
+		}
+		r.RoundMeans = append(r.RoundMeans, means)
+	}
+	r.RoundHours = make([]float64, rounds)
+	for i := range r.RoundHours {
+		r.RoundHours[i] = (sim.Time(i) * spacing).Seconds() / 3600
+	}
+	for h := 0; h < hosts; h++ {
+		sum := stats.Summarize(aggHostFlows[h])
+		r.HostMeans = append(r.HostMeans, sum.Mean)
+		r.HostP99s = append(r.HostP99s, sum.P99)
+	}
+	return r
+}
+
+// Name implements Result.
+func (r *Fig3Result) Name() string { return "fig3" }
+
+// WriteFiles implements Result.
+func (r *Fig3Result) WriteFiles(dir string) error {
+	header := append([]string{"hour"}, r.Services...)
+	t := &trace.Table{Header: header}
+	for round := range r.RoundHours {
+		row := []string{trace.Float(r.RoundHours[round])}
+		for s := range r.Services {
+			row = append(row, trace.Float(r.RoundMeans[s][round]))
+		}
+		t.AddRow(row...)
+	}
+	if err := t.SaveCSV(filepath.Join(dir, "fig3a_flows_over_time.csv")); err != nil {
+		return err
+	}
+	hb := trace.NewTable("host", "mean_flows", "p99_flows")
+	for h := range r.HostMeans {
+		hb.AddFloats(float64(h), r.HostMeans[h], r.HostP99s[h])
+	}
+	return hb.SaveCSV(filepath.Join(dir, "fig3b_aggregator_hosts.csv"))
+}
+
+// StabilitySpread returns (max-min)/mean of service s's round means — the
+// Figure 3a stability metric.
+func (r *Fig3Result) StabilitySpread(service string) float64 {
+	for i, name := range r.Services {
+		if name != service {
+			continue
+		}
+		sum := stats.Summarize(r.RoundMeans[i])
+		if sum.Mean == 0 {
+			return 0
+		}
+		return (sum.Max - sum.Min) / sum.Mean
+	}
+	return 0
+}
+
+// Summary implements Result.
+func (r *Fig3Result) Summary() string {
+	var b strings.Builder
+	b.WriteString(section("Figure 3: incast degree is stable over time and across hosts"))
+	t := trace.NewTable("service", "mean_flows", "spread_over_rounds")
+	for i, name := range r.Services {
+		sum := stats.Summarize(r.RoundMeans[i])
+		t.AddRow(name, trace.Float(sum.Mean), trace.Float(r.StabilitySpread(name)))
+	}
+	b.WriteString(t.Text())
+
+	var series []trace.Series
+	for i, name := range r.Services {
+		series = append(series, trace.Series{Name: name, X: r.RoundHours, Y: r.RoundMeans[i]})
+	}
+	b.WriteString(trace.PlotString("Mean flow count per round (Fig 3a)",
+		"hours", "flows", series, 72, 14))
+
+	hostSum := stats.Summarize(r.HostMeans)
+	fmt.Fprintf(&b, "Aggregator per-host mean flows: %.0f..%.0f (spread %.0f%%); p99 range %.0f..%.0f\n",
+		hostSum.Min, hostSum.Max, 100*(hostSum.Max-hostSum.Min)/hostSum.Mean,
+		stats.Summarize(r.HostP99s).Min, stats.Summarize(r.HostP99s).Max)
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"incastlab/internal/cc"
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+	"incastlab/internal/stats"
+	"incastlab/internal/tcp"
+	"incastlab/internal/workload"
+)
+
+// SimConfig describes one packet-level incast simulation in the paper's
+// Section 4 style: repeated equal-demand bursts over a dumbbell, with the
+// first burst discarded as a slow-start transient.
+type SimConfig struct {
+	// Flows is the incast degree N.
+	Flows int
+	// BurstDuration is the target burst length (demand = bottleneck rate x
+	// duration, split equally).
+	BurstDuration sim.Time
+	// Bursts is the total number of bursts (first one discarded).
+	Bursts int
+	// Interval is the burst start-to-start spacing. The paper's per-burst
+	// semantics require it to exceed the minimum RTO so that one burst's
+	// timeout recovery does not bleed into the next; see EXPERIMENTS.md.
+	Interval sim.Time
+	// Net is the topology; zero value means the paper defaults for Flows.
+	Net netsim.DumbbellConfig
+	// Alg builds the congestion-control algorithm per flow; nil means
+	// DCTCP with the paper's parameters.
+	Alg func(flow int) cc.Algorithm
+	// Sender/Receiver override transport tuning; zero values mean the
+	// paper defaults (200 ms min RTO, immediate ACKs).
+	Sender   tcp.SenderConfig
+	Receiver tcp.ReceiverConfig
+	// Admitter optionally schedules flow release within bursts.
+	Admitter workload.Admitter
+	// SampleInterval is the queue sampling granularity (default 100 us).
+	SampleInterval sim.Time
+	// SampleWindow is how long after each burst start to sample (default
+	// burst duration + 5 ms).
+	SampleWindow sim.Time
+	// ExternalBufferBytes models rack-level contention when the topology
+	// uses a shared buffer: bytes consumed by bursts to other hosts.
+	ExternalBufferBytes int
+	// EnableICTCP manages every flow's receive window with a receiver-side
+	// ICTCP controller (pair it with a loss-based Alg such as Reno, as the
+	// original scheme assumes no ECN).
+	EnableICTCP bool
+	// TrackInFlight additionally samples the per-flow in-flight
+	// distribution over the measured window of the last burst (Figure 7).
+	TrackInFlight bool
+	// Seed drives start jitter.
+	Seed uint64
+}
+
+// fill applies the paper defaults.
+func (c *SimConfig) fill() {
+	if c.Flows <= 0 {
+		panic("core: simulation needs flows")
+	}
+	if c.BurstDuration <= 0 {
+		c.BurstDuration = 15 * sim.Millisecond
+	}
+	if c.Bursts <= 0 {
+		c.Bursts = 11
+	}
+	if c.Interval <= 0 {
+		c.Interval = 250 * sim.Millisecond
+	}
+	if c.Net.Senders == 0 {
+		c.Net = netsim.DefaultDumbbellConfig(c.Flows)
+	}
+	if c.Alg == nil {
+		c.Alg = func(int) cc.Algorithm { return cc.NewDCTCP(cc.DefaultDCTCPConfig()) }
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 100 * sim.Microsecond
+	}
+	if c.SampleWindow <= 0 {
+		c.SampleWindow = c.BurstDuration + 5*sim.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// SimResult aggregates one simulation run over its measured bursts (all but
+// the first).
+type SimResult struct {
+	Flows   int
+	AlgName string
+
+	// AvgQueue is the queue depth in packets, averaged element-wise across
+	// measured bursts; time is relative to burst start.
+	AvgQueue *stats.Series
+	// MaxQueue is the highest sampled depth across measured bursts.
+	MaxQueue float64
+	// FracBelowK is the fraction of busy (non-empty) queue samples, taken
+	// per burst before averaging, that sit below the ECN threshold — the
+	// Mode 1 signature ("the queue often falls below the ECN threshold,
+	// so DCTCP observes periods of no marking").
+	FracBelowK float64
+	// SpikePackets is the peak of AvgQueue within the first 2 ms of a
+	// burst: the Section 4.3 straggler spike.
+	SpikePackets float64
+
+	// MeanBCT and MaxBCT summarize measured burst completion times.
+	MeanBCT, MaxBCT sim.Time
+
+	// Counters over the measured window (burst 1 onward).
+	Timeouts, FastRetransmits, RetransmitPackets, Drops, Marks int64
+	SentPackets                                                int64
+
+	// InFlight is the Figure 7 trace over the last burst (nil unless
+	// requested).
+	InFlight *workload.InFlightTrace
+
+	// QueueCapacity and ECNThreshold echo the topology, for rendering.
+	QueueCapacity, ECNThreshold int
+}
+
+// RunIncastSim executes the simulation and gathers the per-burst-averaged
+// queue trace and counters.
+func RunIncastSim(cfg SimConfig) *SimResult {
+	cfg.fill()
+	eng := sim.NewEngine()
+
+	wl := workload.IncastConfig{
+		Flows:          cfg.Flows,
+		BytesPerFlow:   workload.BytesPerFlowFor(cfg.Net.HostLinkBps, cfg.BurstDuration, cfg.Flows),
+		Bursts:         cfg.Bursts,
+		Interval:       cfg.Interval,
+		JitterMax:      100 * sim.Microsecond,
+		Seed:           cfg.Seed,
+		SenderConfig:   cfg.Sender,
+		ReceiverConfig: cfg.Receiver,
+		Admitter:       cfg.Admitter,
+	}
+	in := workload.NewIncast(eng, cfg.Net, wl, cfg.Alg)
+	if cfg.EnableICTCP {
+		ctrl := tcp.NewICTCP(eng, tcp.DefaultICTCPConfig(cfg.Net.HostLinkBps, cfg.Net.BaseRTT()))
+		for _, r := range in.Receivers() {
+			ctrl.Manage(r)
+		}
+	}
+	if cfg.ExternalBufferBytes > 0 {
+		if in.Network().Shared == nil {
+			panic("core: ExternalBufferBytes requires a shared-buffer topology")
+		}
+		in.Network().Shared.SetExternalBytes(cfg.ExternalBufferBytes)
+	}
+
+	res := &SimResult{
+		Flows:         cfg.Flows,
+		AlgName:       in.Senders()[0].Algorithm().Name(),
+		QueueCapacity: cfg.Net.QueueCapacityPackets,
+		ECNThreshold:  cfg.Net.ECNThresholdPackets,
+	}
+
+	q := in.Network().BottleneckQueue()
+	samplesPerBurst := int(cfg.SampleWindow / cfg.SampleInterval)
+	measured := cfg.Bursts - 1
+	if measured < 1 {
+		measured = 1
+	}
+	burstSeries := make([]*stats.Series, 0, measured)
+	first := 1
+	if cfg.Bursts == 1 {
+		first = 0
+	}
+	for b := first; b < cfg.Bursts; b++ {
+		start := sim.Time(b) * cfg.Interval
+		burstSeries = append(burstSeries,
+			netsim.QueueDepthSeries(eng, q, start, cfg.SampleInterval, samplesPerBurst))
+	}
+
+	// Snapshot counters at the start of the measured window so the
+	// discarded first burst does not pollute them.
+	var base tcp.SenderStats
+	var baseDrops, baseMarks int64
+	eng.At(sim.Time(first)*cfg.Interval, func() {
+		base = in.AggregateSenderStats()
+		st := q.Stats()
+		baseDrops, baseMarks = st.DroppedPackets, st.MarkedPackets
+	})
+
+	if cfg.TrackInFlight {
+		start := sim.Time(cfg.Bursts-1) * cfg.Interval
+		res.InFlight = workload.SampleInFlight(eng, in.Senders(),
+			start, cfg.SampleInterval, samplesPerBurst)
+	}
+
+	// Run until everything completes: the nominal end plus generous
+	// recovery headroom for timeout-dominated modes.
+	deadline := sim.Time(cfg.Bursts)*cfg.Interval + 10*sim.Second
+	eng.RunUntil(deadline)
+	if !in.Done() {
+		panic(fmt.Sprintf("core: simulation with %d flows did not complete by %v", cfg.Flows, deadline))
+	}
+
+	// Average the per-burst queue traces.
+	avg := stats.NewSeries(0, int64(cfg.SampleInterval), samplesPerBurst)
+	var busy, belowK int
+	for _, s := range burstSeries {
+		for i, v := range s.Values {
+			avg.Values[i] += v
+			if v > res.MaxQueue {
+				res.MaxQueue = v
+			}
+			if v > 0 {
+				busy++
+				if v < float64(cfg.Net.ECNThresholdPackets) {
+					belowK++
+				}
+			}
+		}
+	}
+	if busy > 0 {
+		res.FracBelowK = float64(belowK) / float64(busy)
+	}
+	avg.Scale(1 / float64(len(burstSeries)))
+	res.AvgQueue = avg
+	spikeSamples := int(2 * sim.Millisecond / cfg.SampleInterval)
+	for i := 0; i < spikeSamples && i < len(avg.Values); i++ {
+		if avg.Values[i] > res.SpikePackets {
+			res.SpikePackets = avg.Values[i]
+		}
+	}
+
+	var bctSum sim.Time
+	n := 0
+	for _, b := range in.Bursts()[first:] {
+		bctSum += b.BCT
+		if b.BCT > res.MaxBCT {
+			res.MaxBCT = b.BCT
+		}
+		n++
+	}
+	res.MeanBCT = bctSum / sim.Time(n)
+
+	agg := in.AggregateSenderStats()
+	res.Timeouts = agg.Timeouts - base.Timeouts
+	res.FastRetransmits = agg.FastRetransmits - base.FastRetransmits
+	res.RetransmitPackets = agg.RetransmitPackets - base.RetransmitPackets
+	res.SentPackets = agg.SentPackets - base.SentPackets
+	st := q.Stats()
+	res.Drops = st.DroppedPackets - baseDrops
+	res.Marks = st.MarkedPackets - baseMarks
+	return res
+}

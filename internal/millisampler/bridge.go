@@ -1,0 +1,27 @@
+package millisampler
+
+import (
+	"incastlab/internal/netsim"
+)
+
+// FromIngressRecorder converts a packet-simulator host recorder into a
+// Millisampler trace, so the Section 3 measurement pipeline can run
+// unchanged over Section 4's simulated packets — the cross-validation path
+// between the paper's two methodologies.
+//
+// The recorder must have been created with the Millisampler interval
+// (1 ms) for the trace to carry the paper's semantics, but any interval is
+// accepted. lineRateBps is the simulated host's NIC rate.
+func FromIngressRecorder(rec *netsim.HostIngressRecorder, lineRateBps int64) *Trace {
+	n := rec.Bytes.Len()
+	t := NewTrace(rec.Bytes.IntervalNS, lineRateBps, n)
+	for i := 0; i < n; i++ {
+		t.Samples[i] = Sample{
+			Bytes:     rec.Bytes.Values[i],
+			Flows:     int(rec.Flows.Values[i]),
+			ECNBytes:  rec.CEBytes.Values[i],
+			RetxBytes: rec.RetxBytes.Values[i],
+		}
+	}
+	return t
+}

@@ -1,0 +1,44 @@
+package millisampler
+
+import (
+	"testing"
+
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+func TestFromIngressRecorder(t *testing.T) {
+	eng := sim.NewEngine()
+	h := netsim.NewHost(eng, 0, "rx")
+	h.Attach(netsim.PacketHandlerFunc(func(p *netsim.Packet) {}))
+	rec := netsim.NewHostIngressRecorder(h, 0, sim.Millisecond, 3)
+
+	deliver := func(at sim.Time, p *netsim.Packet) {
+		eng.At(at, func() { h.Receive(p) })
+	}
+	// Interval 0: two flows, one CE-marked packet.
+	deliver(100, &netsim.Packet{Flow: 1, Dst: 0, Len: 1000})
+	deliver(200, &netsim.Packet{Flow: 2, Dst: 0, Len: 1000, CE: true})
+	// Interval 1: one retransmission.
+	deliver(sim.Millisecond+5, &netsim.Packet{Flow: 1, Dst: 0, Len: 500, Retransmit: true})
+	eng.Run()
+
+	tr := FromIngressRecorder(rec, 10*netsim.Gbps)
+	if tr.IntervalNS != int64(sim.Millisecond) || tr.LineRateBps != 10*netsim.Gbps {
+		t.Fatalf("trace metadata wrong: %+v", tr)
+	}
+	if len(tr.Samples) != 3 {
+		t.Fatalf("samples = %d", len(tr.Samples))
+	}
+	s0 := tr.Samples[0]
+	if s0.Bytes != 2*1040 || s0.Flows != 2 || s0.ECNBytes != 1040 || s0.RetxBytes != 0 {
+		t.Fatalf("sample 0 = %+v", s0)
+	}
+	s1 := tr.Samples[1]
+	if s1.Bytes != 540 || s1.Flows != 1 || s1.RetxBytes != 540 {
+		t.Fatalf("sample 1 = %+v", s1)
+	}
+	if tr.Samples[2].Bytes != 0 {
+		t.Fatalf("sample 2 should be empty")
+	}
+}

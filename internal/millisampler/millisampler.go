@@ -1,0 +1,169 @@
+// Package millisampler reimplements the analysis pipeline of Millisampler,
+// the host-side measurement tool the paper uses (an eBPF tc filter in
+// production; here a pure-Go consumer of per-millisecond samples): ingress
+// throughput, active flow counts, ECN-marked bytes, and retransmitted bytes
+// at 1 ms granularity, burst detection, and per-burst statistics.
+//
+// The paper's burst definition (Section 3.1): a burst is any contiguous time
+// span where the average aggregate ingress rate, measured at the receiver at
+// 1 ms intervals, exceeds 50% of the NIC line rate. An incast is a burst
+// with more than 25 active flows (Section 3.3).
+package millisampler
+
+import (
+	"fmt"
+
+	"incastlab/internal/stats"
+)
+
+// DefaultBurstThreshold is the utilization above which an interval belongs
+// to a burst: 50% of line rate.
+const DefaultBurstThreshold = 0.5
+
+// IncastFlowThreshold is the paper's definition of incast: more than 25
+// concurrent flows in a burst.
+const IncastFlowThreshold = 25
+
+// Sample is one measurement interval (1 ms in the paper).
+type Sample struct {
+	// Bytes is the ingress volume delivered to the host in the interval.
+	Bytes float64
+	// Flows is the number of distinct flows observed in the interval.
+	Flows int
+	// ECNBytes is the portion of Bytes carried by CE-marked packets.
+	ECNBytes float64
+	// RetxBytes is the portion of Bytes identified as retransmissions.
+	RetxBytes float64
+}
+
+// Trace is a fixed-interval sequence of samples from one host, annotated
+// with the NIC line rate needed to compute utilization, plus the ToR queue
+// watermark covering the trace window. Production switches export queue
+// occupancy only as a high watermark over the last minute, so a single
+// watermark is attributed to every burst in the window (Section 3.4).
+type Trace struct {
+	// IntervalNS is the sample width in nanoseconds (1 ms in the paper).
+	IntervalNS int64
+	// LineRateBps is the NIC line rate in bits per second.
+	LineRateBps int64
+	// Samples holds the measurement intervals.
+	Samples []Sample
+	// QueueWatermarkFraction is the switch queue high watermark over the
+	// trace window, as a fraction of queue capacity; NaN-free, zero when
+	// unknown.
+	QueueWatermarkFraction float64
+}
+
+// NewTrace allocates a zeroed trace of n samples.
+func NewTrace(intervalNS int64, lineRateBps int64, n int) *Trace {
+	if intervalNS <= 0 {
+		panic("millisampler: interval must be positive")
+	}
+	if lineRateBps <= 0 {
+		panic("millisampler: line rate must be positive")
+	}
+	return &Trace{IntervalNS: intervalNS, LineRateBps: lineRateBps, Samples: make([]Sample, n)}
+}
+
+// capacityBytes returns the bytes one interval can carry at line rate.
+func (t *Trace) capacityBytes() float64 {
+	return float64(t.LineRateBps) / 8 * float64(t.IntervalNS) / 1e9
+}
+
+// Utilization returns sample i's ingress rate as a fraction of line rate.
+func (t *Trace) Utilization(i int) float64 {
+	return t.Samples[i].Bytes / t.capacityBytes()
+}
+
+// MeanUtilization returns the average utilization across the whole trace —
+// the paper's Figure 1 reports 10.6% for the example trace.
+func (t *Trace) MeanUtilization() float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range t.Samples {
+		sum += t.Utilization(i)
+	}
+	return sum / float64(len(t.Samples))
+}
+
+// DurationSeconds returns the trace's covered time in seconds.
+func (t *Trace) DurationSeconds() float64 {
+	return float64(int64(len(t.Samples))*t.IntervalNS) / 1e9
+}
+
+// Burst is one detected burst with the paper's per-burst metrics.
+type Burst struct {
+	// Start and End are inclusive sample indexes.
+	Start, End int
+	// DurationMS is the burst length in milliseconds (>= 1 at 1 ms
+	// sampling; sub-millisecond bursts are not detectable, as the paper
+	// notes).
+	DurationMS float64
+	// Bytes is the total ingress volume of the burst.
+	Bytes float64
+	// PeakFlows is the largest per-interval active flow count in the burst
+	// (flow counts are per 1 ms interval; across a multi-ms burst more
+	// flows may have been active at non-overlapping times).
+	PeakFlows int
+	// ECNFraction is the fraction of burst bytes that were CE-marked.
+	ECNFraction float64
+	// RetxLineRateFraction is retransmitted volume as a fraction of what
+	// the NIC line rate could carry over the burst duration — the paper's
+	// Figure 4c metric.
+	RetxLineRateFraction float64
+	// QueueWatermarkFraction is the switch watermark attributed to this
+	// burst (see Trace.QueueWatermarkFraction).
+	QueueWatermarkFraction float64
+}
+
+// IsIncast reports whether the burst qualifies as an incast (more than 25
+// flows).
+func (b Burst) IsIncast() bool { return b.PeakFlows > IncastFlowThreshold }
+
+// String renders a one-line description.
+func (b Burst) String() string {
+	return fmt.Sprintf("burst[%d..%d] %.0fms flows=%d ecn=%.1f%% retx=%.2f%%",
+		b.Start, b.End, b.DurationMS, b.PeakFlows, 100*b.ECNFraction, 100*b.RetxLineRateFraction)
+}
+
+// Detect extracts bursts from the trace: maximal contiguous spans of
+// intervals whose utilization exceeds threshold (use
+// DefaultBurstThreshold for the paper's definition).
+func Detect(t *Trace, threshold float64) []Burst {
+	if threshold <= 0 || threshold >= 1 {
+		panic("millisampler: burst threshold must be in (0,1)")
+	}
+	capacity := t.capacityBytes()
+	util := stats.NewSeries(0, t.IntervalNS, len(t.Samples))
+	for i := range t.Samples {
+		util.Values[i] = t.Samples[i].Bytes
+	}
+	spans := util.SpansAbove(threshold * capacity)
+	bursts := make([]Burst, 0, len(spans))
+	for _, sp := range spans {
+		b := Burst{
+			Start:                  sp.Start,
+			End:                    sp.End,
+			DurationMS:             float64(sp.Len()) * float64(t.IntervalNS) / 1e6,
+			QueueWatermarkFraction: t.QueueWatermarkFraction,
+		}
+		var ecn, retx float64
+		for i := sp.Start; i <= sp.End; i++ {
+			s := t.Samples[i]
+			b.Bytes += s.Bytes
+			ecn += s.ECNBytes
+			retx += s.RetxBytes
+			if s.Flows > b.PeakFlows {
+				b.PeakFlows = s.Flows
+			}
+		}
+		if b.Bytes > 0 {
+			b.ECNFraction = ecn / b.Bytes
+		}
+		b.RetxLineRateFraction = retx / (capacity * float64(sp.Len()))
+		bursts = append(bursts, b)
+	}
+	return bursts
+}

@@ -1,0 +1,214 @@
+package millisampler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// testTrace builds a trace at 1 ms intervals on a 8 Gbps NIC: capacity
+// 1,000,000 bytes per interval, so utilizations are easy to write.
+func testTrace(utils []float64) *Trace {
+	t := NewTrace(1_000_000, 8_000_000_000, len(utils))
+	for i, u := range utils {
+		t.Samples[i].Bytes = u * 1_000_000
+	}
+	return t
+}
+
+func TestUtilization(t *testing.T) {
+	tr := testTrace([]float64{0.25, 1.0})
+	if got := tr.Utilization(0); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("util = %v", got)
+	}
+	if got := tr.MeanUtilization(); math.Abs(got-0.625) > 1e-9 {
+		t.Fatalf("mean util = %v", got)
+	}
+	if got := tr.DurationSeconds(); math.Abs(got-0.002) > 1e-12 {
+		t.Fatalf("duration = %v", got)
+	}
+}
+
+func TestDetectBasic(t *testing.T) {
+	tr := testTrace([]float64{0.1, 0.9, 0.95, 0.2, 0.8, 0.1})
+	bursts := Detect(tr, DefaultBurstThreshold)
+	if len(bursts) != 2 {
+		t.Fatalf("bursts = %v", bursts)
+	}
+	if bursts[0].Start != 1 || bursts[0].End != 2 || bursts[0].DurationMS != 2 {
+		t.Fatalf("first burst = %+v", bursts[0])
+	}
+	if bursts[1].Start != 4 || bursts[1].End != 4 || bursts[1].DurationMS != 1 {
+		t.Fatalf("second burst = %+v", bursts[1])
+	}
+}
+
+func TestDetectExactlyAtThresholdExcluded(t *testing.T) {
+	tr := testTrace([]float64{0.5, 0.51})
+	bursts := Detect(tr, 0.5)
+	if len(bursts) != 1 || bursts[0].Start != 1 {
+		t.Fatalf("bursts = %v; exactly-50%% intervals are not bursts", bursts)
+	}
+}
+
+func TestBurstMetrics(t *testing.T) {
+	tr := testTrace([]float64{0.9, 0.9})
+	tr.QueueWatermarkFraction = 0.7
+	tr.Samples[0].Flows = 100
+	tr.Samples[1].Flows = 260
+	tr.Samples[0].ECNBytes = 450_000 // half of sample 0
+	tr.Samples[1].RetxBytes = 200_000
+	bursts := Detect(tr, 0.5)
+	if len(bursts) != 1 {
+		t.Fatalf("bursts = %v", bursts)
+	}
+	b := bursts[0]
+	if b.PeakFlows != 260 {
+		t.Fatalf("peak flows = %d", b.PeakFlows)
+	}
+	if !b.IsIncast() {
+		t.Fatal("260 flows should be an incast")
+	}
+	if math.Abs(b.ECNFraction-0.25) > 1e-9 { // 450k of 1.8M
+		t.Fatalf("ecn fraction = %v", b.ECNFraction)
+	}
+	// Retx as fraction of line rate over 2 ms: 200k / 2M.
+	if math.Abs(b.RetxLineRateFraction-0.1) > 1e-9 {
+		t.Fatalf("retx fraction = %v", b.RetxLineRateFraction)
+	}
+	if b.QueueWatermarkFraction != 0.7 {
+		t.Fatalf("watermark = %v", b.QueueWatermarkFraction)
+	}
+	if b.Bytes != 1_800_000 {
+		t.Fatalf("bytes = %v", b.Bytes)
+	}
+}
+
+func TestIsIncastThreshold(t *testing.T) {
+	if (Burst{PeakFlows: 25}).IsIncast() {
+		t.Fatal("exactly 25 flows is not an incast (threshold is 'more than 25')")
+	}
+	if !(Burst{PeakFlows: 26}).IsIncast() {
+		t.Fatal("26 flows is an incast")
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	tr := testTrace([]float64{1})
+	for _, th := range []float64{0, 1, -0.5, 2} {
+		th := th
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("threshold %v did not panic", th)
+				}
+			}()
+			Detect(tr, th)
+		}()
+	}
+}
+
+func TestNewTraceValidation(t *testing.T) {
+	mustPanic := func(fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { NewTrace(0, 1, 1) })
+	mustPanic(func() { NewTrace(1, 0, 1) })
+}
+
+// TestDetectCoverageProperty: every above-threshold interval is inside
+// exactly one burst, bursts are ordered and separated.
+func TestDetectCoverageProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		utils := make([]float64, len(raw))
+		for i, v := range raw {
+			utils[i] = float64(v) / 255
+		}
+		tr := testTrace(utils)
+		bursts := Detect(tr, 0.5)
+		covered := make([]bool, len(utils))
+		prevEnd := -2
+		for _, b := range bursts {
+			if b.Start > b.End || b.Start <= prevEnd+1 && prevEnd >= 0 && b.Start <= prevEnd {
+				return false
+			}
+			if b.Start <= prevEnd {
+				return false
+			}
+			prevEnd = b.End
+			for i := b.Start; i <= b.End; i++ {
+				covered[i] = true
+			}
+			if b.DurationMS != float64(b.End-b.Start+1) {
+				return false
+			}
+		}
+		for i, u := range utils {
+			if (u > 0.5) != covered[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeAggregates(t *testing.T) {
+	t1 := testTrace([]float64{0.9, 0.1, 0.9, 0.9}) // two bursts
+	t1.Samples[0].Flows = 30
+	t1.Samples[2].Flows = 10
+	t1.QueueWatermarkFraction = 0.5
+	t2 := testTrace([]float64{0.1, 0.1, 0.1, 0.1}) // no bursts
+	rep := Analyze([]*Trace{t1, t2})
+	if rep.Traces != 2 || rep.Bursts != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Incasts != 1 {
+		t.Fatalf("incasts = %d", rep.Incasts)
+	}
+	if rep.IncastFraction() != 0.5 {
+		t.Fatalf("incast fraction = %v", rep.IncastFraction())
+	}
+	// Frequencies: t1 has 2 bursts over 4 ms = 500/s; t2 has 0.
+	if rep.BurstsPerSecond.Max() != 500 || rep.BurstsPerSecond.Min() != 0 {
+		t.Fatalf("freq CDF min/max = %v/%v", rep.BurstsPerSecond.Min(), rep.BurstsPerSecond.Max())
+	}
+	if rep.Flows.Max() != 30 {
+		t.Fatalf("flows max = %v", rep.Flows.Max())
+	}
+	if rep.QueueWatermark.Min() != 0.5 {
+		t.Fatalf("watermark min = %v", rep.QueueWatermark.Min())
+	}
+}
+
+func TestFlowStats(t *testing.T) {
+	tr := testTrace([]float64{0.9, 0.1, 0.9})
+	tr.Samples[0].Flows = 100
+	tr.Samples[2].Flows = 200
+	s := FlowStats(tr)
+	if s.Count != 2 || s.Mean != 150 || s.Max != 200 {
+		t.Fatalf("flow stats = %+v", s)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	rep := Analyze(nil)
+	if rep.Traces != 0 || rep.Bursts != 0 || rep.IncastFraction() != 0 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+}
+
+func TestBurstString(t *testing.T) {
+	b := Burst{Start: 1, End: 2, DurationMS: 2, PeakFlows: 100, ECNFraction: 0.5, RetxLineRateFraction: 0.01}
+	if b.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,117 @@
+package millisampler
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Traces are persisted as CSV with a leading metadata comment so that a
+// collection campaign can be archived and re-analyzed later (production
+// Millisampler works the same way: collect now, analyze offline).
+//
+// Format:
+//
+//	# millisampler interval_ns=<n> line_rate_bps=<n> watermark_frac=<f>
+//	bytes,flows,ecn_bytes,retx_bytes
+//	<one row per sample>
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# millisampler interval_ns=%d line_rate_bps=%d watermark_frac=%g\n",
+		t.IntervalNS, t.LineRateBps, t.QueueWatermarkFraction); err != nil {
+		return fmt.Errorf("millisampler: write header: %w", err)
+	}
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"bytes", "flows", "ecn_bytes", "retx_bytes"}); err != nil {
+		return err
+	}
+	for _, s := range t.Samples {
+		err := cw.Write([]string{
+			strconv.FormatFloat(s.Bytes, 'g', -1, 64),
+			strconv.Itoa(s.Flows),
+			strconv.FormatFloat(s.ECNBytes, 'g', -1, 64),
+			strconv.FormatFloat(s.RetxBytes, 'g', -1, 64),
+		})
+		if err != nil {
+			return fmt.Errorf("millisampler: write sample: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Save writes the trace to path, creating parent directories.
+func (t *Trace) Save(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("millisampler: mkdir for %s: %w", path, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("millisampler: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := t.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a trace previously written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("millisampler: read header: %w", err)
+	}
+	var intervalNS, lineRate int64
+	var wm float64
+	if _, err := fmt.Sscanf(header, "# millisampler interval_ns=%d line_rate_bps=%d watermark_frac=%g",
+		&intervalNS, &lineRate, &wm); err != nil {
+		return nil, fmt.Errorf("millisampler: bad header %q: %w", header, err)
+	}
+	cr := csv.NewReader(br)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("millisampler: read samples: %w", err)
+	}
+	if len(rows) == 0 || len(rows[0]) != 4 || rows[0][0] != "bytes" {
+		return nil, fmt.Errorf("millisampler: missing column header")
+	}
+	t := NewTrace(intervalNS, lineRate, len(rows)-1)
+	t.QueueWatermarkFraction = wm
+	for i, row := range rows[1:] {
+		s := &t.Samples[i]
+		if s.Bytes, err = strconv.ParseFloat(row[0], 64); err != nil {
+			return nil, fmt.Errorf("millisampler: row %d bytes: %w", i, err)
+		}
+		if s.Flows, err = strconv.Atoi(row[1]); err != nil {
+			return nil, fmt.Errorf("millisampler: row %d flows: %w", i, err)
+		}
+		if s.ECNBytes, err = strconv.ParseFloat(row[2], 64); err != nil {
+			return nil, fmt.Errorf("millisampler: row %d ecn: %w", i, err)
+		}
+		if s.RetxBytes, err = strconv.ParseFloat(row[3], 64); err != nil {
+			return nil, fmt.Errorf("millisampler: row %d retx: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// Load reads a trace from a file written by Save.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("millisampler: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,108 @@
+package millisampler
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := NewTrace(1_000_000, 25_000_000_000, 3)
+	orig.QueueWatermarkFraction = 0.42
+	orig.Samples[0] = Sample{Bytes: 3_125_000, Flows: 150, ECNBytes: 1_000_000, RetxBytes: 0}
+	orig.Samples[1] = Sample{Bytes: 12.5, Flows: 1, ECNBytes: 0.25, RetxBytes: 12.25}
+	// Samples[2] stays zero.
+
+	var buf strings.Builder
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IntervalNS != orig.IntervalNS || got.LineRateBps != orig.LineRateBps ||
+		got.QueueWatermarkFraction != orig.QueueWatermarkFraction {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if len(got.Samples) != 3 {
+		t.Fatalf("samples = %d", len(got.Samples))
+	}
+	for i := range orig.Samples {
+		if got.Samples[i] != orig.Samples[i] {
+			t.Fatalf("sample %d: %+v != %+v", i, got.Samples[i], orig.Samples[i])
+		}
+	}
+}
+
+func TestTraceSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "trace.csv")
+	orig := NewTrace(1_000_000, 10_000_000_000, 2)
+	orig.Samples[0].Bytes = 100
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Samples[0].Bytes != 100 || len(got.Samples) != 2 {
+		t.Fatalf("loaded = %+v", got.Samples)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\nbytes,flows,ecn_bytes,retx_bytes\n",
+		"# millisampler interval_ns=1 line_rate_bps=1 watermark_frac=0\nwrong,header,row,x\n1,2,3,4\n",
+		"# millisampler interval_ns=1 line_rate_bps=1 watermark_frac=0\nbytes,flows,ecn_bytes,retx_bytes\nnotanumber,2,3,4\n",
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+// TestPersistenceProperty: analysis results survive the round trip, for
+// arbitrary sample contents.
+func TestPersistenceProperty(t *testing.T) {
+	f := func(vals []uint32, flows []uint8) bool {
+		n := len(vals)
+		if n == 0 || n > 200 {
+			return true
+		}
+		tr := NewTrace(1_000_000, 8_000_000_000, n)
+		for i, v := range vals {
+			tr.Samples[i].Bytes = float64(v)
+			if i < len(flows) {
+				tr.Samples[i].Flows = int(flows[i])
+			}
+			tr.Samples[i].ECNBytes = float64(v) / 3
+		}
+		var buf strings.Builder
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(strings.NewReader(buf.String()))
+		if err != nil {
+			return false
+		}
+		a := Detect(tr, 0.5)
+		b := Detect(got, 0.5)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

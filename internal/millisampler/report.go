@@ -1,0 +1,89 @@
+package millisampler
+
+import (
+	"incastlab/internal/stats"
+)
+
+// Report aggregates burst statistics over a corpus of traces (e.g. 20 hosts
+// x 9 collections for one service). Each CDF's samples correspond to the
+// paper's figures: one sample per trace for frequency, one per burst for
+// everything else.
+type Report struct {
+	// Traces and Bursts count the corpus size.
+	Traces int
+	Bursts int
+	// Incasts counts bursts with more than 25 flows.
+	Incasts int
+
+	// MeanUtilization is the average link utilization across traces.
+	MeanUtilization float64
+
+	// BurstsPerSecond has one sample per trace (Figure 2a).
+	BurstsPerSecond *stats.CDF
+	// DurationMS has one sample per burst (Figure 2b).
+	DurationMS *stats.CDF
+	// Flows has one sample per burst: peak active flows (Figure 2c).
+	Flows *stats.CDF
+	// QueueWatermark has one sample per burst: attributed switch watermark
+	// as a fraction of capacity (Figure 4a).
+	QueueWatermark *stats.CDF
+	// ECNFraction has one sample per burst (Figure 4b).
+	ECNFraction *stats.CDF
+	// RetxFraction has one sample per burst: retransmitted volume as a
+	// fraction of line rate over the burst (Figure 4c).
+	RetxFraction *stats.CDF
+}
+
+// Analyze detects bursts in every trace (at the paper's 50% threshold) and
+// builds the aggregate report.
+func Analyze(traces []*Trace) *Report {
+	r := &Report{Traces: len(traces)}
+	var perTraceFreq, durations, flows, wm, ecn, retx []float64
+	var utilSum float64
+	for _, t := range traces {
+		bursts := Detect(t, DefaultBurstThreshold)
+		perTraceFreq = append(perTraceFreq, float64(len(bursts))/t.DurationSeconds())
+		utilSum += t.MeanUtilization()
+		for _, b := range bursts {
+			r.Bursts++
+			if b.IsIncast() {
+				r.Incasts++
+			}
+			durations = append(durations, b.DurationMS)
+			flows = append(flows, float64(b.PeakFlows))
+			wm = append(wm, b.QueueWatermarkFraction)
+			ecn = append(ecn, b.ECNFraction)
+			retx = append(retx, b.RetxLineRateFraction)
+		}
+	}
+	if len(traces) > 0 {
+		r.MeanUtilization = utilSum / float64(len(traces))
+	}
+	r.BurstsPerSecond = stats.NewCDF(perTraceFreq)
+	r.DurationMS = stats.NewCDF(durations)
+	r.Flows = stats.NewCDF(flows)
+	r.QueueWatermark = stats.NewCDF(wm)
+	r.ECNFraction = stats.NewCDF(ecn)
+	r.RetxFraction = stats.NewCDF(retx)
+	return r
+}
+
+// IncastFraction returns the fraction of bursts that are incasts.
+func (r *Report) IncastFraction() float64 {
+	if r.Bursts == 0 {
+		return 0
+	}
+	return float64(r.Incasts) / float64(r.Bursts)
+}
+
+// FlowStats summarizes per-burst flow counts of a single trace: the
+// building block of the Figure 3 stability analysis (mean and p99 flow
+// count per collection round / per host).
+func FlowStats(t *Trace) stats.Summary {
+	bursts := Detect(t, DefaultBurstThreshold)
+	vals := make([]float64, 0, len(bursts))
+	for _, b := range bursts {
+		vals = append(vals, float64(b.PeakFlows))
+	}
+	return stats.Summarize(vals)
+}

@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"fmt"
+
+	"incastlab/internal/sim"
+)
+
+// PacketHandler consumes packets delivered to a host, i.e. the host's
+// transport layer.
+type PacketHandler interface {
+	HandlePacket(p *Packet)
+}
+
+// PacketHandlerFunc adapts a function to the PacketHandler interface.
+type PacketHandlerFunc func(p *Packet)
+
+// HandlePacket calls f(p).
+func (f PacketHandlerFunc) HandlePacket(p *Packet) { f(p) }
+
+// Host is an endpoint: it owns one uplink (its NIC) and hands packets
+// addressed to it to an attached transport handler. Packets addressed
+// elsewhere are forwarded out the uplink, so a Host can also source traffic.
+type Host struct {
+	id     NodeID
+	name   string
+	eng    *sim.Engine
+	uplink *Link
+
+	handler PacketHandler
+
+	// rxPackets/rxBytes count packets delivered to this host (IP bytes).
+	rxPackets int64
+	rxBytes   int64
+
+	// onReceive, if set, observes every delivered packet before the
+	// transport handler; Millisampler instrumentation hooks in here.
+	onReceive func(now sim.Time, p *Packet)
+}
+
+// NewHost creates a host. The uplink must be set with SetUplink before the
+// host sends traffic.
+func NewHost(eng *sim.Engine, id NodeID, name string) *Host {
+	return &Host{id: id, name: name, eng: eng}
+}
+
+// ID implements Device.
+func (h *Host) ID() NodeID { return h.id }
+
+// Name implements Device.
+func (h *Host) Name() string { return h.name }
+
+// SetUplink attaches the host's NIC egress link.
+func (h *Host) SetUplink(l *Link) { h.uplink = l }
+
+// Uplink returns the host's NIC egress link.
+func (h *Host) Uplink() *Link { return h.uplink }
+
+// Attach installs the transport handler for packets addressed to this host.
+func (h *Host) Attach(handler PacketHandler) { h.handler = handler }
+
+// SetOnReceive installs a tap observing every delivered packet (nil to
+// remove).
+func (h *Host) SetOnReceive(fn func(now sim.Time, p *Packet)) { h.onReceive = fn }
+
+// RxPackets returns the count of packets delivered to this host.
+func (h *Host) RxPackets() int64 { return h.rxPackets }
+
+// RxBytes returns the IP bytes delivered to this host.
+func (h *Host) RxBytes() int64 { return h.rxBytes }
+
+// Send transmits p out the host's uplink.
+func (h *Host) Send(p *Packet) {
+	if h.uplink == nil {
+		panic(fmt.Sprintf("netsim: host %q has no uplink", h.name))
+	}
+	h.uplink.Send(p)
+}
+
+// Receive implements Device. Packets for this host go to the transport
+// handler; anything else is forwarded out the uplink.
+func (h *Host) Receive(p *Packet) {
+	if p.Dst != h.id {
+		h.Send(p)
+		return
+	}
+	h.rxPackets++
+	h.rxBytes += int64(p.IPBytes())
+	if h.onReceive != nil {
+		h.onReceive(h.eng.Now(), p)
+	}
+	if h.handler != nil {
+		h.handler.HandlePacket(p)
+	}
+}
+
+// Switch forwards packets to the output port (Link) chosen by a static
+// destination-based routing table.
+type Switch struct {
+	id     NodeID
+	name   string
+	routes map[NodeID]*Link
+
+	// noRouteDrops counts packets for which no route existed.
+	noRouteDrops int64
+}
+
+// NewSwitch creates an empty switch.
+func NewSwitch(id NodeID, name string) *Switch {
+	return &Switch{id: id, name: name, routes: make(map[NodeID]*Link)}
+}
+
+// ID implements Device.
+func (s *Switch) ID() NodeID { return s.id }
+
+// Name implements Device.
+func (s *Switch) Name() string { return s.name }
+
+// AddRoute directs packets destined to dst out the given link.
+func (s *Switch) AddRoute(dst NodeID, l *Link) { s.routes[dst] = l }
+
+// Route returns the link used for dst, or nil.
+func (s *Switch) Route(dst NodeID) *Link { return s.routes[dst] }
+
+// NoRouteDrops counts packets dropped for lack of a route.
+func (s *Switch) NoRouteDrops() int64 { return s.noRouteDrops }
+
+// Receive implements Device: look up the output port and send.
+func (s *Switch) Receive(p *Packet) {
+	l, ok := s.routes[p.Dst]
+	if !ok {
+		s.noRouteDrops++
+		return
+	}
+	l.Send(p)
+}

@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"math/rand/v2"
+
+	"incastlab/internal/sim"
+)
+
+// Impairment is a fault-injection device: it sits between a link and its
+// true destination, dropping packets at random and optionally adding
+// random extra latency. It is used by the test suite to validate transport
+// robustness under arbitrary loss, and by experiments that need lossy
+// paths the clean topology cannot produce.
+type Impairment struct {
+	id   NodeID
+	eng  *sim.Engine
+	dst  Device
+	rng  *rand.Rand
+	cfg  ImpairmentConfig
+	drop int64
+	pass int64
+}
+
+// ImpairmentConfig tunes an Impairment.
+type ImpairmentConfig struct {
+	// DropProbability drops each packet independently with this
+	// probability (0..1).
+	DropProbability float64
+	// MaxExtraDelay adds a uniform random delay in [0, MaxExtraDelay] to
+	// each surviving packet (0 disables). Note that reordering can result,
+	// as on a real multi-path fabric.
+	MaxExtraDelay sim.Time
+	// DropAcks extends dropping to pure ACKs (default: data only, since
+	// ACK loss is far rarer in practice and recovery paths differ).
+	DropAcks bool
+	// Seed drives the device's private RNG.
+	Seed uint64
+}
+
+// NewImpairment creates the device. Wire it as the Dst of a link, and give
+// it the true destination.
+func NewImpairment(eng *sim.Engine, id NodeID, dst Device, cfg ImpairmentConfig) *Impairment {
+	if dst == nil {
+		panic("netsim: impairment needs a destination")
+	}
+	if cfg.DropProbability < 0 || cfg.DropProbability > 1 {
+		panic("netsim: drop probability must be in [0,1]")
+	}
+	if cfg.MaxExtraDelay < 0 {
+		panic("netsim: extra delay must be non-negative")
+	}
+	return &Impairment{id: id, eng: eng, dst: dst, rng: sim.NewRand(cfg.Seed), cfg: cfg}
+}
+
+// ID implements Device.
+func (im *Impairment) ID() NodeID { return im.id }
+
+// Name implements Device.
+func (im *Impairment) Name() string { return "impairment" }
+
+// Dropped returns how many packets the device discarded.
+func (im *Impairment) Dropped() int64 { return im.drop }
+
+// Passed returns how many packets the device forwarded.
+func (im *Impairment) Passed() int64 { return im.pass }
+
+// Receive implements Device.
+func (im *Impairment) Receive(p *Packet) {
+	if (!p.IsAck || im.cfg.DropAcks) && im.cfg.DropProbability > 0 &&
+		im.rng.Float64() < im.cfg.DropProbability {
+		im.drop++
+		return
+	}
+	im.pass++
+	if im.cfg.MaxExtraDelay > 0 {
+		delay := sim.Time(im.rng.Int64N(int64(im.cfg.MaxExtraDelay) + 1))
+		im.eng.After(delay, func() { im.dst.Receive(p) })
+		return
+	}
+	im.dst.Receive(p)
+}

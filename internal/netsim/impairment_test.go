@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"testing"
+
+	"incastlab/internal/sim"
+)
+
+func TestImpairmentPassThrough(t *testing.T) {
+	eng := sim.NewEngine()
+	dst := &sink{id: 9, eng: eng}
+	im := NewImpairment(eng, 8, dst, ImpairmentConfig{Seed: 1})
+	for i := 0; i < 10; i++ {
+		im.Receive(dataPacket(1, 100))
+	}
+	eng.Run()
+	if len(dst.arrivals) != 10 || im.Dropped() != 0 || im.Passed() != 10 {
+		t.Fatalf("pass-through broken: %d arrivals, %d dropped", len(dst.arrivals), im.Dropped())
+	}
+}
+
+func TestImpairmentDropsAtConfiguredRate(t *testing.T) {
+	eng := sim.NewEngine()
+	dst := &sink{id: 9, eng: eng}
+	im := NewImpairment(eng, 8, dst, ImpairmentConfig{DropProbability: 0.3, Seed: 7})
+	const n = 10000
+	for i := 0; i < n; i++ {
+		im.Receive(dataPacket(1, 100))
+	}
+	eng.Run()
+	rate := float64(im.Dropped()) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("drop rate = %v, want ~0.3", rate)
+	}
+	if im.Passed()+im.Dropped() != n {
+		t.Fatal("accounting broken")
+	}
+}
+
+func TestImpairmentSparesAcksByDefault(t *testing.T) {
+	eng := sim.NewEngine()
+	dst := &sink{id: 9, eng: eng}
+	im := NewImpairment(eng, 8, dst, ImpairmentConfig{DropProbability: 1, Seed: 1})
+	im.Receive(&Packet{IsAck: true})
+	im.Receive(dataPacket(1, 100))
+	eng.Run()
+	if im.Dropped() != 1 || len(dst.arrivals) != 1 || !dst.arrivals[0].p.IsAck {
+		t.Fatalf("ACK handling wrong: dropped=%d arrivals=%d", im.Dropped(), len(dst.arrivals))
+	}
+	// With DropAcks set, ACKs die too.
+	im2 := NewImpairment(eng, 8, dst, ImpairmentConfig{DropProbability: 1, DropAcks: true, Seed: 1})
+	im2.Receive(&Packet{IsAck: true})
+	if im2.Dropped() != 1 {
+		t.Fatal("DropAcks not honored")
+	}
+}
+
+func TestImpairmentExtraDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	dst := &sink{id: 9, eng: eng}
+	im := NewImpairment(eng, 8, dst, ImpairmentConfig{MaxExtraDelay: 1000, Seed: 3})
+	eng.At(100, func() {
+		for i := 0; i < 50; i++ {
+			im.Receive(dataPacket(FlowID(i), 100))
+		}
+	})
+	eng.Run()
+	if len(dst.arrivals) != 50 {
+		t.Fatalf("arrivals = %d", len(dst.arrivals))
+	}
+	var spread bool
+	for _, a := range dst.arrivals {
+		if a.at < 100 || a.at > 1100 {
+			t.Fatalf("arrival at %v outside delay window", a.at)
+		}
+		if a.at != dst.arrivals[0].at {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Fatal("extra delay did not spread arrivals")
+	}
+}
+
+func TestImpairmentValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	dst := &sink{id: 9, eng: eng}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil dst", func() { NewImpairment(eng, 1, nil, ImpairmentConfig{}) })
+	mustPanic("bad prob", func() { NewImpairment(eng, 1, dst, ImpairmentConfig{DropProbability: 1.5}) })
+	mustPanic("neg delay", func() { NewImpairment(eng, 1, dst, ImpairmentConfig{MaxExtraDelay: -1}) })
+}

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"incastlab/internal/sim"
+)
+
+// Link is a unidirectional point-to-point link: an egress queue, a
+// transmitter that serializes at a fixed bandwidth, and a propagation delay
+// to the destination device. Full-duplex links are modeled as two Links.
+//
+// The Link owns its egress queue: a device "sends on a port" by calling
+// Send, which enqueues and, if the transmitter is idle, begins serialization.
+// After serialization the packet propagates and is delivered to the
+// destination device's Receive.
+type Link struct {
+	eng          *sim.Engine
+	name         string
+	bandwidthBps int64
+	propDelay    sim.Time
+	queue        *Queue
+	dst          Device
+	busy         bool
+
+	// txPackets and txBytes count packets that completed serialization.
+	txPackets int64
+	txBytes   int64
+}
+
+// LinkConfig configures a Link.
+type LinkConfig struct {
+	Name string
+	// BandwidthBps is the line rate in bits per second.
+	BandwidthBps int64
+	// PropDelay is the one-way propagation delay.
+	PropDelay sim.Time
+	// Queue is the egress queue; required.
+	Queue *Queue
+	// Dst is the device at the far end; required.
+	Dst Device
+}
+
+// NewLink builds a link from cfg.
+func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
+	if cfg.Queue == nil {
+		panic("netsim: link requires an egress queue")
+	}
+	if cfg.Dst == nil {
+		panic("netsim: link requires a destination device")
+	}
+	if cfg.BandwidthBps <= 0 {
+		panic("netsim: link bandwidth must be positive")
+	}
+	if cfg.PropDelay < 0 {
+		panic("netsim: link propagation delay must be non-negative")
+	}
+	return &Link{
+		eng:          eng,
+		name:         cfg.Name,
+		bandwidthBps: cfg.BandwidthBps,
+		propDelay:    cfg.PropDelay,
+		queue:        cfg.Queue,
+		dst:          cfg.Dst,
+	}
+}
+
+// Name returns the link's label.
+func (l *Link) Name() string { return l.name }
+
+// Queue returns the link's egress queue (for instrumentation).
+func (l *Link) Queue() *Queue { return l.queue }
+
+// BandwidthBps returns the link's line rate.
+func (l *Link) BandwidthBps() int64 { return l.bandwidthBps }
+
+// PropDelay returns the link's one-way propagation delay.
+func (l *Link) PropDelay() sim.Time { return l.propDelay }
+
+// TxPackets returns the number of packets fully serialized onto the link.
+func (l *Link) TxPackets() int64 { return l.txPackets }
+
+// TxBytes returns the wire bytes fully serialized onto the link.
+func (l *Link) TxBytes() int64 { return l.txBytes }
+
+// Send enqueues p for transmission. If the queue rejects the packet it is
+// dropped (the queue records the drop). If the transmitter is idle,
+// serialization starts immediately.
+func (l *Link) Send(p *Packet) {
+	if !l.queue.Enqueue(l.eng.Now(), p) {
+		return
+	}
+	if !l.busy {
+		l.startTransmit()
+	}
+}
+
+// startTransmit pulls the head packet and schedules its completion.
+func (l *Link) startTransmit() {
+	p := l.queue.Dequeue(l.eng.Now())
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	serDelay := SerializationDelay(p.WireBytes(), l.bandwidthBps)
+	l.eng.After(serDelay, func() {
+		l.txPackets++
+		l.txBytes += int64(p.WireBytes())
+		// Propagation: delivery is independent of the transmitter, which
+		// immediately moves on to the next queued packet.
+		l.eng.After(l.propDelay, func() { l.dst.Receive(p) })
+		l.startTransmit()
+	})
+}

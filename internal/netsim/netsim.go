@@ -1,0 +1,53 @@
+// Package netsim is a packet-level network simulation substrate: links with
+// serialization and propagation delay, FIFO queues with tail drop and ECN
+// threshold marking, switches with optional shared-buffer memory, and hosts
+// that hand received packets to a transport layer.
+//
+// It plays the role NS3 plays in the paper's Section 4: a dumbbell topology
+// of N senders feeding one receiver through two ToR switches, where the
+// congested resource is the queue on the receiver ToR's downlink port.
+//
+// Conventions:
+//   - Time is sim.Time (nanoseconds).
+//   - Bandwidth is bits per second.
+//   - Queue occupancy is accounted in IP bytes (header + payload), matching
+//     how the paper counts "packets" of 1500 B against a 2 MB queue.
+//   - Serialization uses on-the-wire bytes (IP bytes + Ethernet framing).
+package netsim
+
+// Bandwidth helpers, in bits per second.
+const (
+	Kbps int64 = 1_000
+	Mbps int64 = 1_000_000
+	Gbps int64 = 1_000_000_000
+)
+
+// Frame size constants. Payload is the TCP payload; the IP packet adds
+// IP+TCP headers; the wire adds Ethernet header, FCS, preamble, and the
+// inter-frame gap.
+const (
+	// MTU is the maximum IP packet size.
+	MTU = 1500
+	// HeaderBytes is the IPv4 + TCP header size without options.
+	HeaderBytes = 40
+	// MSS is the maximum TCP payload per packet.
+	MSS = MTU - HeaderBytes
+	// EthernetOverhead covers Ethernet header (14), FCS (4), preamble (8),
+	// and inter-frame gap (12).
+	EthernetOverhead = 38
+)
+
+// NodeID identifies a device in a topology. IDs are assigned by the
+// topology builder and are unique within one simulation.
+type NodeID int
+
+// Device is anything that can terminate or forward packets.
+type Device interface {
+	// ID returns the device's node identifier.
+	ID() NodeID
+	// Name returns a human-readable label for traces and errors.
+	Name() string
+	// Receive is called when a packet arrives at the device, after the
+	// link's serialization and propagation delays.
+	Receive(p *Packet)
+}

@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"fmt"
+
+	"incastlab/internal/sim"
+)
+
+// FlowID identifies one transport connection.
+type FlowID int32
+
+// Packet is a simulated TCP/IP packet. Packets are created by transport
+// endpoints and mutated only by switches (the CE bit). A Packet carries just
+// enough header state for congestion-control research: sequence and ACK
+// numbers, the ECN codepoint, and bookkeeping for statistics.
+type Packet struct {
+	// Flow identifies the connection this packet belongs to.
+	Flow FlowID
+	// Src and Dst are the endpoints' node IDs.
+	Src, Dst NodeID
+
+	// Seq is the sequence number of the first payload byte (data packets).
+	Seq int64
+	// Len is the TCP payload length in bytes; zero for pure ACKs.
+	Len int
+
+	// IsAck marks a pure acknowledgment.
+	IsAck bool
+	// AckNo is the cumulative acknowledgment: all bytes < AckNo received.
+	AckNo int64
+
+	// ECT marks the packet as ECN-capable transport.
+	ECT bool
+	// CE is the Congestion Experienced mark, set by a congested switch.
+	CE bool
+	// ECE is the echo of CE from receiver back to sender, on ACKs.
+	ECE bool
+	// Wnd is the receiver's advertised window in bytes, carried on ACKs;
+	// zero means "no limit advertised" (the common case in these
+	// simulations — only receiver-driven schemes like ICTCP set it).
+	Wnd int64
+
+	// Retransmit marks a retransmitted data packet (statistics only; the
+	// network treats it like any other data packet).
+	Retransmit bool
+
+	// SentAt is the virtual time the sender handed the packet to its NIC;
+	// used for RTT measurement on the echoing ACK path.
+	SentAt sim.Time
+	// EchoSentAt is SentAt copied from the data packet into its ACK, so the
+	// sender can measure RTT without per-packet sender state.
+	EchoSentAt sim.Time
+}
+
+// IPBytes returns the size of the packet as an IP datagram: headers plus
+// payload. Queue occupancy is accounted in these bytes.
+func (p *Packet) IPBytes() int { return HeaderBytes + p.Len }
+
+// WireBytes returns the size occupied on an Ethernet link, including
+// framing overhead; serialization delay is computed from these bytes.
+func (p *Packet) WireBytes() int { return p.IPBytes() + EthernetOverhead }
+
+// String renders a compact human-readable form for traces.
+func (p *Packet) String() string {
+	kind := "DATA"
+	if p.IsAck {
+		kind = "ACK"
+	}
+	marks := ""
+	if p.CE {
+		marks += " CE"
+	}
+	if p.ECE {
+		marks += " ECE"
+	}
+	if p.Retransmit {
+		marks += " RTX"
+	}
+	return fmt.Sprintf("%s flow=%d %d->%d seq=%d len=%d ack=%d%s",
+		kind, p.Flow, p.Src, p.Dst, p.Seq, p.Len, p.AckNo, marks)
+}
+
+// SerializationDelay returns the time to clock wireBytes onto a link of the
+// given bandwidth (bits per second).
+func SerializationDelay(wireBytes int, bandwidthBps int64) sim.Time {
+	if bandwidthBps <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	// ns = bytes*8 / (bits/s) * 1e9, computed to avoid overflow for
+	// realistic sizes (bytes*8e9 fits int64 for bytes < ~1e9).
+	return sim.Time(int64(wireBytes) * 8 * 1_000_000_000 / bandwidthBps)
+}

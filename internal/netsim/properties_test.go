@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"incastlab/internal/sim"
+)
+
+// TestLinkFIFOProperty: packets sent on one link arrive in send order, for
+// arbitrary sizes and send times.
+func TestLinkFIFOProperty(t *testing.T) {
+	f := func(sizes []uint16, gaps []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 200 {
+			sizes = sizes[:200]
+		}
+		eng := sim.NewEngine()
+		dst := &sink{id: 9, eng: eng}
+		l := NewLink(eng, LinkConfig{
+			BandwidthBps: 10 * Gbps,
+			PropDelay:    1000,
+			Queue:        NewQueue(QueueConfig{}),
+			Dst:          dst,
+		})
+		at := sim.Time(0)
+		for i, sz := range sizes {
+			seq := int64(i)
+			ln := int(sz)%MSS + 1
+			if i < len(gaps) {
+				at += sim.Time(gaps[i])
+			}
+			p := &Packet{Flow: 1, Seq: seq, Len: ln}
+			eng.At(at, func() { l.Send(p) })
+		}
+		eng.Run()
+		if len(dst.arrivals) != len(sizes) {
+			return false
+		}
+		for i, a := range dst.arrivals {
+			if a.p.Seq != int64(i) {
+				return false
+			}
+			if i > 0 && a.at < dst.arrivals[i-1].at {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedBufferAccountingProperty: pool usage equals the sum of member
+// queue occupancies under arbitrary operations, and never goes negative.
+func TestSharedBufferAccountingProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		pool := NewSharedBuffer(50*1500, 1)
+		qs := []*Queue{
+			NewQueue(QueueConfig{Shared: pool}),
+			NewQueue(QueueConfig{Shared: pool}),
+			NewQueue(QueueConfig{Shared: pool}),
+		}
+		for _, op := range ops {
+			q := qs[int(op)%len(qs)]
+			if op%2 == 0 {
+				q.Enqueue(0, dataPacket(1, int(op)*7%MSS+1))
+			} else {
+				q.Dequeue(0)
+			}
+			sum := 0
+			for _, qq := range qs {
+				sum += qq.LenBytes()
+			}
+			if pool.UsedBytes() != sum || pool.FreeBytes() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImpairmentConservationProperty: every packet is either dropped or
+// delivered, exactly once.
+func TestImpairmentConservationProperty(t *testing.T) {
+	f := func(seed uint64, prob uint8, n uint8) bool {
+		eng := sim.NewEngine()
+		dst := &sink{id: 9, eng: eng}
+		im := NewImpairment(eng, 8, dst, ImpairmentConfig{
+			DropProbability: float64(prob) / 255,
+			MaxExtraDelay:   500,
+			Seed:            seed,
+		})
+		total := int(n) + 1
+		for i := 0; i < total; i++ {
+			im.Receive(dataPacket(FlowID(i), 100))
+		}
+		eng.Run()
+		return im.Dropped()+im.Passed() == int64(total) &&
+			len(dst.arrivals) == int(im.Passed())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

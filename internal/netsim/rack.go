@@ -1,0 +1,169 @@
+package netsim
+
+import (
+	"fmt"
+
+	"incastlab/internal/sim"
+)
+
+// RackConfig extends the dumbbell to several receivers under one ToR whose
+// downlink ports share packet memory — the environment of the paper's
+// Section 3.4 observation that "simultaneous burst events to other hosts on
+// the same rack can consume shared switch memory and likely exacerbates a
+// subset of incast bursts".
+type RackConfig struct {
+	// Senders is the number of sending hosts behind the sender-side ToR.
+	Senders int
+	// Receivers is the number of hosts on the receiver-side ToR.
+	Receivers int
+	// Link parameters, as in DumbbellConfig.
+	HostLinkBps   int64
+	CoreLinkBps   int64
+	HostPropDelay sim.Time
+	CorePropDelay sim.Time
+	// Per-port queue limits and marking threshold.
+	QueueCapacityPackets int
+	QueueCapacityBytes   int
+	ECNThresholdPackets  int
+	// SharedBufferBytes pools the receiver-ToR downlink queues; it is the
+	// point of this topology and must be positive.
+	SharedBufferBytes int
+	SharedBufferAlpha float64
+}
+
+// DefaultRackConfig returns the paper's parameters with r receivers
+// sharing a 2 MB buffer pool (DT alpha 1).
+func DefaultRackConfig(senders, receivers int) RackConfig {
+	d := DefaultDumbbellConfig(senders)
+	return RackConfig{
+		Senders:              senders,
+		Receivers:            receivers,
+		HostLinkBps:          d.HostLinkBps,
+		CoreLinkBps:          d.CoreLinkBps,
+		HostPropDelay:        d.HostPropDelay,
+		CorePropDelay:        d.CorePropDelay,
+		QueueCapacityPackets: d.QueueCapacityPackets,
+		QueueCapacityBytes:   d.QueueCapacityBytes,
+		ECNThresholdPackets:  d.ECNThresholdPackets,
+		SharedBufferBytes:    2 * 1000 * 1000,
+		SharedBufferAlpha:    1,
+	}
+}
+
+// Rack is the constructed multi-receiver topology.
+//
+// Node IDs: receivers are 0..R-1, senders R..R+N-1, then the two ToRs.
+type Rack struct {
+	Config      RackConfig
+	Eng         *sim.Engine
+	Receivers   []*Host
+	Senders     []*Host
+	SenderToR   *Switch
+	ReceiverToR *Switch
+	// Downlinks[i] serves Receivers[i]; its queue draws on Shared.
+	Downlinks []*Link
+	Uplink    *Link
+	Shared    *SharedBuffer
+}
+
+// DownlinkQueue returns receiver i's ToR port queue.
+func (r *Rack) DownlinkQueue(i int) *Queue { return r.Downlinks[i].Queue() }
+
+// NewRack wires up the topology on eng.
+func NewRack(eng *sim.Engine, cfg RackConfig) *Rack {
+	if cfg.Senders <= 0 || cfg.Receivers <= 0 {
+		panic("netsim: rack needs senders and receivers")
+	}
+	if cfg.SharedBufferBytes <= 0 {
+		panic("netsim: rack requires a shared buffer (use Dumbbell for dedicated queues)")
+	}
+	if cfg.SharedBufferAlpha <= 0 {
+		cfg.SharedBufferAlpha = 1
+	}
+	r := &Rack{Config: cfg, Eng: eng}
+	r.Shared = NewSharedBuffer(cfg.SharedBufferBytes, cfg.SharedBufferAlpha)
+	r.SenderToR = NewSwitch(NodeID(cfg.Receivers+cfg.Senders), "tor-senders")
+	r.ReceiverToR = NewSwitch(NodeID(cfg.Receivers+cfg.Senders+1), "tor-receivers")
+
+	portQueue := func(name string, shared bool) *Queue {
+		qc := QueueConfig{
+			Name:                name,
+			CapacityBytes:       cfg.QueueCapacityBytes,
+			CapacityPackets:     cfg.QueueCapacityPackets,
+			ECNThresholdPackets: cfg.ECNThresholdPackets,
+		}
+		if shared {
+			qc.Shared = r.Shared
+		}
+		return NewQueue(qc)
+	}
+
+	// Receivers and their shared-memory downlinks.
+	r.Receivers = make([]*Host, cfg.Receivers)
+	r.Downlinks = make([]*Link, cfg.Receivers)
+	for i := 0; i < cfg.Receivers; i++ {
+		id := NodeID(i)
+		h := NewHost(eng, id, fmt.Sprintf("receiver-%d", i))
+		down := NewLink(eng, LinkConfig{
+			Name:         fmt.Sprintf("tor-receivers->receiver-%d", i),
+			BandwidthBps: cfg.HostLinkBps,
+			PropDelay:    cfg.HostPropDelay,
+			Queue:        portQueue(fmt.Sprintf("downlink-%d", i), true),
+			Dst:          h,
+		})
+		r.ReceiverToR.AddRoute(id, down)
+		h.SetUplink(NewLink(eng, LinkConfig{
+			Name:         fmt.Sprintf("receiver-%d->tor-receivers", i),
+			BandwidthBps: cfg.HostLinkBps,
+			PropDelay:    cfg.HostPropDelay,
+			Queue:        NewQueue(QueueConfig{Name: fmt.Sprintf("receiver-%d-nic", i)}),
+			Dst:          r.ReceiverToR,
+		}))
+		r.Receivers[i] = h
+		r.Downlinks[i] = down
+	}
+
+	// Inter-ToR links.
+	r.Uplink = NewLink(eng, LinkConfig{
+		Name:         "tor-senders->tor-receivers",
+		BandwidthBps: cfg.CoreLinkBps,
+		PropDelay:    cfg.CorePropDelay,
+		Queue:        portQueue("uplink", false),
+		Dst:          r.ReceiverToR,
+	})
+	reverseCore := NewLink(eng, LinkConfig{
+		Name:         "tor-receivers->tor-senders",
+		BandwidthBps: cfg.CoreLinkBps,
+		PropDelay:    cfg.CorePropDelay,
+		Queue:        portQueue("core-reverse", false),
+		Dst:          r.SenderToR,
+	})
+	for i := 0; i < cfg.Receivers; i++ {
+		r.SenderToR.AddRoute(NodeID(i), r.Uplink)
+	}
+
+	// Senders.
+	r.Senders = make([]*Host, cfg.Senders)
+	for i := 0; i < cfg.Senders; i++ {
+		id := NodeID(cfg.Receivers + i)
+		h := NewHost(eng, id, fmt.Sprintf("sender-%d", i))
+		h.SetUplink(NewLink(eng, LinkConfig{
+			Name:         fmt.Sprintf("sender-%d->tor-senders", i),
+			BandwidthBps: cfg.HostLinkBps,
+			PropDelay:    cfg.HostPropDelay,
+			Queue:        NewQueue(QueueConfig{Name: fmt.Sprintf("sender-%d-nic", i)}),
+			Dst:          r.SenderToR,
+		}))
+		down := NewLink(eng, LinkConfig{
+			Name:         fmt.Sprintf("tor-senders->sender-%d", i),
+			BandwidthBps: cfg.HostLinkBps,
+			PropDelay:    cfg.HostPropDelay,
+			Queue:        portQueue(fmt.Sprintf("tor-senders-port-%d", i), false),
+			Dst:          h,
+		})
+		r.SenderToR.AddRoute(id, down)
+		r.ReceiverToR.AddRoute(id, reverseCore)
+		r.Senders[i] = h
+	}
+	return r
+}

@@ -1,0 +1,71 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"incastlab/internal/sim"
+)
+
+func TestTracerTapHost(t *testing.T) {
+	eng := sim.NewEngine()
+	var buf strings.Builder
+	tr := NewTracer(eng, &buf)
+
+	h := NewHost(eng, 0, "rx")
+	h.Attach(PacketHandlerFunc(func(p *Packet) {}))
+	observed := 0
+	h.SetOnReceive(func(now sim.Time, p *Packet) { observed++ })
+	tr.TapHost(h)
+
+	eng.At(1500, func() { h.Receive(&Packet{Flow: 3, Src: 1, Dst: 0, Seq: 1460, Len: 1460}) })
+	eng.Run()
+
+	out := buf.String()
+	if !strings.Contains(out, "recv  rx") || !strings.Contains(out, "flow=3") {
+		t.Fatalf("trace missing pieces:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "0.000001500") {
+		t.Fatalf("timestamp wrong:\n%s", out)
+	}
+	if observed != 1 {
+		t.Fatal("tracer must chain the previous OnReceive observer")
+	}
+	if tr.Lines() != 1 {
+		t.Fatalf("lines = %d", tr.Lines())
+	}
+}
+
+func TestTracerTapQueue(t *testing.T) {
+	eng := sim.NewEngine()
+	var buf strings.Builder
+	tr := NewTracer(eng, &buf)
+	tr.DepthQuantum = 2
+
+	q := NewQueue(QueueConfig{CapacityPackets: 3})
+	tr.TapQueue(q, "bneck")
+	for i := 0; i < 5; i++ {
+		q.Enqueue(0, dataPacket(1, 100))
+	}
+	out := buf.String()
+	if strings.Count(out, "drop  bneck") != 2 {
+		t.Fatalf("want 2 drop lines:\n%s", out)
+	}
+	// Depth lines at bucket changes: 1 pkt (bucket 0), 2 (bucket 1).
+	if !strings.Contains(out, "depth=1pkts") || !strings.Contains(out, "depth=2pkts") {
+		t.Fatalf("quantized depth lines missing:\n%s", out)
+	}
+	// Within-bucket change (2 -> 3) emits nothing extra.
+	if strings.Contains(out, "depth=3pkts") {
+		t.Fatalf("unquantized depth line leaked:\n%s", out)
+	}
+}
+
+func TestTracerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil writer did not panic")
+		}
+	}()
+	NewTracer(sim.NewEngine(), nil)
+}

@@ -1,0 +1,131 @@
+// Package predict implements the paper's Section 3.3 observation as a
+// usable component: "for each service, the flow count distribution in an
+// incast is stable, and therefore predictable, both over time and across
+// the hosts in the service. Therefore, rather than reacting to incast
+// bursts as in TCP congestion control, hosts could predict the scale of
+// congestion and adjust their rates proactively."
+//
+// A Predictor ingests per-burst flow counts (e.g. from Millisampler) and
+// produces the expected incast degree for upcoming bursts — the paper
+// highlights the p99 as "the worst-case incast that a service can expect".
+// The prediction feeds cc.Guardrail (Section 5.1) and schedule.Wave
+// (Section 5.2).
+package predict
+
+import (
+	"math"
+
+	"incastlab/internal/stats"
+)
+
+// Config tunes a Predictor.
+type Config struct {
+	// WindowBursts is how many recent bursts the quantile estimate uses.
+	WindowBursts int
+	// MinObservations gates predictions until enough bursts are seen.
+	MinObservations int
+	// Quantile is the predicted operating point (0.99 in the paper's
+	// worst-case framing).
+	Quantile float64
+	// Gain is the EWMA gain for the trend estimates.
+	Gain float64
+}
+
+// DefaultConfig returns a window of 512 bursts, p99 prediction, and a
+// 1/16 EWMA gain.
+func DefaultConfig() Config {
+	return Config{WindowBursts: 512, MinObservations: 32, Quantile: 0.99, Gain: 1.0 / 16.0}
+}
+
+// Predictor tracks the per-burst incast degree distribution of one service
+// endpoint.
+type Predictor struct {
+	cfg Config
+
+	// ring holds the last WindowBursts flow counts.
+	ring []float64
+	next int
+	n    int
+
+	// ewmaMean tracks the long-run mean for stability checks.
+	ewmaMean float64
+	// ewmaVar tracks the EWMA of squared deviation from ewmaMean.
+	ewmaVar float64
+	seeded  bool
+}
+
+// New creates a Predictor.
+func New(cfg Config) *Predictor {
+	if cfg.WindowBursts <= 0 {
+		panic("predict: window must be positive")
+	}
+	if cfg.MinObservations <= 0 {
+		cfg.MinObservations = 1
+	}
+	if cfg.Quantile <= 0 || cfg.Quantile > 1 {
+		panic("predict: quantile must be in (0,1]")
+	}
+	if cfg.Gain <= 0 || cfg.Gain > 1 {
+		panic("predict: gain must be in (0,1]")
+	}
+	return &Predictor{cfg: cfg, ring: make([]float64, cfg.WindowBursts)}
+}
+
+// Observe ingests one burst's flow count.
+func (p *Predictor) Observe(flows int) {
+	v := float64(flows)
+	p.ring[p.next] = v
+	p.next = (p.next + 1) % len(p.ring)
+	if p.n < len(p.ring) {
+		p.n++
+	}
+	if !p.seeded {
+		p.ewmaMean = v
+		p.seeded = true
+		return
+	}
+	d := v - p.ewmaMean
+	p.ewmaMean += p.cfg.Gain * d
+	p.ewmaVar = (1-p.cfg.Gain)*p.ewmaVar + p.cfg.Gain*d*d
+}
+
+// N returns the number of bursts observed (capped at the window size).
+func (p *Predictor) N() int { return p.n }
+
+// Ready reports whether enough bursts were observed to predict.
+func (p *Predictor) Ready() bool { return p.n >= p.cfg.MinObservations }
+
+// Mean returns the EWMA mean flow count.
+func (p *Predictor) Mean() float64 { return p.ewmaMean }
+
+// window returns the active observations.
+func (p *Predictor) window() []float64 {
+	w := make([]float64, p.n)
+	copy(w, p.ring[:p.n])
+	return w
+}
+
+// PredictedDegree returns the predicted incast degree for the next burst:
+// the configured quantile over the observation window, rounded up. Returns
+// 0 when not Ready (no prediction — callers should leave guardrails off).
+func (p *Predictor) PredictedDegree() int {
+	if !p.Ready() {
+		return 0
+	}
+	return int(math.Ceil(stats.Quantile(p.window(), p.cfg.Quantile)))
+}
+
+// Stability returns the coefficient of variation of the EWMA-tracked flow
+// count (sqrt(var)/mean); the paper's Figure 3 services sit well below 1.
+// Returns +Inf before any observation.
+func (p *Predictor) Stability() float64 {
+	if !p.seeded || p.ewmaMean == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(p.ewmaVar) / p.ewmaMean
+}
+
+// Summary returns descriptive statistics over the observation window.
+func (p *Predictor) Summary() stats.Summary {
+	return stats.Summarize(p.window())
+}

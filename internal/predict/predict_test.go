@@ -1,0 +1,147 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPredictorNotReadyUntilMinObservations(t *testing.T) {
+	p := New(Config{WindowBursts: 100, MinObservations: 10, Quantile: 0.99, Gain: 0.1})
+	for i := 0; i < 9; i++ {
+		p.Observe(100)
+		if p.Ready() {
+			t.Fatalf("ready after %d observations, want 10", i+1)
+		}
+		if p.PredictedDegree() != 0 {
+			t.Fatal("prediction before ready should be 0")
+		}
+	}
+	p.Observe(100)
+	if !p.Ready() {
+		t.Fatal("not ready after 10 observations")
+	}
+	if p.PredictedDegree() != 100 {
+		t.Fatalf("prediction = %d, want 100", p.PredictedDegree())
+	}
+}
+
+func TestPredictorTracksQuantile(t *testing.T) {
+	p := New(DefaultConfig())
+	// 99 bursts of 100 flows, 1 of 400: p99 lands near the tail.
+	for i := 0; i < 99; i++ {
+		p.Observe(100)
+	}
+	p.Observe(400)
+	d := p.PredictedDegree()
+	if d < 100 || d > 400 {
+		t.Fatalf("prediction = %d, want within [100, 400]", d)
+	}
+	if d == 100 {
+		t.Fatal("p99 should be pulled up by the 400-flow tail")
+	}
+}
+
+func TestPredictorSlidingWindow(t *testing.T) {
+	p := New(Config{WindowBursts: 10, MinObservations: 5, Quantile: 0.5, Gain: 0.5})
+	for i := 0; i < 10; i++ {
+		p.Observe(50)
+	}
+	// The service shifts operating mode; the window forgets the old one.
+	for i := 0; i < 10; i++ {
+		p.Observe(300)
+	}
+	if d := p.PredictedDegree(); d != 300 {
+		t.Fatalf("prediction after mode shift = %d, want 300", d)
+	}
+	if p.N() != 10 {
+		t.Fatalf("window n = %d, want 10", p.N())
+	}
+}
+
+func TestPredictorMeanEWMA(t *testing.T) {
+	p := New(Config{WindowBursts: 100, MinObservations: 1, Quantile: 0.9, Gain: 0.5})
+	p.Observe(100)
+	if p.Mean() != 100 {
+		t.Fatalf("mean seeded to %v", p.Mean())
+	}
+	p.Observe(200)
+	if p.Mean() != 150 {
+		t.Fatalf("mean after EWMA = %v, want 150", p.Mean())
+	}
+}
+
+func TestPredictorStability(t *testing.T) {
+	p := New(DefaultConfig())
+	if !math.IsInf(p.Stability(), 1) {
+		t.Fatal("empty predictor should report infinite instability")
+	}
+	for i := 0; i < 200; i++ {
+		p.Observe(150)
+	}
+	if s := p.Stability(); s > 0.05 {
+		t.Fatalf("constant stream stability = %v, want ~0", s)
+	}
+	q := New(DefaultConfig())
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			q.Observe(10)
+		} else {
+			q.Observe(500)
+		}
+	}
+	if q.Stability() < 0.5 {
+		t.Fatalf("alternating stream stability = %v, want high", q.Stability())
+	}
+}
+
+func TestPredictorSummary(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 1; i <= 100; i++ {
+		p.Observe(i)
+	}
+	s := p.Summary()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{WindowBursts: 0, Quantile: 0.5, Gain: 0.5},
+		{WindowBursts: 1, Quantile: 0, Gain: 0.5},
+		{WindowBursts: 1, Quantile: 1.5, Gain: 0.5},
+		{WindowBursts: 1, Quantile: 0.5, Gain: 0},
+	}
+	for i, cfg := range bad {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// TestPredictionBoundsProperty: the prediction always lies within the
+// observed min..max of the current window.
+func TestPredictionBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := New(Config{WindowBursts: 64, MinObservations: 1, Quantile: 0.99, Gain: 0.25})
+		for _, v := range raw {
+			p.Observe(int(v))
+		}
+		s := p.Summary()
+		d := float64(p.PredictedDegree())
+		return d >= s.Min && d <= s.Max+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package rackmodel is a millisecond-granularity fluid model of a ToR
+// downlink queue, used by the measurement-study synthesizer. It converts
+// per-interval *offered* load (which, during an incast, exceeds the drain
+// rate) into what a receiving host and its switch would observe: delivered
+// bytes (capped at line rate), ECN-marked bytes (threshold crossing at 6.7%
+// of queue capacity, as in the production deployment), dropped and then
+// retransmitted bytes (queue overflow), per-interval queue peaks, and the
+// minute-style high watermark.
+//
+// The model supports time-varying effective capacity: production ToRs share
+// packet memory across ports, so simultaneous bursts to other hosts in the
+// rack shrink the buffer available to this port (the paper's Section 3.4
+// explanation for losses at modest queue depths).
+//
+// The paper's Section 3 analyses operate on exactly these per-millisecond
+// quantities; packet-level detail (which Section 4's simulator provides) is
+// unnecessary at this timescale.
+package rackmodel
+
+// Config parameterizes the queue model.
+type Config struct {
+	// LineRateBps is the downlink drain rate (the receiver NIC line rate).
+	LineRateBps int64
+	// QueueCapacityBytes is the nominal per-port queue capacity.
+	QueueCapacityBytes float64
+	// ECNThresholdFraction is the marking threshold as a fraction of
+	// nominal capacity; the paper's deployment uses 6.7%.
+	ECNThresholdFraction float64
+	// RetxDelayIntervals delays the reappearance of dropped bytes as
+	// retransmitted arrivals (default 1 interval: fast retransmit at
+	// millisecond granularity).
+	RetxDelayIntervals int
+	// CapacityFractions, when non-nil, gives the per-interval effective
+	// capacity as a fraction of nominal (rack-level shared-buffer
+	// contention). Values must be in (0, 1]; missing intervals default
+	// to 1.
+	CapacityFractions []float64
+}
+
+// DefaultConfig returns a production-flavored configuration: 25 Gbps NIC,
+// 3 MB effective queue, 6.7% marking threshold.
+func DefaultConfig() Config {
+	return Config{
+		LineRateBps:          25_000_000_000,
+		QueueCapacityBytes:   3_000_000,
+		ECNThresholdFraction: 0.067,
+		RetxDelayIntervals:   1,
+	}
+}
+
+// Result holds the model outputs, one value per input interval.
+type Result struct {
+	// Delivered is the bytes handed to the host per interval (<= line
+	// rate * interval).
+	Delivered []float64
+	// ECNBytes is the CE-marked portion of Delivered.
+	ECNBytes []float64
+	// RetxBytes is the retransmitted portion of Delivered.
+	RetxBytes []float64
+	// DroppedBytes is the overflow per interval.
+	DroppedBytes []float64
+	// QueuePeakFraction is the within-interval queue peak as a fraction of
+	// nominal capacity (reaches the effective capacity fraction when the
+	// queue overflows).
+	QueuePeakFraction []float64
+	// WatermarkFraction is the high watermark over the whole window, the
+	// quantity production ToRs export per minute.
+	WatermarkFraction float64
+}
+
+// Run evolves the queue over the offered series. offered[i] is the byte
+// volume arriving at the ToR port during interval i; intervalNS is the
+// interval width.
+func Run(offered []float64, intervalNS int64, cfg Config) *Result {
+	if cfg.LineRateBps <= 0 {
+		panic("rackmodel: line rate must be positive")
+	}
+	if cfg.QueueCapacityBytes <= 0 {
+		panic("rackmodel: queue capacity must be positive")
+	}
+	if cfg.ECNThresholdFraction <= 0 || cfg.ECNThresholdFraction >= 1 {
+		panic("rackmodel: ECN threshold fraction must be in (0,1)")
+	}
+	if cfg.RetxDelayIntervals <= 0 {
+		cfg.RetxDelayIntervals = 1
+	}
+
+	n := len(offered)
+	r := &Result{
+		Delivered:         make([]float64, n),
+		ECNBytes:          make([]float64, n),
+		RetxBytes:         make([]float64, n),
+		DroppedBytes:      make([]float64, n),
+		QueuePeakFraction: make([]float64, n),
+	}
+
+	drain := float64(cfg.LineRateBps) / 8 * float64(intervalNS) / 1e9
+	nominal := cfg.QueueCapacityBytes
+	thresh := cfg.ECNThresholdFraction * nominal
+
+	// retxArrivals[i] is retransmitted volume scheduled to arrive in
+	// interval i (beyond the input window it is silently discarded, like a
+	// capture window closing).
+	retxArrivals := make([]float64, n+cfg.RetxDelayIntervals+1)
+
+	var q, qRetx float64
+	for i := 0; i < n; i++ {
+		arrive := offered[i] + retxArrivals[i]
+
+		capEff := nominal
+		if cfg.CapacityFractions != nil && i < len(cfg.CapacityFractions) {
+			f := cfg.CapacityFractions[i]
+			if f <= 0 || f > 1 {
+				panic("rackmodel: capacity fractions must be in (0,1]")
+			}
+			capEff = f * nominal
+		}
+		// A standing queue built before contention shrank the buffer is
+		// not truncated — it drains — but no growth beyond it is admitted.
+		admitCap := capEff
+		if q > admitCap {
+			admitCap = q
+		}
+
+		q0 := q
+		qEnd := q0 + arrive - drain
+		if qEnd < 0 {
+			qEnd = 0
+		}
+		peak := q0
+		if qEnd > peak {
+			peak = qEnd
+		}
+		var dropped float64
+		if qEnd > admitCap {
+			dropped = qEnd - admitCap
+			qEnd = admitCap
+			peak = admitCap
+		}
+		delivered := q0 + arrive - dropped - qEnd
+		if delivered < 0 {
+			delivered = 0 // numeric guard; cannot happen with exact math
+		}
+
+		// Retransmission composition: arriving retransmissions join the
+		// queue; drops come from the arriving tail, deliveries mix the
+		// queue proportionally. Any dropped byte re-enters later as a
+		// retransmission.
+		retxIn := retxArrivals[i]
+		var droppedRetx float64
+		if dropped > 0 && arrive > 0 {
+			droppedRetx = dropped * (retxIn / arrive)
+			if droppedRetx > retxIn {
+				droppedRetx = retxIn
+			}
+		}
+		retxPool := qRetx + retxIn - droppedRetx
+		remaining := q0 + arrive - dropped // = delivered + qEnd
+		var deliveredRetx float64
+		if remaining > 0 {
+			deliveredRetx = delivered * (retxPool / remaining)
+		}
+		if deliveredRetx > retxPool {
+			deliveredRetx = retxPool
+		}
+		qRetx = retxPool - deliveredRetx
+
+		// ECN marking: fraction of the interval during which the queue
+		// exceeded the threshold, assuming linear queue evolution. During
+		// that time, arriving (and hence delivered) traffic is marked.
+		marked := markFraction(q0, q0+arrive-drain, thresh)
+
+		r.Delivered[i] = delivered
+		r.ECNBytes[i] = delivered * marked
+		r.RetxBytes[i] = deliveredRetx
+		r.DroppedBytes[i] = dropped
+		r.QueuePeakFraction[i] = peak / nominal
+		if r.QueuePeakFraction[i] > r.WatermarkFraction {
+			r.WatermarkFraction = r.QueuePeakFraction[i]
+		}
+		if dropped > 0 {
+			retxArrivals[i+cfg.RetxDelayIntervals] += dropped
+		}
+		q = qEnd
+	}
+	return r
+}
+
+// markFraction returns the fraction of an interval during which a linearly
+// evolving queue (from q0 to q1, both uncapped and allowed negative for
+// slope purposes, clamped at 0) exceeds thresh.
+func markFraction(q0, q1, thresh float64) float64 {
+	lo, hi := q0, q1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	switch {
+	case hi <= thresh:
+		return 0
+	case lo >= thresh:
+		return 1
+	default:
+		// Crosses the threshold once; the time above it is proportional to
+		// the distance above.
+		return (hi - thresh) / (hi - lo)
+	}
+}

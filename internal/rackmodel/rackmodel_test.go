@@ -1,0 +1,298 @@
+package rackmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// cfgForTest: 8 Gbps drain = 1000 bytes per 1 us interval, 10 KB queue,
+// threshold 10% = 1 KB. Small numbers keep arithmetic checkable by hand.
+func cfgForTest() Config {
+	return Config{
+		LineRateBps:          8_000_000_000,
+		QueueCapacityBytes:   10_000,
+		ECNThresholdFraction: 0.1,
+		RetxDelayIntervals:   1,
+	}
+}
+
+const testIntervalNS = 1000 // 1 us
+
+func TestUnderloadPassesThrough(t *testing.T) {
+	offered := []float64{500, 800, 0, 300}
+	r := Run(offered, testIntervalNS, cfgForTest())
+	for i, o := range offered {
+		if r.Delivered[i] != o {
+			t.Fatalf("interval %d delivered %v, want %v", i, r.Delivered[i], o)
+		}
+		if r.ECNBytes[i] != 0 || r.DroppedBytes[i] != 0 || r.RetxBytes[i] != 0 {
+			t.Fatalf("underload interval %d has congestion artifacts: %+v", i, r)
+		}
+	}
+	if r.WatermarkFraction != 0 {
+		t.Fatalf("watermark = %v, want 0", r.WatermarkFraction)
+	}
+}
+
+func TestOverloadQueuesAndDrains(t *testing.T) {
+	// 3000 bytes into a 1000-byte drain: 1000 delivered, 2000 queued.
+	offered := []float64{3000, 0, 0, 0}
+	r := Run(offered, testIntervalNS, cfgForTest())
+	if r.Delivered[0] != 1000 {
+		t.Fatalf("delivered[0] = %v", r.Delivered[0])
+	}
+	// The backlog drains at line rate over the next two intervals.
+	if r.Delivered[1] != 1000 || r.Delivered[2] != 1000 || r.Delivered[3] != 0 {
+		t.Fatalf("drain pattern = %v", r.Delivered)
+	}
+	if r.QueuePeakFraction[0] != 0.2 {
+		t.Fatalf("peak[0] = %v, want 0.2 (2000/10000)", r.QueuePeakFraction[0])
+	}
+	if r.WatermarkFraction != 0.2 {
+		t.Fatalf("watermark = %v", r.WatermarkFraction)
+	}
+}
+
+func TestECNMarkingAboveThreshold(t *testing.T) {
+	// Build a queue of 2000 (> 1 KB threshold): part of interval 0 and all
+	// of the drain interval 1 are above threshold.
+	offered := []float64{3000, 1000, 0}
+	r := Run(offered, testIntervalNS, cfgForTest())
+	if r.ECNBytes[0] <= 0 || r.ECNBytes[0] >= r.Delivered[0] {
+		t.Fatalf("ecn[0] = %v of %v, want partial marking", r.ECNBytes[0], r.Delivered[0])
+	}
+	// Interval 1: queue goes 2000 -> 2000 (arrive 1000, drain 1000),
+	// entirely above threshold: all delivered bytes marked.
+	if r.ECNBytes[1] != r.Delivered[1] {
+		t.Fatalf("ecn[1] = %v of %v, want full marking", r.ECNBytes[1], r.Delivered[1])
+	}
+}
+
+func TestAllOrNothingMarkingForSharpBursts(t *testing.T) {
+	// A sharp burst that blasts the queue far past the threshold within
+	// one interval marks essentially everything - the Figure 1c behavior.
+	offered := []float64{9000}
+	r := Run(offered, testIntervalNS, cfgForTest())
+	frac := r.ECNBytes[0] / r.Delivered[0]
+	if frac < 0.85 {
+		t.Fatalf("sharp burst marking fraction = %v, want near 1", frac)
+	}
+}
+
+func TestOverflowDropsAndRetransmits(t *testing.T) {
+	// 15000 bytes: drain 1000, queue cap 10000 -> 4000 dropped.
+	offered := []float64{15000, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	r := Run(offered, testIntervalNS, cfgForTest())
+	if r.DroppedBytes[0] != 4000 {
+		t.Fatalf("dropped = %v, want 4000", r.DroppedBytes[0])
+	}
+	if r.QueuePeakFraction[0] != 1 {
+		t.Fatalf("peak = %v, want 1 (overflow)", r.QueuePeakFraction[0])
+	}
+	// The 4000 dropped bytes re-arrive in interval 1 and are eventually
+	// delivered flagged as retransmissions.
+	var retx float64
+	for _, v := range r.RetxBytes {
+		retx += v
+	}
+	if math.Abs(retx-4000) > 1 {
+		t.Fatalf("total retx delivered = %v, want ~4000", retx)
+	}
+	// Everything offered is eventually delivered exactly once.
+	var delivered float64
+	for _, v := range r.Delivered {
+		delivered += v
+	}
+	if math.Abs(delivered-15000) > 1 {
+		t.Fatalf("total delivered = %v, want 15000", delivered)
+	}
+}
+
+func TestMarkFraction(t *testing.T) {
+	cases := []struct {
+		q0, q1, thresh, want float64
+	}{
+		{0, 500, 1000, 0},      // never crosses
+		{2000, 3000, 1000, 1},  // always above
+		{0, 2000, 1000, 0.5},   // crosses midway (rising)
+		{2000, 0, 1000, 0.5},   // crosses midway (falling)
+		{1000, 1000, 1000, 0},  // exactly at threshold: not above
+		{500, 1500, 1000, 0.5}, // symmetric crossing
+	}
+	for _, c := range cases {
+		if got := markFraction(c.q0, c.q1, c.thresh); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("markFraction(%v,%v,%v) = %v, want %v", c.q0, c.q1, c.thresh, got, c.want)
+		}
+	}
+}
+
+// TestConservationProperty: delivered + still-queued-at-end + dropped-but-
+// never-redelivered equals offered, and all outputs stay within bounds.
+func TestConservationProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var total float64
+		for _, v := range raw {
+			total += float64(v)
+		}
+		// Give the queue enough idle tail to drain everything (drain is
+		// 1000 bytes/interval), so conservation is checkable.
+		tail := int(total/1000) + 60
+		offered := make([]float64, len(raw)+tail)
+		for i, v := range raw {
+			offered[i] = float64(v)
+		}
+		cfg := cfgForTest()
+		r := Run(offered, testIntervalNS, cfg)
+		var delivered, dropped, retx float64
+		for i := range offered {
+			if r.Delivered[i] < 0 || r.ECNBytes[i] < 0 || r.RetxBytes[i] < 0 {
+				return false
+			}
+			if r.ECNBytes[i] > r.Delivered[i]+1e-6 || r.RetxBytes[i] > r.Delivered[i]+1e-6 {
+				return false
+			}
+			if r.QueuePeakFraction[i] < 0 || r.QueuePeakFraction[i] > 1 {
+				return false
+			}
+			if r.Delivered[i] > 1000+1e-6 { // never above line rate
+				return false
+			}
+			delivered += r.Delivered[i]
+			dropped += r.DroppedBytes[i]
+			retx += r.RetxBytes[i]
+		}
+		// Retransmissions are re-deliveries of dropped bytes; with the
+		// generous tail of idle intervals everything drains, so delivered
+		// = offered (drops are delivered later as retx, and retx bytes are
+		// part of delivered).
+		return math.Abs(delivered-total) < 1.0 && retx <= dropped+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{LineRateBps: 0, QueueCapacityBytes: 1, ECNThresholdFraction: 0.1},
+		{LineRateBps: 1, QueueCapacityBytes: 0, ECNThresholdFraction: 0.1},
+		{LineRateBps: 1, QueueCapacityBytes: 1, ECNThresholdFraction: 0},
+		{LineRateBps: 1, QueueCapacityBytes: 1, ECNThresholdFraction: 1},
+	}
+	for i, cfg := range bad {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			Run([]float64{1}, testIntervalNS, cfg)
+		}()
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	// 25 Gbps over 1 ms = 3.125 MB drain; a 1 ms line-rate interval passes
+	// through untouched.
+	r := Run([]float64{3_125_000}, 1_000_000, cfg)
+	if r.Delivered[0] != 3_125_000 || r.DroppedBytes[0] != 0 {
+		t.Fatalf("line-rate interval mishandled: %+v", r)
+	}
+}
+
+// TestMarkingMonotoneInLoad: scaling the offered load up never reduces the
+// total ECN-marked volume — more congestion means more marking.
+func TestMarkingMonotoneInLoad(t *testing.T) {
+	base := []float64{500, 2500, 4000, 1200, 0, 0, 800, 3000, 0, 0}
+	cfg := cfgForTest()
+	prevMarked := -1.0
+	for _, scale := range []float64{0.5, 1, 2, 4} {
+		offered := make([]float64, len(base)+40)
+		for i, v := range base {
+			offered[i] = v * scale
+		}
+		r := Run(offered, testIntervalNS, cfg)
+		var marked float64
+		for _, v := range r.ECNBytes {
+			marked += v
+		}
+		if marked < prevMarked {
+			t.Fatalf("marking decreased when load scaled to %v: %v < %v", scale, marked, prevMarked)
+		}
+		prevMarked = marked
+	}
+}
+
+// TestWatermarkIsMaxOfPeaks: the window watermark equals the maximum
+// per-interval peak.
+func TestWatermarkIsMaxOfPeaks(t *testing.T) {
+	offered := []float64{3000, 9000, 500, 15000, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	r := Run(offered, testIntervalNS, cfgForTest())
+	max := 0.0
+	for _, v := range r.QueuePeakFraction {
+		if v > max {
+			max = v
+		}
+	}
+	if r.WatermarkFraction != max {
+		t.Fatalf("watermark %v != max peak %v", r.WatermarkFraction, max)
+	}
+}
+
+// TestCapacityFractionsShrinkAdmission: the same offered load drops more
+// under a contention window.
+func TestCapacityFractionsShrinkAdmission(t *testing.T) {
+	offered := make([]float64, 30)
+	offered[0] = 9000 // builds an 8000-byte queue against a 10 KB capacity
+	clean := Run(offered, testIntervalNS, cfgForTest())
+
+	cfg := cfgForTest()
+	cfg.CapacityFractions = make([]float64, 30)
+	for i := range cfg.CapacityFractions {
+		cfg.CapacityFractions[i] = 1
+	}
+	cfg.CapacityFractions[0] = 0.3 // 3 KB effective at the burst instant
+	contended := Run(offered, testIntervalNS, cfg)
+
+	var cleanDrops, contendedDrops float64
+	for i := range offered {
+		cleanDrops += clean.DroppedBytes[i]
+		contendedDrops += contended.DroppedBytes[i]
+	}
+	if cleanDrops != 0 {
+		t.Fatalf("clean run dropped %v", cleanDrops)
+	}
+	if contendedDrops == 0 {
+		t.Fatal("contention window should cause drops")
+	}
+}
+
+// TestStandingQueueSurvivesContention: shrinking capacity below the
+// current occupancy must not truncate the standing queue, only block
+// growth.
+func TestStandingQueueSurvivesContention(t *testing.T) {
+	cfg := cfgForTest()
+	cfg.CapacityFractions = []float64{1, 0.1, 0.1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	offered := []float64{9000, 1000, 1000, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	r := Run(offered, testIntervalNS, cfg)
+	// Interval 0 builds an 8000-byte queue; intervals 1-2 shrink capacity
+	// to 1000 bytes. The standing queue keeps draining at line rate (1000
+	// bytes/interval) and is never discarded wholesale.
+	var delivered float64
+	for _, v := range r.Delivered {
+		delivered += v
+	}
+	var dropped float64
+	for _, v := range r.DroppedBytes {
+		dropped += v
+	}
+	if delivered+dropped != 11000 {
+		t.Fatalf("conservation broken: delivered %v + dropped %v != 11000", delivered, dropped)
+	}
+	if delivered < 9000 {
+		t.Fatalf("delivered %v; the standing queue should survive the contention window", delivered)
+	}
+}

@@ -1,0 +1,74 @@
+package services
+
+import (
+	"incastlab/internal/millisampler"
+	"incastlab/internal/sim"
+)
+
+// CollectConfig describes a measurement campaign over one service, matching
+// the paper's methodology: "we collect a two-second trace (measured at 1 ms
+// granularity) from 20 hosts in each service, nine times throughout a day"
+// (Fig 2/4) and "20 hosts for two seconds at 10 minute intervals over 18
+// hours" (Fig 3).
+type CollectConfig struct {
+	// Seed is the campaign-wide base seed.
+	Seed uint64
+	// Hosts is how many hosts to sample (20 in the paper).
+	Hosts int
+	// Rounds is how many collection rounds to run.
+	Rounds int
+	// RoundSpacing is the wall-clock gap between rounds.
+	RoundSpacing sim.Time
+	// StartAt is the wall-clock time of round 0.
+	StartAt sim.Time
+	// TraceMS is the per-trace duration in milliseconds (2000 in the
+	// paper).
+	TraceMS int
+}
+
+// DefaultCollectConfig returns the paper's Figure 2/4 campaign: 20 hosts,
+// 9 rounds spread over a day, 2-second traces.
+func DefaultCollectConfig() CollectConfig {
+	return CollectConfig{
+		Seed:         1,
+		Hosts:        20,
+		Rounds:       9,
+		RoundSpacing: sim.Time(8) * 900 * sim.Second, // 2 h between rounds
+		TraceMS:      2000,
+	}
+}
+
+// Collect generates the full corpus of traces for one service.
+func Collect(p Profile, cfg CollectConfig) []*millisampler.Trace {
+	if cfg.Hosts <= 0 || cfg.Rounds <= 0 {
+		panic("services: campaign needs at least one host and round")
+	}
+	traces := make([]*millisampler.Trace, 0, cfg.Hosts*cfg.Rounds)
+	for r := 0; r < cfg.Rounds; r++ {
+		at := cfg.StartAt + sim.Time(r)*cfg.RoundSpacing
+		for h := 0; h < cfg.Hosts; h++ {
+			traces = append(traces, p.Generate(GenConfig{
+				Seed:       cfg.Seed,
+				Host:       h,
+				At:         at,
+				DurationMS: cfg.TraceMS,
+			}))
+		}
+	}
+	return traces
+}
+
+// CollectRound generates one round's traces (all hosts at one time).
+func CollectRound(p Profile, cfg CollectConfig, round int) []*millisampler.Trace {
+	traces := make([]*millisampler.Trace, 0, cfg.Hosts)
+	at := cfg.StartAt + sim.Time(round)*cfg.RoundSpacing
+	for h := 0; h < cfg.Hosts; h++ {
+		traces = append(traces, p.Generate(GenConfig{
+			Seed:       cfg.Seed,
+			Host:       h,
+			At:         at,
+			DurationMS: cfg.TraceMS,
+		}))
+	}
+	return traces
+}

@@ -1,0 +1,410 @@
+// Package services models the five production services of the paper's
+// Table 1 as calibrated stochastic workload generators. Each profile emits
+// per-host, per-millisecond *offered* load and active-flow counts; the
+// rackmodel queue then derives what Millisampler would measure at the host
+// NIC (delivered bytes, ECN marks, retransmissions) and what the ToR would
+// export (queue watermarks).
+//
+// The profiles are calibrated to the distributions the paper reports:
+// burst frequency (Fig 2a), duration (Fig 2b), per-burst flow counts with
+// service-specific bimodality (Fig 2c), queue watermarks (Fig 4a), marking
+// rates (Fig 4b), retransmission volumes (Fig 4c), hour-scale stability
+// with video's two operating modes (Fig 3a), and host-to-host stability
+// (Fig 3b). Production data is proprietary; these generators reproduce the
+// published shape of that data so that the full measurement pipeline can be
+// exercised end to end.
+package services
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"incastlab/internal/millisampler"
+	"incastlab/internal/rackmodel"
+	"incastlab/internal/sim"
+)
+
+// Profile describes one service's traffic behavior.
+type Profile struct {
+	// Name and Description correspond to Table 1.
+	Name        string
+	Description string
+
+	// NICLineRateBps is the host NIC rate (production hosts: 25-100 Gbps).
+	NICLineRateBps int64
+
+	// BurstsPerSec is the mean burst arrival rate (Poisson).
+	BurstsPerSec float64
+	// DurationP is the geometric parameter for burst duration in ms:
+	// P(d) = DurationP * (1-DurationP)^(d-1), capped at DurationCapMS.
+	DurationP     float64
+	DurationCapMS int
+
+	// Flow-count mixture: with probability LowModeFrac the burst is a
+	// low-flow task (uniform in [LowFlowsMin, LowFlowsMax]); otherwise the
+	// count is lognormal with the given median and sigma (of log), capped.
+	LowModeFrac float64
+	LowFlowsMin int
+	LowFlowsMax int
+	FlowMedian  float64
+	FlowSigma   float64
+	FlowCap     int
+	// ModeMedians, when non-zero, alternate the lognormal median between
+	// two operating points with the given period — the "video" service's
+	// scheduler spooling workers up and down.
+	ModeMedians [2]float64
+	ModePeriod  sim.Time
+
+	// Queue-impact distribution: each burst's offered overshoot targets a
+	// peak queue occupancy that is lognormal with median PeakMedianFrac
+	// (fraction of queue capacity) and sigma PeakSigma. Peaks above 1
+	// overflow the queue and produce retransmissions.
+	PeakMedianFrac float64
+	PeakSigma      float64
+	// FrontLoad is the fraction of a burst's overshoot offered in its
+	// first millisecond; the rest is spread across the burst. High values
+	// (partition-aggregate fan-ins arriving together) push the queue over
+	// the marking threshold immediately, marking nearly the whole burst;
+	// low values ramp the queue so only the burst's tail is marked.
+	FrontLoad float64
+
+	// Rack-level contention: simultaneous bursts to other hosts in the
+	// rack consume shared switch memory, shrinking this port's effective
+	// buffer (paper Section 3.4). Windows arrive at ContentionPerSec, last
+	// ContentionMeanMS on average, and scale capacity by a uniform draw
+	// from [ContentionMinFrac, ContentionMaxFrac].
+	ContentionPerSec  float64
+	ContentionMeanMS  float64
+	ContentionMinFrac float64
+	ContentionMaxFrac float64
+
+	// BaseUtil is the inter-burst background utilization.
+	BaseUtil float64
+	// BackgroundFlows is the mean number of background flows.
+	BackgroundFlows int
+
+	// Rack parameterizes the ToR downlink queue for this service's hosts.
+	Rack rackmodel.Config
+}
+
+// table1 returns the five calibrated profiles.
+func table1() []Profile {
+	base := rackmodel.DefaultConfig()
+	return []Profile{
+		{
+			Name:            "storage",
+			Description:     "Distributed key-value store",
+			NICLineRateBps:  base.LineRateBps,
+			BurstsPerSec:    35,
+			DurationP:       0.45,
+			DurationCapMS:   20,
+			LowModeFrac:     0.45, // the paper's low-flow "checkpointing" cliff
+			LowFlowsMin:     4,
+			LowFlowsMax:     18,
+			FlowMedian:      85,
+			FlowSigma:       0.55,
+			FlowCap:         450,
+			PeakMedianFrac:  0.055,
+			PeakSigma:       0.95,
+			FrontLoad:       0.10,
+			BaseUtil:        0.015,
+			BackgroundFlows: 4,
+			Rack:            base,
+		},
+		{
+			Name:            "aggregator",
+			Description:     "Collects content to display on a page",
+			NICLineRateBps:  base.LineRateBps,
+			BurstsPerSec:    50,
+			DurationP:       0.50,
+			DurationCapMS:   20,
+			LowModeFrac:     0.12,
+			LowFlowsMin:     3,
+			LowFlowsMax:     15,
+			FlowMedian:      150,
+			FlowSigma:       0.45,
+			FlowCap:         500,
+			PeakMedianFrac:  0.080, // particularly high queuing (Fig 4a)
+			PeakSigma:       1.00,
+			FrontLoad:       0.85,
+			BaseUtil:        0.02,
+			BackgroundFlows: 6,
+			Rack:            base,
+		},
+		{
+			Name:            "indexer",
+			Description:     "Indexing service for recommendations",
+			NICLineRateBps:  base.LineRateBps,
+			BurstsPerSec:    20,
+			DurationP:       0.38,
+			DurationCapMS:   20,
+			FlowMedian:      60,
+			FlowSigma:       0.50,
+			FlowCap:         300,
+			PeakMedianFrac:  0.045,
+			PeakSigma:       0.95,
+			FrontLoad:       0.10,
+			BaseUtil:        0.01,
+			BackgroundFlows: 3,
+			Rack:            base,
+		},
+		{
+			Name:            "messaging",
+			Description:     "Distributed real-time messaging system",
+			NICLineRateBps:  base.LineRateBps,
+			BurstsPerSec:    100,
+			DurationP:       0.65,
+			DurationCapMS:   12,
+			FlowMedian:      40,
+			FlowSigma:       0.45,
+			FlowCap:         200,
+			PeakMedianFrac:  0.040,
+			PeakSigma:       0.90,
+			FrontLoad:       0.15,
+			BaseUtil:        0.015,
+			BackgroundFlows: 5,
+			Rack:            base,
+		},
+		{
+			Name:            "video",
+			Description:     "Video analytics service",
+			NICLineRateBps:  base.LineRateBps,
+			BurstsPerSec:    45,
+			DurationP:       0.42,
+			DurationCapMS:   20,
+			FlowMedian:      225,
+			FlowSigma:       0.30,
+			FlowCap:         600,
+			ModeMedians:     [2]float64{225, 275},
+			ModePeriod:      3 * sim.Time(3600) * sim.Second, // ~3 h per mode
+			PeakMedianFrac:  0.075,                           // high marking, like aggregator (Fig 4b)
+			PeakSigma:       1.00,
+			FrontLoad:       0.80,
+			BaseUtil:        0.02,
+			BackgroundFlows: 8,
+			Rack:            base,
+		},
+	}
+}
+
+// All returns the five services of Table 1, in the paper's order.
+func All() []Profile { return table1() }
+
+// ByName returns the profile with the given name, or false.
+func ByName(name string) (Profile, bool) {
+	for _, p := range table1() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// GenConfig addresses one trace collection: which host, at what wall-clock
+// offset (for the video mode switch and multi-round stability studies), for
+// how long, under which base seed.
+type GenConfig struct {
+	// Seed is the experiment-wide base seed.
+	Seed uint64
+	// Host identifies the sampled host (0..19 in the paper's collections);
+	// hosts get stable, slightly different flow scales.
+	Host int
+	// At is the wall-clock time of the collection start; rounds 10 minutes
+	// apart over 18 hours reproduce Figure 3.
+	At sim.Time
+	// DurationMS is the trace length in milliseconds (2000 in the paper).
+	DurationMS int
+}
+
+// subSeed derives a deterministic per-(service,host,round) seed.
+func subSeed(p *Profile, gc GenConfig) uint64 {
+	h := gc.Seed
+	mix := func(v uint64) {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	for _, c := range []byte(p.Name) {
+		mix(uint64(c))
+	}
+	mix(uint64(gc.Host) + 1)
+	mix(uint64(gc.At) + 1)
+	return h
+}
+
+// hostScale returns a stable per-host multiplier on flow counts (~N(1,3%)),
+// so hosts of one service look similar but not identical (Fig 3b).
+func hostScale(p *Profile, seed uint64, host int) float64 {
+	rng := sim.NewRand(seed ^ (uint64(host)+1)*0x517cc1b727220a95)
+	_ = p
+	return 1 + 0.03*rng.NormFloat64()
+}
+
+// flowMedianAt returns the lognormal median in effect at wall-clock time t
+// (implements the video service's two operating modes).
+func (p *Profile) flowMedianAt(t sim.Time) float64 {
+	if p.ModeMedians[0] == 0 || p.ModePeriod <= 0 {
+		return p.FlowMedian
+	}
+	phase := (int64(t) / int64(p.ModePeriod)) % 2
+	return p.ModeMedians[phase]
+}
+
+// drawDuration samples a burst duration in whole milliseconds.
+func (p *Profile) drawDuration(rng *rand.Rand) int {
+	d := 1
+	for rng.Float64() > p.DurationP && d < p.DurationCapMS {
+		d++
+	}
+	return d
+}
+
+// drawFlows samples a per-burst flow count at wall-clock time t.
+func (p *Profile) drawFlows(rng *rand.Rand, t sim.Time, scale float64) int {
+	if p.LowModeFrac > 0 && rng.Float64() < p.LowModeFrac {
+		return p.LowFlowsMin + rng.IntN(p.LowFlowsMax-p.LowFlowsMin+1)
+	}
+	median := p.flowMedianAt(t) * scale
+	f := int(math.Round(median * math.Exp(p.FlowSigma*rng.NormFloat64())))
+	if f < 1 {
+		f = 1
+	}
+	if p.FlowCap > 0 && f > p.FlowCap {
+		f = p.FlowCap
+	}
+	return f
+}
+
+// drawPeak samples a burst's target queue peak fraction. The draw is
+// capped at 1.25x capacity: beyond that, real senders have backed off
+// (congestion control stops delivering the overshoot). The cap bounds the
+// worst-case drop volume near what the paper reports (~24% of line rate).
+func (p *Profile) drawPeak(rng *rand.Rand) float64 {
+	peak := p.PeakMedianFrac * math.Exp(p.PeakSigma*rng.NormFloat64())
+	if peak > 1.25 {
+		peak = 1.25
+	}
+	return peak
+}
+
+// Generate synthesizes one Millisampler trace for the host and time given
+// by gc: offered load is constructed burst by burst, pushed through the
+// rackmodel queue, and assembled into measured samples.
+func (p Profile) Generate(gc GenConfig) *millisampler.Trace {
+	if gc.DurationMS <= 0 {
+		panic("services: trace duration must be positive")
+	}
+	rng := sim.NewRand(subSeed(&p, gc))
+	scale := hostScale(&p, gc.Seed, gc.Host)
+	n := gc.DurationMS
+	intervalNS := int64(sim.Millisecond)
+	capacityPerMS := float64(p.NICLineRateBps) / 8 / 1000
+
+	offered := make([]float64, n)
+	flows := make([]int, n)
+
+	// Background load and flows.
+	for i := 0; i < n; i++ {
+		offered[i] = p.BaseUtil * capacityPerMS * (0.5 + rng.Float64())
+		flows[i] = poisson(rng, float64(p.BackgroundFlows))
+	}
+
+	// Bursts: Poisson arrivals; each burst offers line rate for its
+	// duration plus a front-loaded overshoot that builds the target queue
+	// peak. Overlapping bursts are pushed back, like queued work.
+	meanGapMS := 1000 / p.BurstsPerSec
+	at := exponential(rng, meanGapMS)
+	for at < float64(n) {
+		start := int(at)
+		d := p.drawDuration(rng)
+		f := p.drawFlows(rng, gc.At, scale)
+		peak := p.drawPeak(rng)
+
+		overshoot := peak * p.Rack.QueueCapacityBytes
+		for j := 0; j < d && start+j < n; j++ {
+			idx := start + j
+			offered[idx] += capacityPerMS * 0.99
+			if j == 0 {
+				offered[idx] += overshoot * p.FrontLoad
+			}
+			offered[idx] += overshoot * (1 - p.FrontLoad) / float64(d)
+			fj := float64(f) * (0.95 + 0.1*rng.Float64())
+			if int(fj) > flows[idx] {
+				flows[idx] = int(fj)
+			}
+		}
+		// The queue built by the overshoot drains at line rate after the
+		// offered burst ends, extending the measured burst; keep the flow
+		// count attributed to those spill-over intervals.
+		spill := int(math.Ceil(overshoot / capacityPerMS))
+		for j := 0; j < spill && start+d+j < n; j++ {
+			idx := start + d + j
+			if f > flows[idx] {
+				flows[idx] = f
+			}
+		}
+		// Bursts are distinct events: leave at least the spill-over plus
+		// two quiet milliseconds before the next one, so detected bursts
+		// do not merge into artifact mega-bursts.
+		next := at + exponential(rng, meanGapMS)
+		if min := at + float64(d+spill+2); next < min {
+			next = min
+		}
+		at = next
+	}
+
+	// Rack-level shared-buffer contention windows.
+	rackCfg := p.Rack
+	if p.ContentionPerSec > 0 {
+		fr := make([]float64, n)
+		for i := range fr {
+			fr[i] = 1
+		}
+		cAt := exponential(rng, 1000/p.ContentionPerSec)
+		for cAt < float64(n) {
+			d := 1 + int(exponential(rng, p.ContentionMeanMS))
+			f := p.ContentionMinFrac + rng.Float64()*(p.ContentionMaxFrac-p.ContentionMinFrac)
+			for j := 0; j < d && int(cAt)+j < n; j++ {
+				if f < fr[int(cAt)+j] {
+					fr[int(cAt)+j] = f
+				}
+			}
+			cAt += float64(d) + exponential(rng, 1000/p.ContentionPerSec)
+		}
+		rackCfg.CapacityFractions = fr
+	}
+
+	res := rackmodel.Run(offered, intervalNS, rackCfg)
+
+	tr := millisampler.NewTrace(intervalNS, p.NICLineRateBps, n)
+	tr.QueueWatermarkFraction = res.WatermarkFraction
+	for i := 0; i < n; i++ {
+		tr.Samples[i] = millisampler.Sample{
+			Bytes:     res.Delivered[i],
+			Flows:     flows[i],
+			ECNBytes:  res.ECNBytes[i],
+			RetxBytes: res.RetxBytes[i],
+		}
+	}
+	return tr
+}
+
+// poisson draws from a Poisson distribution with the given mean (Knuth's
+// method; means here are tiny).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// exponential draws an exponential inter-arrival with the given mean.
+func exponential(rng *rand.Rand, mean float64) float64 {
+	return -mean * math.Log(1-rng.Float64())
+}

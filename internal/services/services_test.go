@@ -1,0 +1,259 @@
+package services
+
+import (
+	"testing"
+
+	"incastlab/internal/millisampler"
+	"incastlab/internal/sim"
+	"incastlab/internal/stats"
+)
+
+func TestTable1HasFiveServices(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("services = %d, want 5", len(all))
+	}
+	want := []string{"storage", "aggregator", "indexer", "messaging", "video"}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Fatalf("service %d = %q, want %q", i, all[i].Name, name)
+		}
+		if all[i].Description == "" {
+			t.Fatalf("service %q has no description", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("video")
+	if !ok || p.Name != "video" {
+		t.Fatalf("ByName(video) = %+v, %v", p, ok)
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("ByName should fail for unknown service")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("aggregator")
+	gc := GenConfig{Seed: 7, Host: 3, At: sim.Second, DurationMS: 500}
+	a, b := p.Generate(gc), p.Generate(gc)
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs under identical config", i)
+		}
+	}
+	gc.Host = 4
+	c := p.Generate(gc)
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different hosts produced identical traces")
+	}
+}
+
+// corpusFor caches nothing; small corpora keep tests quick.
+func corpusFor(t *testing.T, name string, hosts, rounds int) *millisampler.Report {
+	t.Helper()
+	p, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown service %q", name)
+	}
+	cfg := DefaultCollectConfig()
+	cfg.Hosts = hosts
+	cfg.Rounds = rounds
+	return millisampler.Analyze(Collect(p, cfg))
+}
+
+func TestCalibrationBurstFrequencyAndDuration(t *testing.T) {
+	for _, p := range All() {
+		rep := corpusFor(t, p.Name, 5, 2)
+		f := rep.BurstsPerSecond.Quantile(0.5)
+		// Paper Fig 2a: tens to ~200 bursts per second.
+		if f < 10 || f > 250 {
+			t.Errorf("%s: burst frequency p50 = %v, want 10..250", p.Name, f)
+		}
+		// Paper Fig 2b: bursts last 1-20 ms, most 1-2 ms.
+		if max := rep.DurationMS.Max(); max > 25 {
+			t.Errorf("%s: max duration %v ms, want <= ~20", p.Name, max)
+		}
+		if short := rep.DurationMS.At(2); short < 0.4 {
+			t.Errorf("%s: only %.2f of bursts are 1-2 ms, want >= 0.4", p.Name, short)
+		}
+	}
+}
+
+func TestCalibrationUtilizationIsLow(t *testing.T) {
+	// Paper Fig 1a: overall utilization ~10% despite line-rate bursts.
+	for _, p := range All() {
+		rep := corpusFor(t, p.Name, 4, 2)
+		if rep.MeanUtilization > 0.30 || rep.MeanUtilization < 0.02 {
+			t.Errorf("%s: mean utilization = %v, want low (~0.05-0.2)", p.Name, rep.MeanUtilization)
+		}
+	}
+}
+
+func TestCalibrationFlowCounts(t *testing.T) {
+	for _, p := range All() {
+		rep := corpusFor(t, p.Name, 5, 2)
+		p99 := rep.Flows.Quantile(0.99)
+		// Paper Fig 2c: p99 reaches 100-500+ flows depending on service.
+		if p99 < 80 || p99 > 650 {
+			t.Errorf("%s: flows p99 = %v, want 80..650", p.Name, p99)
+		}
+		// The majority of bursts are incasts for every service except
+		// storage, whose low-flow mode is ~45%.
+		if frac := rep.IncastFraction(); frac < 0.5 {
+			t.Errorf("%s: incast fraction = %v, want >= 0.5", p.Name, frac)
+		}
+	}
+}
+
+func TestCalibrationBimodalCliffs(t *testing.T) {
+	// Paper Fig 2c: storage and aggregator show a low-flow cliff where
+	// 10-45% of bursts have fewer than 20 flows.
+	storage := corpusFor(t, "storage", 5, 2)
+	if low := storage.Flows.At(20); low < 0.3 || low > 0.6 {
+		t.Errorf("storage: low-flow fraction = %v, want ~0.45", low)
+	}
+	agg := corpusFor(t, "aggregator", 5, 2)
+	if low := agg.Flows.At(20); low < 0.05 || low > 0.3 {
+		t.Errorf("aggregator: low-flow fraction = %v, want ~0.12", low)
+	}
+	indexer := corpusFor(t, "indexer", 5, 2)
+	if low := indexer.Flows.At(20); low > 0.1 {
+		t.Errorf("indexer: low-flow fraction = %v, want near 0", low)
+	}
+}
+
+func TestCalibrationECNMarking(t *testing.T) {
+	// Paper Fig 4b: ~50% of bursts see no marking at all; aggregator and
+	// video mark heavily (p90 > 60%).
+	for _, name := range []string{"aggregator", "video"} {
+		rep := corpusFor(t, name, 5, 2)
+		if zero := rep.ECNFraction.At(0); zero < 0.15 || zero > 0.6 {
+			t.Errorf("%s: zero-marking fraction = %v", name, zero)
+		}
+		if p90 := rep.ECNFraction.Quantile(0.9); p90 < 0.6 {
+			t.Errorf("%s: ECN p90 = %v, want > 0.6", name, p90)
+		}
+	}
+	for _, name := range []string{"storage", "indexer", "messaging"} {
+		rep := corpusFor(t, name, 5, 2)
+		if zero := rep.ECNFraction.At(0); zero < 0.35 {
+			t.Errorf("%s: zero-marking fraction = %v, want >= 0.35", name, zero)
+		}
+	}
+}
+
+func TestCalibrationRetransmissionsRareButLarge(t *testing.T) {
+	// Paper Fig 4c: at most ~5% of bursts see retransmissions; the tail
+	// reaches several percent of line rate.
+	for _, p := range All() {
+		rep := corpusFor(t, p.Name, 8, 3)
+		if zero := rep.RetxFraction.At(0); zero < 0.95 {
+			t.Errorf("%s: %.3f of bursts retransmit-free, want >= 0.95", p.Name, zero)
+		}
+		if max := rep.RetxFraction.Max(); max > 0.30 {
+			t.Errorf("%s: max retx fraction = %v, want <= ~0.25", p.Name, max)
+		}
+	}
+}
+
+func TestCalibrationQueueWatermarks(t *testing.T) {
+	// Paper Fig 4a: the median burst is attributed a watermark of
+	// 20-100% of queue capacity.
+	for _, p := range All() {
+		rep := corpusFor(t, p.Name, 5, 2)
+		wm := rep.QueueWatermark.Quantile(0.5)
+		if wm < 0.15 || wm > 1.0 {
+			t.Errorf("%s: watermark p50 = %v, want 0.2..1.0", p.Name, wm)
+		}
+	}
+}
+
+func TestVideoModeSwitch(t *testing.T) {
+	// Paper Fig 3a: video alternates between ~225 and ~275 mean flows.
+	p, _ := ByName("video")
+	meanFlowsAt := func(at sim.Time) float64 {
+		var all []float64
+		for h := 0; h < 6; h++ {
+			tr := p.Generate(GenConfig{Seed: 1, Host: h, At: at, DurationMS: 2000})
+			s := millisampler.FlowStats(tr)
+			all = append(all, s.Mean)
+		}
+		return stats.Mean(all)
+	}
+	m0 := meanFlowsAt(0)
+	m1 := meanFlowsAt(p.ModePeriod + sim.Second)
+	if m1-m0 < 20 {
+		t.Fatalf("video modes: %v vs %v, want a ~50-flow shift", m0, m1)
+	}
+	// And back again after a full period pair.
+	m2 := meanFlowsAt(2*p.ModePeriod + sim.Second)
+	if m2-m0 > 25 || m0-m2 > 25 {
+		t.Fatalf("video mode did not return: %v vs %v", m0, m2)
+	}
+}
+
+func TestStabilityAcrossHostsAndTime(t *testing.T) {
+	// Paper Fig 3: per-service mean flow counts are stable across hosts
+	// and across rounds.
+	p, _ := ByName("aggregator")
+	var hostMeans []float64
+	for h := 0; h < 8; h++ {
+		tr := p.Generate(GenConfig{Seed: 1, Host: h, At: 0, DurationMS: 2000})
+		hostMeans = append(hostMeans, millisampler.FlowStats(tr).Mean)
+	}
+	sum := stats.Summarize(hostMeans)
+	if spread := (sum.Max - sum.Min) / sum.Mean; spread > 0.5 {
+		t.Fatalf("host-to-host mean flow spread = %v, want stable (< 0.5)", spread)
+	}
+
+	var roundMeans []float64
+	for r := 0; r < 6; r++ {
+		tr := p.Generate(GenConfig{Seed: 1, Host: 0, At: sim.Time(r) * 600 * sim.Second, DurationMS: 2000})
+		roundMeans = append(roundMeans, millisampler.FlowStats(tr).Mean)
+	}
+	sum = stats.Summarize(roundMeans)
+	if spread := (sum.Max - sum.Min) / sum.Mean; spread > 0.5 {
+		t.Fatalf("round-to-round mean flow spread = %v, want stable", spread)
+	}
+}
+
+func TestCollectShapes(t *testing.T) {
+	p, _ := ByName("indexer")
+	cfg := CollectConfig{Seed: 1, Hosts: 3, Rounds: 2, RoundSpacing: sim.Second, TraceMS: 100}
+	traces := Collect(p, cfg)
+	if len(traces) != 6 {
+		t.Fatalf("traces = %d, want 6", len(traces))
+	}
+	round := CollectRound(p, cfg, 1)
+	if len(round) != 3 {
+		t.Fatalf("round traces = %d, want 3", len(round))
+	}
+	// CollectRound(1) must equal the second half of Collect.
+	for h := 0; h < 3; h++ {
+		a, b := traces[3+h], round[h]
+		for i := range a.Samples {
+			if a.Samples[i] != b.Samples[i] {
+				t.Fatalf("CollectRound mismatch at host %d sample %d", h, i)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	p, _ := ByName("storage")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero duration did not panic")
+		}
+	}()
+	p.Generate(GenConfig{DurationMS: 0})
+}

@@ -1,0 +1,267 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine models virtual time as int64 nanoseconds. Events are closures
+// scheduled at absolute virtual times and executed in (time, sequence) order,
+// where sequence is the order of scheduling; this makes runs fully
+// deterministic: two events scheduled for the same instant fire in the order
+// they were scheduled.
+//
+// The engine is single-goroutine by design. Network simulations are causally
+// ordered graphs of tiny events (packet arrivals, timer expiries), and a
+// single ordered event loop is both faster and easier to reason about than a
+// concurrent one. Callers that want parallelism run independent Engine
+// instances (one per experiment) on separate goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation. It is a distinct type to prevent accidental mixing with wall
+// -clock time.
+type Time int64
+
+// Common durations, expressed in the engine's nanosecond unit.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time. It is useful as an
+// "effectively never" deadline.
+const MaxTime = Time(math.MaxInt64)
+
+// Duration converts a standard library duration to simulation time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Std converts a simulation time to a standard library duration.
+func (t Time) Std() time.Duration { return time.Duration(int64(t)) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds reports t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit, e.g. "1.500ms".
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	}
+}
+
+// event is a scheduled closure. seq breaks ties between events that share a
+// timestamp so that scheduling order is execution order.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, maintained by eventHeap
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// executed counts events that have run, for diagnostics and benchmarks.
+	executed uint64
+}
+
+// NewEngine returns an empty engine whose clock starts at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled, not-yet-executed events,
+// including canceled events that have not been reaped yet.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Executed returns the number of events that have been run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Timer is a handle to a scheduled event that can be canceled or
+// rescheduled. A nil Timer is inert: Stop and Active are safe no-ops.
+type Timer struct {
+	engine *Engine
+	ev     *event
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the call
+// prevented the event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+		return false
+	}
+	t.ev.canceled = true
+	heap.Remove(&t.engine.events, t.ev.index)
+	return true
+}
+
+// Active reports whether the timer is still scheduled to fire.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index >= 0
+}
+
+// When returns the virtual time at which the timer fires, or MaxTime if the
+// timer is not active.
+func (t *Timer) When() Time {
+	if !t.Active() {
+		return MaxTime
+	}
+	return t.ev.at
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// (before Now) panics: in a discrete-event model that is always a logic bug,
+// and silently clamping it would hide causality violations.
+func (e *Engine) At(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v which is before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{engine: e, ev: ev}
+}
+
+// After schedules fn to run delay nanoseconds from now.
+func (e *Engine) After(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Stop halts the run loop after the current event completes. Pending events
+// remain queued; a subsequent Run or RunUntil resumes them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step pops and executes the earliest event. It reports false when the queue
+// is empty.
+func (e *Engine) step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the virtual time of the last executed event.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (even if no event fired exactly then). Events after
+// the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.events) == 0 {
+			break
+		}
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// peek returns the earliest non-canceled event without removing it, reaping
+// canceled events it encounters at the top of the heap.
+func (e *Engine) peek() *event {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.events)
+	}
+	return nil
+}
+
+// NextEventAt returns the time of the next pending event, or MaxTime if the
+// queue is empty.
+func (e *Engine) NextEventAt() Time {
+	ev := e.peek()
+	if ev == nil {
+		return MaxTime
+	}
+	return ev.at
+}

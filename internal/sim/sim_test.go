@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := Duration(1500 * time.Microsecond); got != 1500*Microsecond {
+		t.Fatalf("Duration = %v, want %v", got, 1500*Microsecond)
+	}
+	if got := (2 * Millisecond).Std(); got != 2*time.Millisecond {
+		t.Fatalf("Std = %v, want 2ms", got)
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", got)
+	}
+	if got := (3 * Microsecond).Milliseconds(); got != 0.003 {
+		t.Fatalf("Milliseconds = %v, want 0.003", got)
+	}
+	if got := (2500 * Nanosecond).Microseconds(); got != 2.5 {
+		t.Fatalf("Microseconds = %v, want 2.5", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestEngineRunsEventsInOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("Run returned %v, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order %v, want [1 2 3]", order)
+	}
+}
+
+func TestEngineFIFOForSameTimestamp(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(42, func() { order = append(order, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-timestamp events ran out of scheduling order: %v", order)
+	}
+}
+
+func TestEngineClockAdvancesDuringRun(t *testing.T) {
+	e := NewEngine()
+	var at1, at2 Time
+	e.At(100, func() { at1 = e.Now() })
+	e.At(250, func() { at2 = e.Now() })
+	e.Run()
+	if at1 != 100 || at2 != 250 {
+		t.Fatalf("event-visible clock = %v, %v; want 100, 250", at1, at2)
+	}
+}
+
+func TestEngineAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.At(100, func() {
+		e.After(50, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 150 {
+		t.Fatalf("After fired at %v, want 150", fired)
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestEnginePanicsOnNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEnginePanicsOnNilFunc(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil event function did not panic")
+		}
+	}()
+	e.At(1, nil)
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.At(10, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active after scheduling")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report true on an active timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	if tm.Active() {
+		t.Fatal("timer should be inactive after Stop")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(10, func() {})
+	e.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+	if tm.Active() {
+		t.Fatal("fired timer should not be active")
+	}
+}
+
+func TestNilTimerIsInert(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() {
+		t.Fatal("nil Timer Stop should report false")
+	}
+	if tm.Active() {
+		t.Fatal("nil Timer should not be active")
+	}
+	if tm.When() != MaxTime {
+		t.Fatal("nil Timer When should be MaxTime")
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(77, func() {})
+	if tm.When() != 77 {
+		t.Fatalf("When = %v, want 77", tm.When())
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	end := e.RunUntil(25)
+	if end != 25 {
+		t.Fatalf("RunUntil returned %v, want 25", end)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20 only", fired)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	// Resuming picks up the rest.
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after resume fired %v, want all 4", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	e := NewEngine()
+	if end := e.RunUntil(500); end != 500 {
+		t.Fatalf("RunUntil on empty engine returned %v, want 500", end)
+	}
+	if e.Now() != 500 {
+		t.Fatalf("Now = %v, want 500", e.Now())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(1, func() { count++; e.Stop() })
+	e.At(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (Stop should halt the loop)", count)
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 after resuming", count)
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	e := NewEngine()
+	if e.NextEventAt() != MaxTime {
+		t.Fatal("empty engine should report MaxTime")
+	}
+	tm := e.At(99, func() {})
+	if e.NextEventAt() != 99 {
+		t.Fatalf("NextEventAt = %v, want 99", e.NextEventAt())
+	}
+	tm.Stop()
+	if e.NextEventAt() != MaxTime {
+		t.Fatal("after canceling the only event, NextEventAt should be MaxTime")
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Executed() != 5 {
+		t.Fatalf("Executed = %d, want 5", e.Executed())
+	}
+}
+
+// TestEventOrderProperty checks, for random schedules, that execution order
+// is exactly the (time, scheduling-sequence) sort of the input.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) > 512 {
+			times = times[:512]
+		}
+		e := NewEngine()
+		type key struct {
+			at  Time
+			seq int
+		}
+		var got []key
+		for i, tt := range times {
+			i, at := i, Time(tt)
+			e.At(at, func() { got = append(got, key{at, i}) })
+		}
+		e.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		want := make([]key, len(got))
+		copy(want, got)
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].at != want[j].at {
+				return want[i].at < want[j].at
+			}
+			return want[i].seq < want[j].seq
+		})
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClockMonotoneProperty checks the clock never moves backwards across a
+// random schedule, including nested scheduling.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		var observe func()
+		observe = func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if rng.IntN(4) == 0 && e.Executed() < 1000 {
+				e.After(Time(rng.IntN(100)), observe)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			e.At(Time(rng.IntN(1000)), observe)
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRand(8)
+	same := true
+	a = NewRand(7)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), func() {})
+		if e.Pending() > 10000 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,167 @@
+package tcp
+
+import (
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+// ICTCPConfig tunes the receiver-side incast controller.
+type ICTCPConfig struct {
+	// LineRateBps is the receiving NIC's rate (the resource being shared).
+	LineRateBps int64
+	// BaseRTT sizes the control slot (2 x RTT per the ICTCP paper).
+	BaseRTT sim.Time
+	// MinWindow is the per-connection receive window floor (ICTCP uses
+	// 2 MSS).
+	MinWindow int64
+	// InitialWindow is each managed connection's starting window.
+	InitialWindow int64
+	// Gamma1 and Gamma2 are the increase/decrease thresholds on the
+	// fraction of expected throughput a connection fails to achieve
+	// (ICTCP: 0.1 and 0.5).
+	Gamma1, Gamma2 float64
+	// Headroom is the fraction of line rate ICTCP is willing to allocate
+	// before it stops granting increases (ICTCP: 0.9).
+	Headroom float64
+	// DecreaseAfter is how many consecutive over-provisioned slots trigger
+	// a window decrease (ICTCP: 3).
+	DecreaseAfter int
+}
+
+// DefaultICTCPConfig returns the ICTCP paper's parameters for a NIC.
+func DefaultICTCPConfig(lineRateBps int64, baseRTT sim.Time) ICTCPConfig {
+	return ICTCPConfig{
+		LineRateBps:   lineRateBps,
+		BaseRTT:       baseRTT,
+		MinWindow:     2 * netsim.MSS,
+		InitialWindow: 2 * netsim.MSS,
+		Gamma1:        0.1,
+		Gamma2:        0.5,
+		Headroom:      0.9,
+		DecreaseAfter: 3,
+	}
+}
+
+// ICTCP is a receiver-side incast congestion controller in the spirit of
+// Wu et al. (CoNEXT 2010): the receiving host steers each connection's
+// advertised receive window so that the sum of expected throughputs stays
+// within the NIC's capacity. The paper under reproduction cites ICTCP as
+// one of the O(50)-flow designs: because the window cannot drop below
+// 2 MSS, N connections pin at least 2N packets in flight, and the scheme
+// stops helping once N x 2 MSS exceeds the pipe — the same degenerate
+// arithmetic DCTCP hits one MSS later.
+type ICTCP struct {
+	eng   *sim.Engine
+	cfg   ICTCPConfig
+	conns []*ictcpConn
+}
+
+type ictcpConn struct {
+	r        *Receiver
+	wnd      int64
+	lastRcv  int64
+	overCnt  int
+	measured float64 // bytes delivered in the last slot
+}
+
+// NewICTCP creates the controller and starts its control loop on eng.
+func NewICTCP(eng *sim.Engine, cfg ICTCPConfig) *ICTCP {
+	if cfg.LineRateBps <= 0 || cfg.BaseRTT <= 0 {
+		panic("tcp: ictcp needs a line rate and base RTT")
+	}
+	if cfg.MinWindow < netsim.MSS {
+		cfg.MinWindow = netsim.MSS
+	}
+	if cfg.InitialWindow < cfg.MinWindow {
+		cfg.InitialWindow = cfg.MinWindow
+	}
+	if cfg.Gamma1 <= 0 || cfg.Gamma2 <= cfg.Gamma1 {
+		panic("tcp: ictcp thresholds must satisfy 0 < gamma1 < gamma2")
+	}
+	if cfg.Headroom <= 0 || cfg.Headroom > 1 {
+		panic("tcp: ictcp headroom must be in (0,1]")
+	}
+	if cfg.DecreaseAfter <= 0 {
+		cfg.DecreaseAfter = 3
+	}
+	c := &ICTCP{eng: eng, cfg: cfg}
+	c.scheduleSlot()
+	return c
+}
+
+// Manage registers a connection's receiver under the controller and sets
+// its initial advertised window.
+func (c *ICTCP) Manage(r *Receiver) {
+	conn := &ictcpConn{r: r, wnd: c.cfg.InitialWindow, lastRcv: r.RcvNxt()}
+	r.SetAdvertisedWindow(conn.wnd)
+	c.conns = append(c.conns, conn)
+}
+
+// Window returns the current advertised window of managed connection i,
+// for instrumentation.
+func (c *ICTCP) Window(i int) int64 { return c.conns[i].wnd }
+
+// slot length is 2 x RTT, the ICTCP control interval.
+func (c *ICTCP) slot() sim.Time { return 2 * c.cfg.BaseRTT }
+
+func (c *ICTCP) scheduleSlot() {
+	c.eng.After(c.slot(), func() {
+		c.adjust()
+		c.scheduleSlot()
+	})
+}
+
+// adjust runs one control slot: measure per-connection goodput, compute
+// available bandwidth, and steer windows.
+func (c *ICTCP) adjust() {
+	slotSec := c.slot().Seconds()
+	var totalBps float64
+	for _, conn := range c.conns {
+		delivered := conn.r.RcvNxt() - conn.lastRcv
+		conn.lastRcv = conn.r.RcvNxt()
+		conn.measured = float64(delivered)
+		totalBps += float64(delivered) * 8 / slotSec
+	}
+	// Available bandwidth after headroom.
+	availBps := c.cfg.Headroom*float64(c.cfg.LineRateBps) - totalBps
+	rttSec := c.cfg.BaseRTT.Seconds()
+
+	byteRate := float64(c.cfg.LineRateBps) / 8
+	for _, conn := range c.conns {
+		measuredBps := conn.measured * 8 / slotSec
+		// Expected throughput of a window-limited connection over an
+		// otherwise empty path: the window turns around once per RTT plus
+		// its own serialization time at the line rate.
+		turnaround := rttSec + float64(conn.wnd)/byteRate
+		expectedBps := float64(conn.wnd) * 8 / turnaround
+		if expectedBps <= 0 {
+			continue
+		}
+		diff := (expectedBps - measuredBps) / expectedBps
+		switch {
+		case diff <= c.cfg.Gamma1:
+			// The connection uses what it is given; grant more if the NIC
+			// has spare capacity for the increment.
+			incBps := float64(netsim.MSS) * 8 / rttSec
+			if availBps >= incBps {
+				conn.wnd += netsim.MSS
+				conn.r.SetAdvertisedWindow(conn.wnd)
+				availBps -= incBps
+			}
+			conn.overCnt = 0
+		case diff >= c.cfg.Gamma2:
+			// Persistently over-provisioned: shrink after DecreaseAfter
+			// consecutive slots.
+			conn.overCnt++
+			if conn.overCnt >= c.cfg.DecreaseAfter {
+				conn.overCnt = 0
+				if conn.wnd-netsim.MSS >= c.cfg.MinWindow {
+					conn.wnd -= netsim.MSS
+					conn.r.SetAdvertisedWindow(conn.wnd)
+				}
+			}
+		default:
+			conn.overCnt = 0
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package tcp
+
+import (
+	"testing"
+
+	"incastlab/internal/cc"
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+func TestAdvertisedWindowLimitsSender(t *testing.T) {
+	eng, _, snd, rcv := buildLoopFor(t, cc.NewReno(100*netsim.MSS))
+	rcv.SetAdvertisedWindow(2 * netsim.MSS)
+	snd.AddDemand(50 * netsim.MSS)
+	// Before any ACK returns, the sender is window-limited by cwnd only
+	// (100 MSS) — it has not yet learned the peer's window — so cap the
+	// first flight by checking after the first RTT.
+	eng.RunUntil(5 * sim.Millisecond)
+	// After the advertisement arrives, in-flight never exceeds 2 MSS.
+	maxSeen := int64(0)
+	for i := 0; i < 200; i++ {
+		eng.RunUntil(eng.Now() + 50*sim.Microsecond)
+		if f := snd.InFlight(); f > maxSeen && eng.Now() > 5*sim.Millisecond {
+			maxSeen = f
+		}
+	}
+	eng.Run()
+	if maxSeen > 2*netsim.MSS {
+		t.Fatalf("in-flight %d exceeded the 2-MSS advertised window", maxSeen)
+	}
+	if !snd.DemandMet() {
+		t.Fatal("transfer stalled under flow control")
+	}
+}
+
+// buildLoopFor is buildLoop with an explicit algorithm (helper for this
+// file; buildLoop lives in tcp_test.go).
+func buildLoopFor(t *testing.T, alg cc.Algorithm) (*sim.Engine, *netsim.Dumbbell, *Sender, *Receiver) {
+	t.Helper()
+	return buildLoop(t, alg, DefaultSenderConfig(), DefaultReceiverConfig())
+}
+
+func TestICTCPConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	mustPanic := func(name string, cfg ICTCPConfig) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		NewICTCP(eng, cfg)
+	}
+	base := DefaultICTCPConfig(10*netsim.Gbps, 30*sim.Microsecond)
+	bad := base
+	bad.LineRateBps = 0
+	mustPanic("no rate", bad)
+	bad = base
+	bad.Gamma2 = bad.Gamma1
+	mustPanic("gamma order", bad)
+	bad = base
+	bad.Headroom = 0
+	mustPanic("headroom", bad)
+}
+
+// ictcpLoop builds an n-flow incast with Reno senders managed by an ICTCP
+// receiver, returns after running demand through it.
+func ictcpLoop(t *testing.T, n int, perFlow int64, useICTCP bool) (*netsim.Dumbbell, []*Sender) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := netsim.DefaultDumbbellConfig(n)
+	d := netsim.NewDumbbell(eng, net)
+	rHub := NewHub(d.Receiver)
+	var ctrl *ICTCP
+	if useICTCP {
+		ctrl = NewICTCP(eng, DefaultICTCPConfig(net.HostLinkBps, net.BaseRTT()))
+	}
+	senders := make([]*Sender, n)
+	for i := 0; i < n; i++ {
+		flow := netsim.FlowID(i + 1)
+		sHub := NewHub(d.Senders[i])
+		senders[i] = NewSender(eng, sHub, flow, d.Receiver.ID(),
+			cc.NewReno(10*netsim.MSS), DefaultSenderConfig())
+		rcv := NewReceiver(eng, rHub, flow, d.Senders[i].ID(), DefaultReceiverConfig())
+		if ctrl != nil {
+			ctrl.Manage(rcv)
+		}
+		senders[i].AddDemand(perFlow)
+	}
+	eng.RunUntil(30 * sim.Second)
+	for i, s := range senders {
+		if !s.DemandMet() {
+			t.Fatalf("flow %d stalled (ictcp=%v)", i, useICTCP)
+		}
+	}
+	return d, senders
+}
+
+func TestICTCPTamesModerateIncast(t *testing.T) {
+	// 40 Reno flows, ~40 segments each: unmanaged Reno overruns the queue
+	// and drops; ICTCP's receiver windows keep the incast lossless.
+	const n, perFlow = 40, 200 * netsim.MSS
+	plain, _ := ictcpLoop(t, n, perFlow, false)
+	managed, _ := ictcpLoop(t, n, perFlow, true)
+
+	plainDrops := plain.BottleneckQueue().Stats().DroppedPackets +
+		plain.Uplink.Queue().Stats().DroppedPackets
+	managedDrops := managed.BottleneckQueue().Stats().DroppedPackets +
+		managed.Uplink.Queue().Stats().DroppedPackets
+	if plainDrops == 0 {
+		t.Fatal("baseline Reno incast should drop (otherwise the test is vacuous)")
+	}
+	if managedDrops >= plainDrops {
+		t.Fatalf("ICTCP drops %d >= plain %d; receiver windows should help", managedDrops, plainDrops)
+	}
+	if managedPeak := managed.BottleneckQueue().Stats().PeakPackets; managedPeak > 400 {
+		t.Fatalf("ICTCP peak queue %d, want a controlled queue", managedPeak)
+	}
+}
+
+func TestICTCPMinWindowFloorAtScale(t *testing.T) {
+	// The paper's point about O(50)-flow designs: at 400 flows, ICTCP's
+	// 2-MSS floor pins >= 800 packets in flight, so the queue cannot be
+	// kept small no matter what the controller does.
+	const n = 400
+	managed, _ := ictcpLoop(t, n, 6*netsim.MSS, true)
+	peak := managed.BottleneckQueue().Stats().PeakPackets
+	if peak < 400 {
+		t.Fatalf("peak queue %d; the 2-MSS floor should force a deep queue at %d flows", peak, n)
+	}
+}
+
+func TestICTCPWindowsRespondToDemand(t *testing.T) {
+	// A single managed bulk flow should be granted window increases well
+	// beyond the 2-MSS initial value.
+	eng := sim.NewEngine()
+	net := netsim.DefaultDumbbellConfig(1)
+	d := netsim.NewDumbbell(eng, net)
+	rHub := NewHub(d.Receiver)
+	ctrl := NewICTCP(eng, DefaultICTCPConfig(net.HostLinkBps, net.BaseRTT()))
+	sHub := NewHub(d.Senders[0])
+	snd := NewSender(eng, sHub, 1, d.Receiver.ID(), cc.NewReno(10*netsim.MSS), DefaultSenderConfig())
+	rcv := NewReceiver(eng, rHub, 1, d.Senders[0].ID(), DefaultReceiverConfig())
+	ctrl.Manage(rcv)
+	// Enough demand to stay busy well past the check point (43.8 MB is
+	// ~35 ms at line rate).
+	snd.AddDemand(30000 * netsim.MSS)
+	eng.RunUntil(20 * sim.Millisecond)
+	if w := ctrl.Window(0); w <= 4*netsim.MSS {
+		t.Fatalf("window %d after sustained demand, want growth beyond 4 MSS", w)
+	}
+	if !snd.DemandMet() {
+		eng.RunUntil(eng.Now() + sim.Second)
+	}
+	if !snd.DemandMet() {
+		t.Fatal("bulk transfer under ICTCP stalled")
+	}
+}

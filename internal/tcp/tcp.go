@@ -1,0 +1,84 @@
+// Package tcp implements a reliable byte-stream transport over netsim with
+// pluggable congestion control — the mechanisms the paper's Section 4
+// studies: window-limited transmission, cumulative ACKs with ECN echo,
+// triple-duplicate-ACK fast retransmit, retransmission timeouts with a
+// minimum RTO, and persistent connections whose congestion state survives
+// across bursts (the root of the Section 4.3 divergence).
+//
+// The transport deliberately omits what the paper's simulations omit:
+// connection handshakes (connections are persistent and pre-established),
+// SACK (loss recovery is NewReno-style on cumulative ACKs), and flow
+// control (receive windows are never the constraint in these workloads).
+package tcp
+
+import (
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+// Hub demultiplexes packets delivered to a host among per-flow endpoints.
+// One Hub is attached per host; senders and receivers register themselves.
+type Hub struct {
+	host      *netsim.Host
+	endpoints map[netsim.FlowID]netsim.PacketHandler
+}
+
+// NewHub creates a hub and attaches it to the host.
+func NewHub(h *netsim.Host) *Hub {
+	hub := &Hub{host: h, endpoints: make(map[netsim.FlowID]netsim.PacketHandler)}
+	h.Attach(hub)
+	return hub
+}
+
+// Host returns the host this hub serves.
+func (h *Hub) Host() *netsim.Host { return h.host }
+
+// Register directs packets of the given flow to handler.
+func (h *Hub) Register(flow netsim.FlowID, handler netsim.PacketHandler) {
+	h.endpoints[flow] = handler
+}
+
+// HandlePacket implements netsim.PacketHandler; unknown flows are dropped
+// silently, as a real host would discard segments for closed ports.
+func (h *Hub) HandlePacket(p *netsim.Packet) {
+	if ep, ok := h.endpoints[p.Flow]; ok {
+		ep.HandlePacket(p)
+	}
+}
+
+// rttEstimator implements the standard SRTT/RTTVAR estimator (RFC 6298).
+type rttEstimator struct {
+	srtt    sim.Time
+	rttvar  sim.Time
+	hasSRTT bool
+}
+
+func (e *rttEstimator) sample(rtt sim.Time) {
+	if !e.hasSRTT {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.hasSRTT = true
+		return
+	}
+	dev := e.srtt - rtt
+	if dev < 0 {
+		dev = -dev
+	}
+	e.rttvar = (3*e.rttvar + dev) / 4
+	e.srtt = (7*e.srtt + rtt) / 8
+}
+
+// rto returns the computed retransmission timeout bounded to [min, max].
+func (e *rttEstimator) rto(min, max sim.Time) sim.Time {
+	if !e.hasSRTT {
+		return min
+	}
+	r := e.srtt + 4*e.rttvar
+	if r < min {
+		r = min
+	}
+	if r > max {
+		r = max
+	}
+	return r
+}

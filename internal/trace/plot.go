@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve for an ASCII plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// glyphs distinguish up to six overlaid series.
+var glyphs = []rune{'*', '+', 'o', 'x', '#', '@'}
+
+// Plot renders series as an ASCII scatter/line chart of the given
+// character dimensions. It is intentionally simple: enough to eyeball the
+// shape of a queue trace or CDF in a terminal, with the CSV files carrying
+// the precise data.
+func Plot(w io.Writer, title, xlabel, ylabel string, series []Series, width, height int) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("trace: plot area %dx%d too small", width, height)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("trace: nothing to plot")
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("trace: series %q has %d xs but %d ys", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("trace: all series empty")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			c := int(float64(width-1) * (s.X[i] - xmin) / (xmax - xmin))
+			r := height - 1 - int(float64(height-1)*(s.Y[i]-ymin)/(ymax-ymin))
+			grid[r][c] = g
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	legend := make([]string, len(series))
+	for i, s := range series {
+		legend[i] = fmt.Sprintf("%c=%s", glyphs[i%len(glyphs)], s.Name)
+	}
+	if _, err := fmt.Fprintf(w, "[%s]  y: %s in [%s, %s]\n",
+		strings.Join(legend, " "), ylabel, Float(ymin), Float(ymax)); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", string(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, " x: %s in [%s, %s]\n", xlabel, Float(xmin), Float(xmax))
+	return err
+}
+
+// PlotString renders a plot into a string, swallowing size errors into the
+// returned text (convenient for logs).
+func PlotString(title, xlabel, ylabel string, series []Series, width, height int) string {
+	var b strings.Builder
+	if err := Plot(&b, title, xlabel, ylabel, series, width, height); err != nil {
+		return fmt.Sprintf("(plot error: %v)", err)
+	}
+	return b.String()
+}

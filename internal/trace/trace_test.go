@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableCSVAndText(t *testing.T) {
+	tb := NewTable("service", "flows", "fraction")
+	tb.AddRow("storage", "85", "0.45")
+	tb.AddRow("video", "225", "0")
+
+	var csvOut strings.Builder
+	if err := tb.WriteCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	want := "service,flows,fraction\nstorage,85,0.45\nvideo,225,0\n"
+	if csvOut.String() != want {
+		t.Fatalf("csv = %q, want %q", csvOut.String(), want)
+	}
+
+	text := tb.Text()
+	if !strings.Contains(text, "service  flows  fraction") {
+		t.Fatalf("text header misaligned:\n%s", text)
+	}
+	if !strings.Contains(text, "-------") {
+		t.Fatalf("text missing separator:\n%s", text)
+	}
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("text has %d lines, want 4:\n%s", len(lines), text)
+	}
+}
+
+func TestTableAddFloats(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddFloats(1, 0.5)
+	if tb.Rows[0][0] != "1" || tb.Rows[0][1] != "0.5" {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestTableRowWidthPanics(t *testing.T) {
+	tb := NewTable("a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row did not panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestSaveCSVCreatesDirectories(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "out.csv")
+	tb := NewTable("x")
+	tb.AddRow("1")
+	if err := tb.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "x\n1\n" {
+		t.Fatalf("file = %q", data)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		1500:   "1500",
+		123.45: "123.5",
+		1.5:    "1.500",
+		0.067:  "0.067",
+	}
+	for v, want := range cases {
+		if got := Float(v); got != want {
+			t.Errorf("Float(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	s := []Series{
+		{Name: "queue", X: []float64{0, 1, 2, 3}, Y: []float64{0, 10, 5, 0}},
+		{Name: "thresh", X: []float64{0, 3}, Y: []float64{6, 6}},
+	}
+	var b strings.Builder
+	if err := Plot(&b, "Queue", "ms", "packets", s, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Queue") || !strings.Contains(out, "*=queue") || !strings.Contains(out, "+=thresh") {
+		t.Fatalf("plot output missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "x: ms in [0, 3]") {
+		t.Fatalf("plot x range wrong:\n%s", out)
+	}
+	// 10 grid rows between header and footer.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "|") {
+			rows++
+		}
+	}
+	if rows != 10 {
+		t.Fatalf("grid rows = %d, want 10", rows)
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	var b strings.Builder
+	if err := Plot(&b, "t", "x", "y", nil, 40, 10); err == nil {
+		t.Fatal("empty series list should error")
+	}
+	if err := Plot(&b, "t", "x", "y", []Series{{Name: "a", X: []float64{1}, Y: nil}}, 40, 10); err == nil {
+		t.Fatal("mismatched series should error")
+	}
+	if err := Plot(&b, "t", "x", "y", []Series{{Name: "a", X: []float64{1}, Y: []float64{1}}}, 5, 2); err == nil {
+		t.Fatal("tiny plot area should error")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	// Degenerate ranges (single point) must not divide by zero.
+	s := []Series{{Name: "p", X: []float64{2}, Y: []float64{7}}}
+	out := PlotString("t", "x", "y", s, 20, 5)
+	if strings.Contains(out, "plot error") {
+		t.Fatalf("constant series failed: %s", out)
+	}
+}

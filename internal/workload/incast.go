@@ -1,0 +1,181 @@
+// Package workload drives incast traffic patterns over the simulated
+// network: N senders with equal per-burst demand toward one receiver,
+// repeated bursts on persistent connections, and jittered flow starts —
+// the Section 4 experiment shape.
+package workload
+
+import (
+	"fmt"
+
+	"incastlab/internal/cc"
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+	"incastlab/internal/tcp"
+)
+
+// IncastConfig describes a repeated incast burst experiment.
+type IncastConfig struct {
+	// Flows is the incast degree N.
+	Flows int
+	// BytesPerFlow is the per-flow demand added at each burst start. For a
+	// target burst duration D on a bottleneck of rate R, use R*D/8/N.
+	BytesPerFlow int64
+	// Bursts is how many bursts to run (the paper runs 11 and discards the
+	// first as a slow-start transient).
+	Bursts int
+	// Interval is the start-to-start spacing of bursts.
+	Interval sim.Time
+	// JitterMax jitters each flow's start within a burst uniformly in
+	// [0, JitterMax] to model variations in worker processing time
+	// (paper: 0-100 us).
+	JitterMax sim.Time
+	// Seed drives the jitter RNG.
+	Seed uint64
+	// SenderConfig and ReceiverConfig tune the transport endpoints.
+	SenderConfig   tcp.SenderConfig
+	ReceiverConfig tcp.ReceiverConfig
+	// Admitter optionally controls when each flow is released within a
+	// burst (Section 5.2 wave scheduling); nil admits everyone at
+	// start+jitter.
+	Admitter Admitter
+}
+
+// BytesPerFlowFor returns the per-flow demand that fills a bottleneck of
+// rate bps for the target duration across n flows, in whole MSS multiples
+// (at least one segment). Using whole segments keeps per-flow demand equal
+// and aligned, like the paper's equal-demand configuration.
+func BytesPerFlowFor(bps int64, duration sim.Time, n int) int64 {
+	total := bps / 8 * int64(duration) / 1_000_000_000
+	per := total / int64(n)
+	segs := per / netsim.MSS
+	if segs < 1 {
+		segs = 1
+	}
+	return segs * netsim.MSS
+}
+
+// DefaultIncastConfig returns the paper's Section 4 setup for n flows and a
+// target burst duration: demand sized to the 10 Gbps bottleneck, 11 bursts,
+// inter-burst gap of 5 ms, 0-100 us jitter.
+func DefaultIncastConfig(n int, burstDuration sim.Time) IncastConfig {
+	return IncastConfig{
+		Flows:          n,
+		BytesPerFlow:   BytesPerFlowFor(10*netsim.Gbps, burstDuration, n),
+		Bursts:         11,
+		Interval:       burstDuration + 5*sim.Millisecond,
+		JitterMax:      100 * sim.Microsecond,
+		Seed:           1,
+		SenderConfig:   tcp.DefaultSenderConfig(),
+		ReceiverConfig: tcp.DefaultReceiverConfig(),
+	}
+}
+
+// AdmitContext is handed to an Admitter at each burst start.
+type AdmitContext struct {
+	// Eng is the simulation engine (for scheduling).
+	Eng *sim.Engine
+	// Burst is the burst index, from 0.
+	Burst int
+	// Start is the burst's nominal start time.
+	Start sim.Time
+	// Flows is the incast degree.
+	Flows int
+	// Admit releases flow i (adds its demand). Each flow must be admitted
+	// exactly once per burst.
+	Admit func(flow int)
+}
+
+// Admitter decides when each flow of a burst is released.
+type Admitter interface {
+	// BeginBurst is called at each burst's nominal start.
+	BeginBurst(ctx AdmitContext)
+	// FlowDone is called when a flow finishes its demand for the burst.
+	FlowDone(burst, flow int)
+}
+
+// BurstRecord summarizes one burst of an incast run.
+type BurstRecord struct {
+	// Index is the burst number, from 0.
+	Index int
+	// Start is the nominal start time (before per-flow jitter).
+	Start sim.Time
+	// End is when the last flow finished its demand.
+	End sim.Time
+	// BCT is End - Start, the burst completion time.
+	BCT sim.Time
+}
+
+// Incast wires an incast workload over a dumbbell topology: it builds the
+// endpoints and delegates burst scheduling to a Group. Construct with
+// NewIncast, optionally attach instrumentation, then run the engine.
+type Incast struct {
+	cfg IncastConfig
+	net *netsim.Dumbbell
+
+	group     *Group
+	receivers []*tcp.Receiver
+}
+
+// NewIncast builds the topology and endpoints. netCfg.Senders must equal
+// cfg.Flows. algFactory supplies a fresh congestion-control instance per
+// flow.
+func NewIncast(eng *sim.Engine, netCfg netsim.DumbbellConfig, cfg IncastConfig,
+	algFactory func(flow int) cc.Algorithm) *Incast {
+	if cfg.Flows <= 0 {
+		panic("workload: incast needs at least one flow")
+	}
+	if netCfg.Senders != cfg.Flows {
+		panic(fmt.Sprintf("workload: topology has %d senders, config has %d flows",
+			netCfg.Senders, cfg.Flows))
+	}
+
+	in := &Incast{
+		cfg: cfg,
+		net: netsim.NewDumbbell(eng, netCfg),
+	}
+
+	recvHub := tcp.NewHub(in.net.Receiver)
+	senders := make([]*tcp.Sender, cfg.Flows)
+	in.receivers = make([]*tcp.Receiver, cfg.Flows)
+	for i := 0; i < cfg.Flows; i++ {
+		flow := netsim.FlowID(i + 1)
+		hub := tcp.NewHub(in.net.Senders[i])
+		senders[i] = tcp.NewSender(eng, hub, flow, in.net.Receiver.ID(),
+			algFactory(i), cfg.SenderConfig)
+		in.receivers[i] = tcp.NewReceiver(eng, recvHub, flow,
+			in.net.Senders[i].ID(), cfg.ReceiverConfig)
+	}
+
+	in.group = NewGroup(eng, senders, GroupConfig{
+		BytesPerFlow: cfg.BytesPerFlow,
+		Bursts:       cfg.Bursts,
+		Interval:     cfg.Interval,
+		JitterMax:    cfg.JitterMax,
+		Seed:         cfg.Seed,
+		Admitter:     cfg.Admitter,
+	})
+	return in
+}
+
+// Network returns the underlying topology.
+func (in *Incast) Network() *netsim.Dumbbell { return in.net }
+
+// Senders returns the per-flow senders (for instrumentation).
+func (in *Incast) Senders() []*tcp.Sender { return in.group.Senders() }
+
+// Receivers returns the per-flow receivers.
+func (in *Incast) Receivers() []*tcp.Receiver { return in.receivers }
+
+// Config returns the workload configuration.
+func (in *Incast) Config() IncastConfig { return in.cfg }
+
+// Bursts returns per-burst records; valid after the run completes.
+func (in *Incast) Bursts() []BurstRecord { return in.group.Bursts() }
+
+// Done reports whether every burst completed.
+func (in *Incast) Done() bool { return in.group.Done() }
+
+// AggregateSenderStats sums transport counters across all flows.
+func (in *Incast) AggregateSenderStats() tcp.SenderStats {
+	return in.group.AggregateSenderStats()
+}

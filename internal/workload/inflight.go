@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+	"incastlab/internal/stats"
+	"incastlab/internal/tcp"
+)
+
+// InFlightSample is one cross-flow snapshot of per-flow in-flight data
+// (bytes), over the flows that are active (in-flight > 0) at that instant.
+// This is the quantity Figure 7 plots to expose straggler skew.
+type InFlightSample struct {
+	// At is the snapshot time.
+	At sim.Time
+	// Active is the number of flows with data in flight.
+	Active int
+	// Mean, P25, P50, P75, P95, Max summarize in-flight bytes across the
+	// active flows; all zero when no flow is active.
+	Mean, P25, P50, P75, P95, Max float64
+}
+
+// InFlightTrace is a sequence of snapshots.
+type InFlightTrace struct {
+	Samples []InFlightSample
+}
+
+// SampleInFlight schedules n periodic snapshots of the senders' in-flight
+// distribution, starting at start. The trace fills in as the engine runs.
+func SampleInFlight(eng *sim.Engine, senders []*tcp.Sender,
+	start, interval sim.Time, n int) *InFlightTrace {
+	tr := &InFlightTrace{Samples: make([]InFlightSample, n)}
+	scratch := make([]float64, 0, len(senders))
+	netsim.SamplePeriodically(eng, start, interval, n, func(i int) {
+		scratch = scratch[:0]
+		for _, s := range senders {
+			if f := s.InFlight(); f > 0 {
+				scratch = append(scratch, float64(f))
+			}
+		}
+		smp := InFlightSample{At: eng.Now(), Active: len(scratch)}
+		if len(scratch) > 0 {
+			sum := stats.Summarize(scratch)
+			smp.Mean, smp.P25, smp.P50 = sum.Mean, sum.P25, sum.P50
+			smp.P75, smp.P95, smp.Max = sum.P75, sum.P95, sum.Max
+		}
+		tr.Samples[i] = smp
+	})
+	return tr
+}
+
+// MaxSkew returns the largest observed ratio of max to median in-flight
+// data across all samples with at least minActive active flows — a scalar
+// measure of the Figure 7 straggler effect.
+func (tr *InFlightTrace) MaxSkew(minActive int) float64 {
+	var worst float64
+	for _, s := range tr.Samples {
+		if s.Active >= minActive && s.P50 > 0 {
+			if r := s.Max / s.P50; r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
