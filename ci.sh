@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# ci.sh — the full verification gate for incastlab.
+#
+# Runs, in order:
+#   1. go vet            static checks across every package
+#   2. go build          everything compiles, commands included
+#   3. go test           the full unit + determinism suite
+#   4. go test -race     the parallel orchestration tests under the race
+#                        detector (worker pool + experiment fan-out)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/core -run TestParallel"
+go test -race ./internal/core -run TestParallel
+
+echo "==> ci.sh: all checks passed"

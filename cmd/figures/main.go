@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	figures [-out DIR] [-seed N] [-quick] [-only name1,name2] [-list]
+//	figures [-out DIR] [-seed N] [-quick] [-workers N] [-only name1,name2] [-list]
 //
 // CSVs land under DIR (default "out"); summaries print to stdout and are
-// also written to DIR/summary.txt.
+// also written to DIR/summary.txt. Per-experiment wall-clock timings are
+// additionally written, machine-readable, to DIR/bench_summary.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +57,7 @@ func main() {
 	out := flag.String("out", "out", "output directory for CSV artifacts")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	quick := flag.Bool("quick", false, "reduced corpus sizes (seconds instead of minutes)")
+	workers := flag.Int("workers", 0, "worker goroutines per experiment sweep (0 = GOMAXPROCS, 1 = serial)")
 	only := flag.String("only", "", "comma-separated experiment names (default: all)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
@@ -78,7 +81,7 @@ func main() {
 		}
 	}
 
-	opt := incastlab.Options{Seed: *seed, Quick: *quick}
+	opt := incastlab.Options{Seed: *seed, Quick: *quick, Workers: *workers}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatalf("create output dir: %v", err)
 	}
@@ -89,18 +92,55 @@ func main() {
 	defer summaryFile.Close()
 	sink := io.MultiWriter(os.Stdout, summaryFile)
 
+	timings := make(map[string]float64)
+	order := []string{}
+	totalStarted := time.Now()
 	for _, e := range experiments {
 		if len(selected) > 0 && !selected[e.name] {
 			continue
 		}
 		started := time.Now()
 		res := e.run(opt)
+		elapsed := time.Since(started)
 		if err := res.WriteFiles(*out); err != nil {
 			log.Fatalf("%s: write artifacts: %v", e.name, err)
 		}
+		timings[e.name] = elapsed.Seconds()
+		order = append(order, e.name)
 		fmt.Fprintf(sink, "%s\n[%s completed in %v; CSVs under %s]\n\n",
-			res.Summary(), e.name, time.Since(started).Round(time.Millisecond), *out)
+			res.Summary(), e.name, elapsed.Round(time.Millisecond), *out)
 	}
+	total := time.Since(totalStarted)
+
+	fmt.Fprintf(sink, "Wall-clock per experiment (workers=%d):\n", *workers)
+	for _, name := range order {
+		fmt.Fprintf(sink, "  %-26s %8.3fs\n", name, timings[name])
+	}
+	fmt.Fprintf(sink, "  %-26s %8.3fs\n", "total", total.Seconds())
+
+	if err := writeBenchSummary(filepath.Join(*out, "bench_summary.json"), *workers, timings, total); err != nil {
+		log.Fatalf("write bench summary: %v", err)
+	}
+}
+
+// benchSummary is the machine-readable wall-clock record written alongside
+// the CSV artifacts, for tracking orchestration performance across runs.
+type benchSummary struct {
+	Workers      int                `json:"workers"`
+	TotalSeconds float64            `json:"total_seconds"`
+	Experiments  map[string]float64 `json:"experiments_seconds"`
+}
+
+func writeBenchSummary(path string, workers int, timings map[string]float64, total time.Duration) error {
+	b, err := json.MarshalIndent(benchSummary{
+		Workers:      workers,
+		TotalSeconds: total.Seconds(),
+		Experiments:  timings,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func knownExperiment(name string) bool {

@@ -10,6 +10,7 @@
 //	incastsim -flows 500 -wave 64                 # Section 5.2 scheduling
 //	incastsim -flows 200 -guardrail               # Section 5.1 clamp
 //	incastsim -flows 1000 -shared 2000000 -contend 700000
+//	incastsim -sweep 80,500,1400                  # one run per degree, in parallel
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"incastlab"
@@ -38,80 +41,109 @@ func main() {
 	ictcp := flag.Bool("ictcp", false, "manage receive windows with a receiver-side ICTCP controller")
 	seed := flag.Uint64("seed", 1, "jitter seed")
 	plot := flag.Bool("plot", true, "print the ASCII queue plot")
+	sweep := flag.String("sweep", "", "comma-separated incast degrees to run instead of -flows (e.g. 80,500,1400)")
+	workers := flag.Int("workers", 0, "worker goroutines for -sweep (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	net := incastlab.DefaultDumbbellConfig(*flows)
-	net.ECNThresholdPackets = *ecnK
-	net.QueueCapacityPackets = *queuePkts
-	net.QueueCapacityBytes = *queuePkts * 1500
-	if *shared > 0 {
-		net.SharedBufferBytes = *shared
-		net.SharedBufferAlpha = 1
+	buildCfg := func(flows int) incastlab.SimConfig {
+		net := incastlab.DefaultDumbbellConfig(flows)
+		net.ECNThresholdPackets = *ecnK
+		net.QueueCapacityPackets = *queuePkts
+		net.QueueCapacityBytes = *queuePkts * 1500
+		if *shared > 0 {
+			net.SharedBufferBytes = *shared
+			net.SharedBufferAlpha = 1
+		}
+
+		cfg := incastlab.SimConfig{
+			Flows:               flows,
+			BurstDuration:       incastlab.Time(*durationMS * float64(incastlab.Millisecond)),
+			Bursts:              *bursts,
+			Interval:            incastlab.Time(*intervalMS * float64(incastlab.Millisecond)),
+			Net:                 net,
+			ExternalBufferBytes: *contend,
+			Seed:                *seed,
+		}
+		switch *cca {
+		case "dctcp":
+			gv := *g
+			cfg.Alg = func(int) incastlab.CongestionControl {
+				c := incastlab.DefaultDCTCPConfig()
+				c.G = gv
+				return incastlab.NewDCTCP(c)
+			}
+		case "reno":
+			cfg.Alg = func(int) incastlab.CongestionControl { return incastlab.NewReno(10 * 1460) }
+		case "swift":
+			rtt := net.BaseRTT()
+			cfg.Alg = func(int) incastlab.CongestionControl {
+				return incastlab.NewSwift(incastlab.DefaultSwiftConfig(rtt))
+			}
+		default:
+			log.Fatalf("unknown cca %q (dctcp, reno, swift)", *cca)
+		}
+		if *guardrail {
+			inner := cfg.Alg
+			bdp := net.BDPBytes()
+			kBytes := net.ECNThresholdPackets * 1500
+			n := flows
+			cfg.Alg = func(i int) incastlab.CongestionControl {
+				gr := incastlab.NewGuardrail(inner(i), bdp, kBytes)
+				gr.Predict(n)
+				return gr
+			}
+		}
+		if *wave > 0 {
+			cfg.Admitter = incastlab.NewWave(*wave)
+		}
+		cfg.EnableICTCP = *ictcp
+		return cfg
 	}
 
-	cfg := incastlab.SimConfig{
-		Flows:               *flows,
-		BurstDuration:       incastlab.Time(*durationMS * float64(incastlab.Millisecond)),
-		Bursts:              *bursts,
-		Interval:            incastlab.Time(*intervalMS * float64(incastlab.Millisecond)),
-		Net:                 net,
-		ExternalBufferBytes: *contend,
-		Seed:                *seed,
-	}
-	switch *cca {
-	case "dctcp":
-		gv := *g
-		cfg.Alg = func(int) incastlab.CongestionControl {
-			c := incastlab.DefaultDCTCPConfig()
-			c.G = gv
-			return incastlab.NewDCTCP(c)
-		}
-	case "reno":
-		cfg.Alg = func(int) incastlab.CongestionControl { return incastlab.NewReno(10 * 1460) }
-	case "swift":
-		rtt := net.BaseRTT()
-		cfg.Alg = func(int) incastlab.CongestionControl {
-			return incastlab.NewSwift(incastlab.DefaultSwiftConfig(rtt))
-		}
-	default:
-		log.Fatalf("unknown cca %q (dctcp, reno, swift)", *cca)
-	}
-	if *guardrail {
-		inner := cfg.Alg
-		bdp := net.BDPBytes()
-		kBytes := net.ECNThresholdPackets * 1500
-		n := *flows
-		cfg.Alg = func(i int) incastlab.CongestionControl {
-			gr := incastlab.NewGuardrail(inner(i), bdp, kBytes)
-			gr.Predict(n)
-			return gr
+	degrees := []int{*flows}
+	if *sweep != "" {
+		degrees = degrees[:0]
+		for _, f := range strings.Split(*sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				log.Fatalf("bad -sweep entry %q: want positive integers like 80,500,1400", f)
+			}
+			degrees = append(degrees, n)
 		}
 	}
-	if *wave > 0 {
-		cfg.Admitter = incastlab.NewWave(*wave)
+
+	cfgs := make([]incastlab.SimConfig, len(degrees))
+	for i, n := range degrees {
+		cfgs[i] = buildCfg(n)
 	}
-	cfg.EnableICTCP = *ictcp
 
 	started := time.Now()
-	res := incastlab.RunIncastSim(cfg)
+	results := incastlab.RunIncastSims(*workers, cfgs)
 	elapsed := time.Since(started)
 
-	fmt.Printf("incast: %d flows x %.3gms bursts, %s, topology %dG/%dG, K=%d, queue=%d pkts\n",
-		res.Flows, *durationMS, res.AlgName,
-		net.HostLinkBps/1e9, net.CoreLinkBps/1e9, net.ECNThresholdPackets, net.QueueCapacityPackets)
-	fmt.Printf("  mean BCT        %v (max %v; optimal %.3gms)\n", res.MeanBCT, res.MaxBCT, *durationMS)
-	fmt.Printf("  queue           busy-avg %.0f pkts, max %.0f, burst-start spike %.0f, %.0f%% of busy samples below K\n",
-		busyAvg(res), res.MaxQueue, res.SpikePackets, 100*res.FracBelowK)
-	fmt.Printf("  loss/recovery   %d drops, %d fast retransmits, %d timeouts, %d retransmitted packets\n",
-		res.Drops, res.FastRetransmits, res.Timeouts, res.RetransmitPackets)
-	fmt.Printf("  marking         %d CE marks over %d packets sent\n", res.Marks, res.SentPackets)
-	fmt.Printf("  (simulated in %v wall clock)\n", elapsed.Round(time.Millisecond))
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		net := cfgs[i].Net
+		fmt.Printf("incast: %d flows x %.3gms bursts, %s, topology %dG/%dG, K=%d, queue=%d pkts\n",
+			res.Flows, *durationMS, res.AlgName,
+			net.HostLinkBps/1e9, net.CoreLinkBps/1e9, net.ECNThresholdPackets, net.QueueCapacityPackets)
+		fmt.Printf("  mean BCT        %v (max %v; optimal %.3gms)\n", res.MeanBCT, res.MaxBCT, *durationMS)
+		fmt.Printf("  queue           busy-avg %.0f pkts, max %.0f, burst-start spike %.0f, %.0f%% of busy samples below K\n",
+			busyAvg(res), res.MaxQueue, res.SpikePackets, 100*res.FracBelowK)
+		fmt.Printf("  loss/recovery   %d drops, %d fast retransmits, %d timeouts, %d retransmitted packets\n",
+			res.Drops, res.FastRetransmits, res.Timeouts, res.RetransmitPackets)
+		fmt.Printf("  marking         %d CE marks over %d packets sent\n", res.Marks, res.SentPackets)
 
-	if *plot {
-		if err := printQueue(res); err != nil {
-			fmt.Fprintf(os.Stderr, "plot: %v\n", err)
+		if *plot && len(results) == 1 {
+			if err := printQueue(res); err != nil {
+				fmt.Fprintf(os.Stderr, "plot: %v\n", err)
+			}
 		}
 	}
+	fmt.Printf("\n(%d simulation(s) in %v wall clock, workers=%d)\n",
+		len(results), elapsed.Round(time.Millisecond), *workers)
 }
 
 func busyAvg(res *incastlab.SimResult) float64 {

@@ -126,6 +126,13 @@ type SimResult = core.SimResult
 // RunIncastSim executes one repeated-burst incast simulation.
 func RunIncastSim(cfg SimConfig) *SimResult { return core.RunIncastSim(cfg) }
 
+// RunIncastSims executes independent simulations across a worker pool
+// (workers <= 0 uses GOMAXPROCS; 1 runs serially). Results are returned in
+// config order and are bit-identical to looping over RunIncastSim.
+func RunIncastSims(workers int, cfgs []SimConfig) []*SimResult {
+	return core.RunIncastSims(workers, cfgs)
+}
+
 // DumbbellConfig describes the simulated topology.
 type DumbbellConfig = netsim.DumbbellConfig
 

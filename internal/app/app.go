@@ -150,11 +150,11 @@ func NewPartitionAggregate(eng *sim.Engine, netCfg netsim.DumbbellConfig,
 				if cfg.ProcessingJitter > 0 {
 					delay = sim.Time(pa.rng.Int64N(int64(cfg.ProcessingJitter) + 1))
 				}
-				eng.After(delay, func() { pa.senders[w].AddDemand(cfg.ResponseBytes) })
+				eng.ScheduleAfter(delay, func() { pa.senders[w].AddDemand(cfg.ResponseBytes) })
 			}))
 	}
 
-	eng.At(0, pa.dispatch)
+	eng.Schedule(0, pa.dispatch)
 	return pa
 }
 
@@ -164,13 +164,13 @@ func (pa *PartitionAggregate) dispatch() {
 	pa.pending = pa.cfg.Workers
 	for w := 0; w < pa.cfg.Workers; w++ {
 		pa.expected[w] += pa.cfg.ResponseBytes
-		pa.net.Receiver.Send(&netsim.Packet{
-			Flow:   requestFlowBase + netsim.FlowID(w),
-			Src:    pa.net.Receiver.ID(),
-			Dst:    pa.net.Senders[w].ID(),
-			Len:    64, // small RPC request
-			SentAt: pa.eng.Now(),
-		})
+		p := pa.net.Receiver.AllocPacket()
+		p.Flow = requestFlowBase + netsim.FlowID(w)
+		p.Src = pa.net.Receiver.ID()
+		p.Dst = pa.net.Senders[w].ID()
+		p.Len = 64 // small RPC request
+		p.SentAt = pa.eng.Now()
+		pa.net.Receiver.Send(p)
 	}
 }
 
@@ -196,7 +196,7 @@ func (pa *PartitionAggregate) onProgress(w int, rcvNxt int64) {
 		pa.finished = true
 		return
 	}
-	pa.eng.After(pa.cfg.ThinkTime, pa.dispatch)
+	pa.eng.ScheduleAfter(pa.cfg.ThinkTime, pa.dispatch)
 }
 
 // Network returns the underlying topology.

@@ -74,9 +74,11 @@ func ablationBursts(opt Options) int {
 // slowly (smoother but sluggish alpha), large g overreacts.
 func AblationG(opt Options) *AblationResult {
 	t := &trace.Table{Header: append([]string{"g"}, ablationHeader...)}
-	for _, g := range []float64{1.0 / 2, 1.0 / 4, 1.0 / 16, 1.0 / 64} {
+	gains := []float64{1.0 / 2, 1.0 / 4, 1.0 / 16, 1.0 / 64}
+	var cfgs []SimConfig
+	for _, g := range gains {
 		g := g
-		m := RunIncastSim(SimConfig{
+		cfgs = append(cfgs, SimConfig{
 			Flows:         80,
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        ablationBursts(opt),
@@ -87,7 +89,9 @@ func AblationG(opt Options) *AblationResult {
 				return cc.NewDCTCP(c)
 			},
 		})
-		t.AddRow(append([]string{trace.Float(g)}, ablationRow(m)...)...)
+	}
+	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+		t.AddRow(append([]string{trace.Float(gains[i])}, ablationRow(m)...)...)
 	}
 	return &AblationResult{
 		ExpName: "ablation_g",
@@ -102,17 +106,21 @@ func AblationG(opt Options) *AblationResult {
 // paper recommends), large K tolerates deep standing queues.
 func AblationECNThreshold(opt Options) *AblationResult {
 	t := &trace.Table{Header: append([]string{"ecn_threshold_pkts"}, ablationHeader...)}
-	for _, k := range []int{20, 65, 200} {
+	ks := []int{20, 65, 200}
+	var cfgs []SimConfig
+	for _, k := range ks {
 		net := netsim.DefaultDumbbellConfig(80)
 		net.ECNThresholdPackets = k
-		m := RunIncastSim(SimConfig{
+		cfgs = append(cfgs, SimConfig{
 			Flows:         80,
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        ablationBursts(opt),
 			Net:           net,
 			Seed:          opt.seed(),
 		})
-		t.AddRow(append([]string{fmt.Sprint(k)}, ablationRow(m)...)...)
+	}
+	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+		t.AddRow(append([]string{fmt.Sprint(ks[i])}, ablationRow(m)...)...)
 	}
 	return &AblationResult{
 		ExpName: "ablation_ecn_threshold",
@@ -130,26 +138,29 @@ func AblationECNThreshold(opt Options) *AblationResult {
 func AblationSharedBuffer(opt Options) *AblationResult {
 	t := &trace.Table{Header: append([]string{"buffer"}, ablationHeader...)}
 
-	dedicated := RunIncastSim(SimConfig{
-		Flows:         1000,
-		BurstDuration: 15 * sim.Millisecond,
-		Bursts:        ablationBursts(opt),
-		Seed:          opt.seed(),
-	})
-	t.AddRow(append([]string{"dedicated_2MB"}, ablationRow(dedicated)...)...)
-
 	net := netsim.DefaultDumbbellConfig(1000)
 	net.SharedBufferBytes = 2 * 1000 * 1000
 	net.SharedBufferAlpha = 1
-	shared := RunIncastSim(SimConfig{
-		Flows:               1000,
-		BurstDuration:       15 * sim.Millisecond,
-		Bursts:              ablationBursts(opt),
-		Net:                 net,
-		ExternalBufferBytes: 700 * 1000,
-		Seed:                opt.seed(),
-	})
-	t.AddRow(append([]string{"shared_2MB_contended"}, ablationRow(shared)...)...)
+	cfgs := []SimConfig{
+		{
+			Flows:         1000,
+			BurstDuration: 15 * sim.Millisecond,
+			Bursts:        ablationBursts(opt),
+			Seed:          opt.seed(),
+		},
+		{
+			Flows:               1000,
+			BurstDuration:       15 * sim.Millisecond,
+			Bursts:              ablationBursts(opt),
+			Net:                 net,
+			ExternalBufferBytes: 700 * 1000,
+			Seed:                opt.seed(),
+		},
+	}
+	labels := []string{"dedicated_2MB", "shared_2MB_contended"}
+	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+		t.AddRow(append([]string{labels[i]}, ablationRow(m)...)...)
+	}
 
 	return &AblationResult{
 		ExpName: "ablation_shared_buffer",
@@ -163,6 +174,8 @@ func AblationSharedBuffer(opt Options) *AblationResult {
 // burstiness and masks the impact of DCTCP's congestion control".
 func AblationDelayedACKs(opt Options) *AblationResult {
 	t := &trace.Table{Header: append([]string{"acks"}, ablationHeader...)}
+	var cfgs []SimConfig
+	var labels []string
 	for _, delayed := range []bool{false, true} {
 		cfg := SimConfig{
 			Flows:         80,
@@ -176,8 +189,11 @@ func AblationDelayedACKs(opt Options) *AblationResult {
 			cfg.Receiver.AckEvery = 2
 			label = "delayed"
 		}
-		m := RunIncastSim(cfg)
-		t.AddRow(append([]string{label}, ablationRow(m)...)...)
+		cfgs = append(cfgs, cfg)
+		labels = append(labels, label)
+	}
+	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+		t.AddRow(append([]string{labels[i]}, ablationRow(m)...)...)
 	}
 	return &AblationResult{
 		ExpName: "ablation_delayed_acks",
@@ -192,6 +208,8 @@ func AblationDelayedACKs(opt Options) *AblationResult {
 // flow count.
 func AblationGuardrail(opt Options) *AblationResult {
 	t := &trace.Table{Header: append([]string{"flows", "scheme"}, ablationHeader...)}
+	var cfgs []SimConfig
+	var labels [][]string
 	for _, n := range []int{80, 500} {
 		net := netsim.DefaultDumbbellConfig(n)
 		bdp := net.BDPBytes()
@@ -199,7 +217,9 @@ func AblationGuardrail(opt Options) *AblationResult {
 
 		// The predictor learns the service's incast degree from observed
 		// bursts (Section 3.3 stability makes this meaningful); here it
-		// observes the true degree with sampling noise.
+		// observes the true degree with sampling noise. The predictor's RNG
+		// draws happen here, before the fan-out, so the degree each scheme
+		// sees does not depend on worker interleaving.
 		pr := predict.New(predict.DefaultConfig())
 		rng := sim.NewRand(opt.seed())
 		for i := 0; i < 64; i++ {
@@ -225,9 +245,12 @@ func AblationGuardrail(opt Options) *AblationResult {
 			cfg.BurstDuration = 15 * sim.Millisecond
 			cfg.Bursts = ablationBursts(opt)
 			cfg.Seed = opt.seed()
-			m := RunIncastSim(cfg)
-			t.AddRow(append([]string{fmt.Sprint(n), s.name}, ablationRow(m)...)...)
+			cfgs = append(cfgs, cfg)
+			labels = append(labels, []string{fmt.Sprint(n), s.name})
 		}
+	}
+	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+		t.AddRow(append(labels[i], ablationRow(m)...)...)
 	}
 	return &AblationResult{
 		ExpName: "ablation_guardrail",
@@ -258,15 +281,18 @@ func AblationCCA(opt Options) *AblationResult {
 			return cc.NewSwift(cc.DefaultSwiftConfig(net.BaseRTT()))
 		}},
 	}
+	var cfgs []SimConfig
 	for _, a := range algs {
-		m := RunIncastSim(SimConfig{
+		cfgs = append(cfgs, SimConfig{
 			Flows:         80,
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        ablationBursts(opt),
 			Alg:           a.mk,
 			Seed:          opt.seed(),
 		})
-		t.AddRow(append([]string{a.name}, ablationRow(m)...)...)
+	}
+	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+		t.AddRow(append([]string{algs[i].name}, ablationRow(m)...)...)
 	}
 	return &AblationResult{
 		ExpName: "ablation_cca",
@@ -284,7 +310,9 @@ func AblationCCA(opt Options) *AblationResult {
 // steady overflow should move the BCT nearly one-for-one.
 func AblationMinRTO(opt Options) *AblationResult {
 	t := &trace.Table{Header: append([]string{"min_rto_ms"}, ablationHeader...)}
-	for _, rto := range []sim.Time{10 * sim.Millisecond, 50 * sim.Millisecond, 200 * sim.Millisecond} {
+	rtos := []sim.Time{10 * sim.Millisecond, 50 * sim.Millisecond, 200 * sim.Millisecond}
+	var cfgs []SimConfig
+	for _, rto := range rtos {
 		cfg := SimConfig{
 			Flows:         1400,
 			BurstDuration: 15 * sim.Millisecond,
@@ -292,8 +320,10 @@ func AblationMinRTO(opt Options) *AblationResult {
 			Seed:          opt.seed(),
 		}
 		cfg.Sender.MinRTO = rto
-		m := RunIncastSim(cfg)
-		t.AddRow(append([]string{trace.Float(rto.Milliseconds())}, ablationRow(m)...)...)
+		cfgs = append(cfgs, cfg)
+	}
+	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+		t.AddRow(append([]string{trace.Float(rtos[i].Milliseconds())}, ablationRow(m)...)...)
 	}
 	return &AblationResult{
 		ExpName: "ablation_min_rto",
@@ -313,6 +343,8 @@ func AblationMinRTO(opt Options) *AblationResult {
 // is exactly what the Section 5.1 guardrail does.
 func AblationIdleRestart(opt Options) *AblationResult {
 	t := &trace.Table{Header: append([]string{"windows"}, ablationHeader...)}
+	var cfgs []SimConfig
+	var labels []string
 	for _, restart := range []bool{false, true} {
 		cfg := SimConfig{
 			Flows:         80,
@@ -325,8 +357,11 @@ func AblationIdleRestart(opt Options) *AblationResult {
 			cfg.Sender.RestartAfterIdle = true
 			label = "idle_restart"
 		}
-		m := RunIncastSim(cfg)
-		t.AddRow(append([]string{label}, ablationRow(m)...)...)
+		cfgs = append(cfgs, cfg)
+		labels = append(labels, label)
+	}
+	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+		t.AddRow(append([]string{labels[i]}, ablationRow(m)...)...)
 	}
 	return &AblationResult{
 		ExpName: "ablation_idle_restart",
@@ -346,6 +381,8 @@ func AblationIdleRestart(opt Options) *AblationResult {
 // alone do not scale to modern incast degrees.
 func AblationReceiverWindow(opt Options) *AblationResult {
 	t := &trace.Table{Header: append([]string{"flows", "scheme"}, ablationHeader...)}
+	var cfgs []SimConfig
+	var labels [][]string
 	for _, n := range []int{40, 400} {
 		for _, ictcp := range []bool{false, true} {
 			cfg := SimConfig{
@@ -360,9 +397,12 @@ func AblationReceiverWindow(opt Options) *AblationResult {
 			if ictcp {
 				label = "reno+ictcp"
 			}
-			m := RunIncastSim(cfg)
-			t.AddRow(append([]string{fmt.Sprint(n), label}, ablationRow(m)...)...)
+			cfgs = append(cfgs, cfg)
+			labels = append(labels, []string{fmt.Sprint(n), label})
 		}
+	}
+	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+		t.AddRow(append(labels[i], ablationRow(m)...)...)
 	}
 	return &AblationResult{
 		ExpName: "ablation_receiver_window",
@@ -380,10 +420,12 @@ func AblationReceiverWindow(opt Options) *AblationResult {
 // deepen.
 func AblationMarkingDiscipline(opt Options) *AblationResult {
 	t := &trace.Table{Header: append([]string{"marking"}, ablationHeader...)}
+	var cfgs []SimConfig
+	var labels []string
 	for _, w := range []float64{0, 0.002} {
 		net := netsim.DefaultDumbbellConfig(80)
 		net.ECNAverageWeight = w
-		m := RunIncastSim(SimConfig{
+		cfgs = append(cfgs, SimConfig{
 			Flows:         80,
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        ablationBursts(opt),
@@ -394,7 +436,10 @@ func AblationMarkingDiscipline(opt Options) *AblationResult {
 		if w > 0 {
 			label = fmt.Sprintf("ewma_w=%g", w)
 		}
-		t.AddRow(append([]string{label}, ablationRow(m)...)...)
+		labels = append(labels, label)
+	}
+	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+		t.AddRow(append([]string{labels[i]}, ablationRow(m)...)...)
 	}
 	return &AblationResult{
 		ExpName: "ablation_marking",

@@ -38,7 +38,12 @@ func QueryTailLatency(opt Options) *QueryTailResult {
 		queries = 6
 	}
 	r := &QueryTailResult{}
-	for _, n := range degrees {
+	type degreeResult struct {
+		qct      stats.Summary
+		timeouts int64
+	}
+	results := runParallel(opt.Workers, len(degrees), func(i int) degreeResult {
+		n := degrees[i]
 		eng := sim.NewEngine()
 		cfg := app.DefaultPartitionAggregateConfig(n)
 		cfg.Queries = queries
@@ -54,9 +59,12 @@ func QueryTailLatency(opt Options) *QueryTailResult {
 		for _, s := range pa.Senders() {
 			timeouts += s.Stats().Timeouts
 		}
+		return degreeResult{qct: pa.QCTStats(), timeouts: timeouts}
+	})
+	for i, n := range degrees {
 		r.Degrees = append(r.Degrees, n)
-		r.QCT = append(r.QCT, pa.QCTStats())
-		r.Timeouts = append(r.Timeouts, timeouts)
+		r.QCT = append(r.QCT, results[i].qct)
+		r.Timeouts = append(r.Timeouts, results[i].timeouts)
 	}
 	return r
 }

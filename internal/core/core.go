@@ -28,6 +28,12 @@ type Options struct {
 	// Quick shrinks corpus sizes and burst counts so the full suite runs
 	// in seconds (used by tests); published numbers use Quick=false.
 	Quick bool
+	// Workers bounds the goroutines used to fan out independent runs
+	// within an experiment: 0 means GOMAXPROCS, 1 forces the serial path
+	// (useful for debugging). Results are identical either way — every run
+	// is an isolated engine seeded from Seed, and results are collected by
+	// index.
+	Workers int
 }
 
 func (o Options) seed() uint64 {

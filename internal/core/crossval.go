@@ -35,6 +35,10 @@ type CrossValidationResult struct {
 // CrossValidation runs a 150-flow, 2 ms incast repeating 50 times per
 // second (squarely inside the paper's Figure 2 ranges) for one simulated
 // second and measures it with Millisampler.
+//
+// Unlike the sweep experiments, this is a single engine run with nothing to
+// fan out, so Options.Workers has no effect here; it parallelizes with the
+// other experiments at the cmd/figures level instead.
 func CrossValidation(opt Options) *CrossValidationResult {
 	const (
 		flows    = 150

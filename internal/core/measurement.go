@@ -66,27 +66,37 @@ func Fig1ExampleTrace(opt Options) *Fig1Result {
 	// Like the paper, the example is chosen to be illustrative: scan a few
 	// hosts and prefer the first trace that exhibits a retransmission
 	// burst (they strike fewer than 1% of bursts, so an arbitrary host
-	// often shows none).
-	var tr *millisampler.Trace
-	var bursts []millisampler.Burst
-	for host := 0; host < 20; host++ {
-		cand := p.Generate(services.GenConfig{Seed: opt.seed(), Host: host, DurationMS: ms})
-		cb := millisampler.Detect(cand, millisampler.DefaultBurstThreshold)
-		if tr == nil {
-			tr, bursts = cand, cb
-		}
-		for _, b := range cb {
+	// often shows none). The candidates generate in parallel; the pick —
+	// lowest host with a retransmission burst, else host 0 — is positional,
+	// so it matches the serial scan exactly.
+	type candidate struct {
+		tr     *millisampler.Trace
+		bursts []millisampler.Burst
+		retx   bool
+	}
+	cands := runParallel(opt.Workers, 20, func(host int) candidate {
+		c := candidate{}
+		c.tr = p.Generate(services.GenConfig{Seed: opt.seed(), Host: host, DurationMS: ms})
+		c.bursts = millisampler.Detect(c.tr, millisampler.DefaultBurstThreshold)
+		for _, b := range c.bursts {
 			if b.RetxLineRateFraction > 0 {
-				tr, bursts = cand, cb
-				host = 20 // found; stop scanning
+				c.retx = true
 				break
 			}
 		}
+		return c
+	})
+	pick := cands[0]
+	for _, c := range cands {
+		if c.retx {
+			pick = c
+			break
+		}
 	}
 	return &Fig1Result{
-		Trace:           tr,
-		Bursts:          bursts,
-		MeanUtilization: tr.MeanUtilization(),
+		Trace:           pick.tr,
+		Bursts:          pick.bursts,
+		MeanUtilization: pick.tr.MeanUtilization(),
 	}
 }
 
@@ -162,12 +172,13 @@ func Fig2And4BurstCharacterization(opt Options) *Fig2And4Result {
 		cfg.Rounds = 2
 	}
 	r := &Fig2And4Result{}
-	for _, p := range services.All() {
-		r.Reports = append(r.Reports, ServiceReport{
-			Service: p.Name,
-			Report:  millisampler.Analyze(services.Collect(p, cfg)),
-		})
-	}
+	profiles := services.All()
+	r.Reports = runParallel(opt.Workers, len(profiles), func(i int) ServiceReport {
+		return ServiceReport{
+			Service: profiles[i].Name,
+			Report:  millisampler.Analyze(services.Collect(profiles[i], cfg)),
+		}
+	})
 	return r
 }
 
@@ -265,11 +276,23 @@ func Fig3Stability(opt Options) *Fig3Result {
 		spacing = 2 * 3600 * sim.Second // still spans the video mode switch
 	}
 	r := &Fig3Result{}
-	aggHostFlows := make([][]float64, hosts)
 
-	for _, p := range services.All() {
-		r.Services = append(r.Services, p.Name)
-		means := make([]float64, rounds)
+	// One job per service: each walks its rounds x hosts grid serially (the
+	// per-host flow lists must accumulate in round order) and services fan
+	// out across workers.
+	type svcResult struct {
+		means []float64
+		// hostFlows is non-nil only for the aggregator, whose per-host
+		// distributions feed Fig 3b.
+		hostFlows [][]float64
+	}
+	profiles := services.All()
+	results := runParallel(opt.Workers, len(profiles), func(si int) svcResult {
+		p := profiles[si]
+		res := svcResult{means: make([]float64, rounds)}
+		if p.Name == "aggregator" {
+			res.hostFlows = make([][]float64, hosts)
+		}
 		for round := 0; round < rounds; round++ {
 			at := sim.Time(round) * spacing
 			var roundMean stats.Online
@@ -280,14 +303,22 @@ func Fig3Stability(opt Options) *Fig3Result {
 				bursts := millisampler.Detect(tr, millisampler.DefaultBurstThreshold)
 				for _, bu := range bursts {
 					roundMean.Add(float64(bu.PeakFlows))
-					if p.Name == "aggregator" {
-						aggHostFlows[h] = append(aggHostFlows[h], float64(bu.PeakFlows))
+					if res.hostFlows != nil {
+						res.hostFlows[h] = append(res.hostFlows[h], float64(bu.PeakFlows))
 					}
 				}
 			}
-			means[round] = roundMean.Mean()
+			res.means[round] = roundMean.Mean()
 		}
-		r.RoundMeans = append(r.RoundMeans, means)
+		return res
+	})
+	aggHostFlows := make([][]float64, hosts)
+	for i, p := range profiles {
+		r.Services = append(r.Services, p.Name)
+		r.RoundMeans = append(r.RoundMeans, results[i].means)
+		if results[i].hostFlows != nil {
+			aggHostFlows = results[i].hostFlows
+		}
 	}
 	r.RoundHours = make([]float64, rounds)
 	for i := range r.RoundHours {

@@ -38,18 +38,21 @@ func ModeBoundary(opt Options) *ModeBoundaryResult {
 		bursts = 3
 	}
 	r := &ModeBoundaryResult{}
-	prev := ""
-	for _, n := range flows {
-		m := RunIncastSim(SimConfig{
-			Flows:         n,
+	// The runs are independent; only the boundary classification below
+	// carries state across grid points, so it stays a serial pass.
+	r.Runs = runParallel(opt.Workers, len(flows), func(i int) *SimResult {
+		return RunIncastSim(SimConfig{
+			Flows:         flows[i],
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        bursts,
 			Seed:          opt.seed(),
 		})
-		label := mode(m)
+	})
+	prev := ""
+	for i, n := range flows {
+		label := mode(r.Runs[i])
 		r.Flows = append(r.Flows, n)
 		r.Modes = append(r.Modes, label)
-		r.Runs = append(r.Runs, m)
 		if prev != "" && label != prev {
 			switch {
 			case strings.HasPrefix(label, "2") && r.HealthyToDegenerate == 0:

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runParallel evaluates fn(0), ..., fn(n-1) across up to workers goroutines
+// and returns the results indexed by input, so the output is identical to a
+// serial loop regardless of execution interleaving. Each fn call must be
+// independent of the others: experiment sweeps qualify because every run
+// builds its own sim.Engine and derives randomness from the configured seed,
+// never from shared state.
+//
+// workers <= 0 selects GOMAXPROCS; workers == 1 runs the plain serial loop
+// (no goroutines), which is the debugging mode the Workers option documents.
+func runParallel[R any](workers, n int, fn func(i int) R) []R {
+	out := make([]R, n)
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunIncastSims runs one incast simulation per config, fanned across the
+// given number of workers (0 = GOMAXPROCS, 1 = serial). Results are indexed
+// like cfgs and bit-identical to running RunIncastSim serially.
+func RunIncastSims(workers int, cfgs []SimConfig) []*SimResult {
+	return runParallel(workers, len(cfgs), func(i int) *SimResult {
+		return RunIncastSim(cfgs[i])
+	})
+}

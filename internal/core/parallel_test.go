@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelRunnerIndexing(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got := runParallel(workers, 33, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	if out := runParallel(4, 0, func(i int) int { return i }); len(out) != 0 {
+		t.Fatalf("n=0 returned %d results", len(out))
+	}
+}
+
+func TestParallelRunnerCallsEachOnce(t *testing.T) {
+	const n = 100
+	var calls [n]atomic.Int32
+	runParallel(8, n, func(i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("fn(%d) called %d times", i, c)
+		}
+	}
+}
+
+func TestParallelSerialUsesNoGoroutines(t *testing.T) {
+	// workers=1 is documented as the plain serial loop (debugger-friendly):
+	// every call must run on the calling goroutine.
+	before := runtime.NumGoroutine()
+	runParallel(1, 50, func(i int) int {
+		if g := runtime.NumGoroutine(); g > before {
+			// Another test's goroutines may linger, so only fail when the
+			// count grew during our serial run.
+			t.Errorf("goroutines grew from %d to %d during serial run", before, g)
+		}
+		return i
+	})
+}
+
+// TestParallelFig5Deterministic is the tentpole's core invariant: the sweep
+// must produce byte-identical summaries with Workers=1 (serial) and
+// Workers=GOMAXPROCS, and across repeated runs with the same seed.
+func TestParallelFig5Deterministic(t *testing.T) {
+	serial := Options{Seed: 1, Quick: true, Workers: 1}
+	parallel := Options{Seed: 1, Quick: true, Workers: runtime.GOMAXPROCS(0)}
+
+	s1 := Fig5Modes(serial).Summary()
+	p1 := Fig5Modes(parallel).Summary()
+	if s1 != p1 {
+		t.Fatal("Fig5Modes: parallel summary differs from serial")
+	}
+	p2 := Fig5Modes(parallel).Summary()
+	if p1 != p2 {
+		t.Fatal("Fig5Modes: repeated parallel runs differ for the same seed")
+	}
+}
+
+// TestParallelAblationCCADeterministic covers the second sweep named by the
+// determinism requirement, plus per-run CSV-level equality.
+func TestParallelAblationCCADeterministic(t *testing.T) {
+	serial := Options{Seed: 1, Quick: true, Workers: 1}
+	parallel := Options{Seed: 1, Quick: true, Workers: runtime.GOMAXPROCS(0)}
+
+	s1 := AblationCCA(serial).Summary()
+	p1 := AblationCCA(parallel).Summary()
+	if s1 != p1 {
+		t.Fatal("AblationCCA: parallel summary differs from serial")
+	}
+	p2 := AblationCCA(parallel).Summary()
+	if p1 != p2 {
+		t.Fatal("AblationCCA: repeated parallel runs differ for the same seed")
+	}
+}
+
+// TestParallelAllExperimentsMatchSerial sweeps the whole suite: every
+// experiment's summary must be identical under serial and parallel
+// execution. This is the test the acceptance criteria call for.
+func TestParallelAllExperimentsMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	experiments := []struct {
+		name string
+		run  func(Options) string
+	}{
+		{"fig1", func(o Options) string { return Fig1ExampleTrace(o).Summary() }},
+		{"fig2_fig4", func(o Options) string { return Fig2And4BurstCharacterization(o).Summary() }},
+		{"fig3", func(o Options) string { return Fig3Stability(o).Summary() }},
+		{"fig5", func(o Options) string { return Fig5Modes(o).Summary() }},
+		{"fig6", func(o Options) string { return Fig6ShortBursts(o).Summary() }},
+		{"mode_boundary", func(o Options) string { return ModeBoundary(o).Summary() }},
+		{"rack_contention", func(o Options) string { return RackContention(o).Summary() }},
+		{"query_tail", func(o Options) string { return QueryTailLatency(o).Summary() }},
+		{"ablation_g", func(o Options) string { return AblationG(o).Summary() }},
+		{"ablation_ecn", func(o Options) string { return AblationECNThreshold(o).Summary() }},
+		{"ablation_delayed_acks", func(o Options) string { return AblationDelayedACKs(o).Summary() }},
+		{"ablation_guardrail", func(o Options) string { return AblationGuardrail(o).Summary() }},
+		{"ablation_min_rto", func(o Options) string { return AblationMinRTO(o).Summary() }},
+		{"ablation_idle_restart", func(o Options) string { return AblationIdleRestart(o).Summary() }},
+		{"ablation_receiver_window", func(o Options) string { return AblationReceiverWindow(o).Summary() }},
+		{"ablation_marking", func(o Options) string { return AblationMarkingDiscipline(o).Summary() }},
+	}
+	for _, exp := range experiments {
+		exp := exp
+		t.Run(exp.name, func(t *testing.T) {
+			t.Parallel()
+			serial := exp.run(Options{Seed: 1, Quick: true, Workers: 1})
+			parallel := exp.run(Options{Seed: 1, Quick: true, Workers: runtime.GOMAXPROCS(0)})
+			if serial != parallel {
+				t.Errorf("%s: parallel summary differs from serial", exp.name)
+			}
+		})
+	}
+}
+
+// TestParallelRunIncastSims checks the exported fan-out helper against
+// one-at-a-time RunIncastSim calls.
+func TestParallelRunIncastSims(t *testing.T) {
+	cfgs := make([]SimConfig, 3)
+	for i := range cfgs {
+		cfgs[i] = SimConfig{Flows: 40 + 20*i, Bursts: 2, Seed: 1}
+	}
+	batch := RunIncastSims(0, cfgs)
+	for i, cfg := range cfgs {
+		want := RunIncastSim(cfg)
+		got := batch[i]
+		if fmt.Sprintf("%+v", got.AvgQueue.Values) != fmt.Sprintf("%+v", want.AvgQueue.Values) ||
+			got.MeanBCT != want.MeanBCT || got.MaxBCT != want.MaxBCT ||
+			got.Timeouts != want.Timeouts || got.Drops != want.Drops ||
+			got.SentPackets != want.SentPackets {
+			t.Fatalf("cfg %d: batched result differs from serial RunIncastSim", i)
+		}
+	}
+}

@@ -45,10 +45,10 @@ func RackContention(opt Options) *RackContentionResult {
 		flows = 400
 		bursts = 3
 	}
-	return &RackContentionResult{
-		Solo:      runRackIncast(opt, flows, bursts, false),
-		Contended: runRackIncast(opt, flows, bursts, true),
-	}
+	scenarios := runParallel(opt.Workers, 2, func(i int) rackGroupStats {
+		return runRackIncast(opt, flows, bursts, i == 1)
+	})
+	return &RackContentionResult{Solo: scenarios[0], Contended: scenarios[1]}
 }
 
 // runRackIncast drives the victim group (flows senders to receiver 0) and,
@@ -96,7 +96,7 @@ func runRackIncast(opt Options, flows, bursts int, contended bool) rackGroupStat
 	// Snapshot counters after the discarded first burst.
 	var baseTimeouts, baseDrops int64
 	q := rack.DownlinkQueue(0)
-	eng.At(interval, func() {
+	eng.Schedule(interval, func() {
 		baseTimeouts = victim.AggregateSenderStats().Timeouts
 		baseDrops = q.Stats().DroppedPackets
 	})

@@ -181,7 +181,7 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 	// discarded first burst does not pollute them.
 	var base tcp.SenderStats
 	var baseDrops, baseMarks int64
-	eng.At(sim.Time(first)*cfg.Interval, func() {
+	eng.Schedule(sim.Time(first)*cfg.Interval, func() {
 		base = in.AggregateSenderStats()
 		st := q.Stats()
 		baseDrops, baseMarks = st.DroppedPackets, st.MarkedPackets

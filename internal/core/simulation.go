@@ -37,14 +37,14 @@ func Fig5Modes(opt Options) *Fig5Result {
 		bursts = 4
 	}
 	r := &Fig5Result{}
-	for _, n := range flows {
-		r.Modes = append(r.Modes, RunIncastSim(SimConfig{
-			Flows:         n,
+	r.Modes = runParallel(opt.Workers, len(flows), func(i int) *SimResult {
+		return RunIncastSim(SimConfig{
+			Flows:         flows[i],
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        bursts,
 			Seed:          opt.seed(),
-		}))
-	}
+		})
+	})
 	return r
 }
 
@@ -162,16 +162,16 @@ func Fig6ShortBursts(opt Options) *Fig6Result {
 		bursts = 4
 	}
 	r := &Fig6Result{}
-	for _, n := range flows {
-		r.Runs = append(r.Runs, RunIncastSim(SimConfig{
-			Flows:          n,
+	r.Runs = runParallel(opt.Workers, len(flows), func(i int) *SimResult {
+		return RunIncastSim(SimConfig{
+			Flows:          flows[i],
 			BurstDuration:  2 * sim.Millisecond,
 			Bursts:         bursts,
 			SampleInterval: 50 * sim.Microsecond,
 			SampleWindow:   6 * sim.Millisecond,
 			Seed:           opt.seed(),
-		}))
-	}
+		})
+	})
 	return r
 }
 

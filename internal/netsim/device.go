@@ -29,6 +29,10 @@ type Host struct {
 
 	handler PacketHandler
 
+	// pool, when set, supplies outbound packets (AllocPacket) and receives
+	// delivered ones back after the transport handler returns.
+	pool *PacketPool
+
 	// rxPackets/rxBytes count packets delivered to this host (IP bytes).
 	rxPackets int64
 	rxBytes   int64
@@ -57,7 +61,22 @@ func (h *Host) SetUplink(l *Link) { h.uplink = l }
 func (h *Host) Uplink() *Link { return h.uplink }
 
 // Attach installs the transport handler for packets addressed to this host.
+// When the host has a packet pool, delivered packets are recycled as soon as
+// HandlePacket returns, so handlers must not retain packet pointers.
 func (h *Host) Attach(handler PacketHandler) { h.handler = handler }
+
+// SetPool attaches a packet pool shared by the topology. Hosts without a
+// pool allocate fresh packets and leave delivery to the garbage collector.
+func (h *Host) SetPool(pp *PacketPool) { h.pool = pp }
+
+// AllocPacket returns a zeroed packet for this host to send — from the pool
+// when one is attached, freshly allocated otherwise.
+func (h *Host) AllocPacket() *Packet {
+	if h.pool == nil {
+		return &Packet{}
+	}
+	return h.pool.Get()
+}
 
 // SetOnReceive installs a tap observing every delivered packet (nil to
 // remove).
@@ -92,6 +111,8 @@ func (h *Host) Receive(p *Packet) {
 	if h.handler != nil {
 		h.handler.HandlePacket(p)
 	}
+	// Delivery is this packet's end of life; recycle pool-owned packets.
+	h.pool.Put(p)
 }
 
 // Switch forwards packets to the output port (Link) chosen by a static

@@ -74,7 +74,7 @@ func (im *Impairment) Receive(p *Packet) {
 	im.pass++
 	if im.cfg.MaxExtraDelay > 0 {
 		delay := sim.Time(im.rng.Int64N(int64(im.cfg.MaxExtraDelay) + 1))
-		im.eng.After(delay, func() { im.dst.Receive(p) })
+		im.eng.ScheduleAfter(delay, func() { im.dst.Receive(p) })
 		return
 	}
 	im.dst.Receive(p)

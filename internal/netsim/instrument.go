@@ -14,7 +14,7 @@ func SamplePeriodically(eng *sim.Engine, start, interval sim.Time, n int, fn fun
 	}
 	for i := 0; i < n; i++ {
 		i := i
-		eng.At(start+sim.Time(i)*interval, func() { fn(i) })
+		eng.Schedule(start+sim.Time(i)*interval, func() { fn(i) })
 	}
 }
 
@@ -37,10 +37,10 @@ func QueueWatermarkSeries(eng *sim.Engine, q *Queue, start, interval sim.Time, n
 	s := stats.NewSeries(int64(start), int64(interval), n)
 	// Reset the watermark at the window start, then harvest at each
 	// interval end.
-	eng.At(start, func() { q.TakeWatermark() })
+	eng.Schedule(start, func() { q.TakeWatermark() })
 	for i := 0; i < n; i++ {
 		i := i
-		eng.At(start+sim.Time(i+1)*interval, func() {
+		eng.Schedule(start+sim.Time(i+1)*interval, func() {
 			s.Values[i] = float64(q.TakeWatermark())
 		})
 	}

@@ -21,6 +21,17 @@ type Link struct {
 	dst          Device
 	busy         bool
 
+	// current is the packet being serialized; inflight[head:] are packets in
+	// propagation, in delivery order. Because serialization is strictly
+	// serial and propDelay is constant, delivery times are monotonic and the
+	// engine's FIFO tie-break preserves push order — so one prebuilt closure
+	// pair (txDoneFn, deliverFn) replaces the two per-packet closures.
+	current   *Packet
+	inflight  []*Packet
+	head      int
+	txDoneFn  func()
+	deliverFn func()
+
 	// txPackets and txBytes count packets that completed serialization.
 	txPackets int64
 	txBytes   int64
@@ -53,7 +64,7 @@ func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
 	if cfg.PropDelay < 0 {
 		panic("netsim: link propagation delay must be non-negative")
 	}
-	return &Link{
+	l := &Link{
 		eng:          eng,
 		name:         cfg.Name,
 		bandwidthBps: cfg.BandwidthBps,
@@ -61,6 +72,9 @@ func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
 		queue:        cfg.Queue,
 		dst:          cfg.Dst,
 	}
+	l.txDoneFn = l.txDone
+	l.deliverFn = l.deliver
+	return l
 }
 
 // Name returns the link's label.
@@ -101,13 +115,32 @@ func (l *Link) startTransmit() {
 		return
 	}
 	l.busy = true
-	serDelay := SerializationDelay(p.WireBytes(), l.bandwidthBps)
-	l.eng.After(serDelay, func() {
-		l.txPackets++
-		l.txBytes += int64(p.WireBytes())
-		// Propagation: delivery is independent of the transmitter, which
-		// immediately moves on to the next queued packet.
-		l.eng.After(l.propDelay, func() { l.dst.Receive(p) })
-		l.startTransmit()
-	})
+	l.current = p
+	l.eng.ScheduleAfter(SerializationDelay(p.WireBytes(), l.bandwidthBps), l.txDoneFn)
+}
+
+// txDone completes serialization of the current packet, hands it to
+// propagation, and moves the transmitter on to the next queued packet.
+func (l *Link) txDone() {
+	p := l.current
+	l.current = nil
+	l.txPackets++
+	l.txBytes += int64(p.WireBytes())
+	l.inflight = append(l.inflight, p)
+	l.eng.ScheduleAfter(l.propDelay, l.deliverFn)
+	l.startTransmit()
+}
+
+// deliver hands the oldest in-flight packet to the destination device.
+// Deliveries fire in push order (see the inflight field comment), so a FIFO
+// pop always matches the firing event.
+func (l *Link) deliver() {
+	p := l.inflight[l.head]
+	l.inflight[l.head] = nil
+	l.head++
+	if l.head == len(l.inflight) {
+		l.inflight = l.inflight[:0]
+		l.head = 0
+	}
+	l.dst.Receive(p)
 }

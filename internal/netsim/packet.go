@@ -50,6 +50,53 @@ type Packet struct {
 	// EchoSentAt is SentAt copied from the data packet into its ACK, so the
 	// sender can measure RTT without per-packet sender state.
 	EchoSentAt sim.Time
+
+	// pooled marks packets allocated from a PacketPool. Only pooled packets
+	// are recycled at delivery; hand-constructed packets (tests, ad-hoc
+	// traffic) stay owned by their creator.
+	pooled bool
+}
+
+// PacketPool recycles Packet structs within one simulation. The pool is
+// intentionally not thread-safe: a pool belongs to a single engine, and
+// engines are single-goroutine by design (parallelism runs one engine — and
+// one pool — per goroutine).
+//
+// Lifecycle: endpoints allocate with Get, the packet traverses links and
+// queues untouched, and the terminal Host recycles it with Put after its
+// transport handler returns. Handlers must therefore not retain packet
+// pointers past HandlePacket; they copy out the header fields they need.
+type PacketPool struct {
+	free []*Packet
+}
+
+// NewPacketPool returns an empty pool.
+func NewPacketPool() *PacketPool { return &PacketPool{} }
+
+// Get returns a zeroed packet owned by the pool.
+func (pp *PacketPool) Get() *Packet {
+	var p *Packet
+	if n := len(pp.free); n > 0 {
+		p = pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		*p = Packet{}
+	} else {
+		p = &Packet{}
+	}
+	p.pooled = true
+	return p
+}
+
+// Put returns a pool-owned packet to the free list. Packets that did not
+// come from a pool are ignored, so callers can recycle unconditionally. Safe
+// on a nil pool.
+func (pp *PacketPool) Put(p *Packet) {
+	if pp == nil || p == nil || !p.pooled {
+		return
+	}
+	p.pooled = false
+	pp.free = append(pp.free, p)
 }
 
 // IPBytes returns the size of the packet as an IP datagram: headers plus

@@ -64,6 +64,8 @@ type Rack struct {
 	Downlinks []*Link
 	Uplink    *Link
 	Shared    *SharedBuffer
+	// Pool recycles packets across all hosts in the topology.
+	Pool *PacketPool
 }
 
 // DownlinkQueue returns receiver i's ToR port queue.
@@ -80,7 +82,7 @@ func NewRack(eng *sim.Engine, cfg RackConfig) *Rack {
 	if cfg.SharedBufferAlpha <= 0 {
 		cfg.SharedBufferAlpha = 1
 	}
-	r := &Rack{Config: cfg, Eng: eng}
+	r := &Rack{Config: cfg, Eng: eng, Pool: NewPacketPool()}
 	r.Shared = NewSharedBuffer(cfg.SharedBufferBytes, cfg.SharedBufferAlpha)
 	r.SenderToR = NewSwitch(NodeID(cfg.Receivers+cfg.Senders), "tor-senders")
 	r.ReceiverToR = NewSwitch(NodeID(cfg.Receivers+cfg.Senders+1), "tor-receivers")
@@ -104,6 +106,7 @@ func NewRack(eng *sim.Engine, cfg RackConfig) *Rack {
 	for i := 0; i < cfg.Receivers; i++ {
 		id := NodeID(i)
 		h := NewHost(eng, id, fmt.Sprintf("receiver-%d", i))
+		h.SetPool(r.Pool)
 		down := NewLink(eng, LinkConfig{
 			Name:         fmt.Sprintf("tor-receivers->receiver-%d", i),
 			BandwidthBps: cfg.HostLinkBps,
@@ -147,6 +150,7 @@ func NewRack(eng *sim.Engine, cfg RackConfig) *Rack {
 	for i := 0; i < cfg.Senders; i++ {
 		id := NodeID(cfg.Receivers + i)
 		h := NewHost(eng, id, fmt.Sprintf("sender-%d", i))
+		h.SetPool(r.Pool)
 		h.SetUplink(NewLink(eng, LinkConfig{
 			Name:         fmt.Sprintf("sender-%d->tor-senders", i),
 			BandwidthBps: cfg.HostLinkBps,

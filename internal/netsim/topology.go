@@ -92,6 +92,8 @@ type Dumbbell struct {
 	Uplink *Link
 	// Shared is the receiver-ToR shared buffer, nil unless configured.
 	Shared *SharedBuffer
+	// Pool recycles packets across all hosts in the topology.
+	Pool *PacketPool
 }
 
 // BottleneckQueue returns the queue of the receiver-ToR downlink port.
@@ -105,9 +107,10 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 	if cfg.Senders <= 0 {
 		panic("netsim: dumbbell needs at least one sender")
 	}
-	d := &Dumbbell{Config: cfg, Eng: eng}
+	d := &Dumbbell{Config: cfg, Eng: eng, Pool: NewPacketPool()}
 
 	d.Receiver = NewHost(eng, 0, "receiver")
+	d.Receiver.SetPool(d.Pool)
 	d.SenderToR = NewSwitch(NodeID(cfg.Senders+1), "tor-senders")
 	d.ReceiverToR = NewSwitch(NodeID(cfg.Senders+2), "tor-receiver")
 
@@ -176,6 +179,7 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 	for i := 0; i < cfg.Senders; i++ {
 		id := NodeID(i + 1)
 		h := NewHost(eng, id, fmt.Sprintf("sender-%d", i))
+		h.SetPool(d.Pool)
 		h.SetUplink(NewLink(eng, LinkConfig{
 			Name:         fmt.Sprintf("sender-%d->tor-senders", i),
 			BandwidthBps: cfg.HostLinkBps,

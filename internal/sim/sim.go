@@ -68,12 +68,17 @@ func (t Time) String() string {
 
 // event is a scheduled closure. seq breaks ties between events that share a
 // timestamp so that scheduling order is execution order.
+//
+// Events are pooled: when an event fires or is stopped, the engine recycles
+// the struct onto a free list and bumps gen. Timers remember the gen they
+// were issued against, so a handle to a fired (and possibly reused) event
+// degrades into a safe no-op instead of touching the new occupant.
 type event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, maintained by eventHeap
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index, maintained by eventHeap; -1 when not queued
+	gen   uint64
 }
 
 // eventHeap orders events by (at, seq).
@@ -111,11 +116,17 @@ func (h *eventHeap) Pop() any {
 }
 
 // Engine is a discrete-event scheduler. The zero value is ready to use.
+//
+// The engine keeps a free list of event structs: firing or stopping an event
+// returns it to the list, so steady-state scheduling performs no heap
+// allocation. Generation counters keep stale Timer handles safe across
+// recycling.
 type Engine struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
 	stopped bool
+	free    []*event
 
 	// executed counts events that have run, for diagnostics and benchmarks.
 	executed uint64
@@ -127,34 +138,67 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of scheduled, not-yet-executed events,
-// including canceled events that have not been reaped yet.
+// Pending returns the number of scheduled, not-yet-executed events.
 func (e *Engine) Pending() int { return len(e.events) }
 
 // Executed returns the number of events that have been run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
+// newEvent takes an event from the free list (or allocates one) and
+// initialises it for scheduling at the given time.
+func (e *Engine) newEvent(at Time, fn func()) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	ev.fn = fn
+	return ev
+}
+
+// recycle returns a dequeued event to the free list. Bumping gen invalidates
+// every Timer handle that still points at this struct.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.index = -1
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
 // Timer is a handle to a scheduled event that can be canceled or
-// rescheduled. A nil Timer is inert: Stop and Active are safe no-ops.
+// rescheduled. A nil or zero Timer is inert: Stop and Active are safe
+// no-ops. Handles stay safe after their event fires — the underlying event
+// struct may be recycled for a new event, and the generation check makes the
+// stale handle degrade into a no-op rather than cancel the new occupant.
 type Timer struct {
 	engine *Engine
 	ev     *event
+	gen    uint64
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the call
-// prevented the event from firing.
+// prevented the event from firing. Calling Stop on a fired, already-stopped,
+// nil, or zero timer returns false.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen {
 		return false
 	}
-	t.ev.canceled = true
-	heap.Remove(&t.engine.events, t.ev.index)
+	e := t.engine
+	heap.Remove(&e.events, t.ev.index)
+	e.recycle(t.ev)
+	t.ev = nil
 	return true
 }
 
 // Active reports whether the timer is still scheduled to fire.
 func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index >= 0
+	return t != nil && t.ev != nil && t.ev.gen == t.gen
 }
 
 // When returns the virtual time at which the timer fires, or MaxTime if the
@@ -166,20 +210,28 @@ func (t *Timer) When() Time {
 	return t.ev.at
 }
 
-// At schedules fn to run at absolute virtual time at. Scheduling in the past
-// (before Now) panics: in a discrete-event model that is always a logic bug,
-// and silently clamping it would hide causality violations.
-func (e *Engine) At(at Time, fn func()) *Timer {
+// schedule enqueues fn at absolute time at and returns the backing event.
+// Scheduling in the past (before Now) panics: in a discrete-event model that
+// is always a logic bug, and silently clamping it would hide causality
+// violations.
+func (e *Engine) schedule(at Time, fn func()) *event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %v which is before now %v", at, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	e.seq++
+	ev := e.newEvent(at, fn)
 	heap.Push(&e.events, ev)
-	return &Timer{engine: e, ev: ev}
+	return ev
+}
+
+// At schedules fn to run at absolute virtual time at and returns a
+// cancellation handle. Use Schedule when the handle is not needed: it avoids
+// the Timer allocation.
+func (e *Engine) At(at Time, fn func()) *Timer {
+	ev := e.schedule(at, fn)
+	return &Timer{engine: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run delay nanoseconds from now.
@@ -190,24 +242,56 @@ func (e *Engine) After(delay Time, fn func()) *Timer {
 	return e.At(e.now+delay, fn)
 }
 
+// Schedule is At without the cancellation handle — the allocation-free path
+// for fire-and-forget events.
+func (e *Engine) Schedule(at Time, fn func()) { e.schedule(at, fn) }
+
+// ScheduleAfter is After without the cancellation handle.
+func (e *Engine) ScheduleAfter(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.schedule(e.now+delay, fn)
+}
+
+// ResetAt re-arms t to fire fn at absolute time at, canceling any pending
+// fire first. It writes the handle in place, so a value-embedded Timer can be
+// re-armed indefinitely without allocating.
+func (e *Engine) ResetAt(t *Timer, at Time, fn func()) {
+	t.Stop()
+	ev := e.schedule(at, fn)
+	t.engine = e
+	t.ev = ev
+	t.gen = ev.gen
+}
+
+// ResetAfter re-arms t to fire fn delay nanoseconds from now.
+func (e *Engine) ResetAfter(t *Timer, delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.ResetAt(t, e.now+delay, fn)
+}
+
 // Stop halts the run loop after the current event completes. Pending events
 // remain queued; a subsequent Run or RunUntil resumes them.
 func (e *Engine) Stop() { e.stopped = true }
 
 // step pops and executes the earliest event. It reports false when the queue
-// is empty.
+// is empty. The event is recycled before its closure runs, so a callback that
+// stops or re-arms its own timer sees a stale (inert) handle rather than the
+// queued event.
 func (e *Engine) step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.executed++
-		ev.fn()
-		return true
+	if len(e.events) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.executed++
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called. It returns
@@ -243,17 +327,14 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
-// peek returns the earliest non-canceled event without removing it, reaping
-// canceled events it encounters at the top of the heap.
+// peek returns the earliest pending event without removing it. Stopped
+// events are removed from the heap eagerly, so the top of the heap is always
+// live.
 func (e *Engine) peek() *event {
-	for len(e.events) > 0 {
-		ev := e.events[0]
-		if !ev.canceled {
-			return ev
-		}
-		heap.Pop(&e.events)
+	if len(e.events) == 0 {
+		return nil
 	}
-	return nil
+	return e.events[0]
 }
 
 // NextEventAt returns the time of the next pending event, or MaxTime if the

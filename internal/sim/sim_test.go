@@ -174,6 +174,122 @@ func TestNilTimerIsInert(t *testing.T) {
 	}
 }
 
+// TestTimerStaleAfterRecycle checks the generation guard: once a timer's
+// event fires and its struct is recycled into a new event, the stale handle
+// must not cancel or observe the new occupant.
+func TestTimerStaleAfterRecycle(t *testing.T) {
+	e := NewEngine()
+	first := e.At(10, func() {})
+	e.Run()
+	// The fired event's struct is on the free list; this reuses it.
+	secondFired := false
+	second := e.At(20, func() { secondFired = true })
+	if first.Active() {
+		t.Fatal("stale handle reports Active after its event was recycled")
+	}
+	if first.Stop() {
+		t.Fatal("stale handle Stop returned true")
+	}
+	if first.When() != MaxTime {
+		t.Fatalf("stale handle When = %v, want MaxTime", first.When())
+	}
+	if !second.Active() {
+		t.Fatal("new timer should be unaffected by stale-handle calls")
+	}
+	e.Run()
+	if !secondFired {
+		t.Fatal("new event did not fire — stale handle interfered")
+	}
+}
+
+// TestTimerStopInsideOwnCallback checks that a callback stopping its own
+// timer is a safe no-op: the event is recycled before the closure runs.
+func TestTimerStopInsideOwnCallback(t *testing.T) {
+	e := NewEngine()
+	var tm *Timer
+	stopped := true
+	tm = e.At(5, func() { stopped = tm.Stop() })
+	e.Run()
+	if stopped {
+		t.Fatal("Stop inside own callback should report false")
+	}
+}
+
+func TestResetAtReschedules(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	var tm Timer
+	e.ResetAt(&tm, 10, func() { fired = append(fired, e.Now()) })
+	// Re-arm before the first fire: only the new deadline should fire.
+	e.ResetAt(&tm, 30, func() { fired = append(fired, e.Now()) })
+	if tm.When() != 30 {
+		t.Fatalf("When = %v, want 30", tm.When())
+	}
+	e.Run()
+	if len(fired) != 1 || fired[0] != 30 {
+		t.Fatalf("fired at %v, want [30]", fired)
+	}
+	// Re-arm after a fire works too, and does not allocate a new handle.
+	e.ResetAfter(&tm, 5, func() { fired = append(fired, e.Now()) })
+	e.Run()
+	if len(fired) != 2 || fired[1] != 35 {
+		t.Fatalf("fired at %v, want [30 35]", fired)
+	}
+}
+
+func TestResetAtRepeatedReuseDoesNotLeak(t *testing.T) {
+	e := NewEngine()
+	var tm Timer
+	count := 0
+	for i := 0; i < 1000; i++ {
+		e.ResetAt(&tm, Time(i), func() { count++ })
+		e.Run()
+	}
+	if count != 1000 {
+		t.Fatalf("count = %d, want 1000", count)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleFireAndForget(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.ScheduleAfter(10, func() { order = append(order, 1) })
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+// TestFreeListPreservesOrdering churns the free list hard and checks the
+// (time, seq) execution invariant still holds with recycled event structs.
+func TestFreeListPreservesOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	n := 0
+	var spawn func()
+	spawn = func() {
+		if n >= 300 {
+			return
+		}
+		n++
+		i := n
+		e.ScheduleAfter(Time(n%7), func() { got = append(got, i); spawn() })
+		if n%3 == 0 {
+			tm := e.After(Time(n%5), func() { t.Error("stopped event fired") })
+			tm.Stop()
+		}
+	}
+	spawn()
+	e.Run()
+	if len(got) != 300 {
+		t.Fatalf("executed %d events, want 300", len(got))
+	}
+}
+
 func TestTimerWhen(t *testing.T) {
 	e := NewEngine()
 	tm := e.At(77, func() {})
@@ -345,6 +461,25 @@ func TestNewRandDeterminism(t *testing.T) {
 	if same {
 		t.Fatal("different seeds produced identical streams")
 	}
+}
+
+// BenchmarkEngineSchedule measures At/After/Stop churn on the pooled event
+// path: one re-armed value timer plus fire-and-forget events per iteration.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	var tm Timer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleAfter(Time(i%1000), fn)
+		e.ResetAfter(&tm, Time(i%500+1), fn)
+		h := e.After(Time(i%300), fn)
+		h.Stop()
+		if e.Pending() > 10000 {
+			e.Run()
+		}
+	}
+	e.Run()
 }
 
 func BenchmarkEngineScheduleRun(b *testing.B) {

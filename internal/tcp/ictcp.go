@@ -105,7 +105,7 @@ func (c *ICTCP) Window(i int) int64 { return c.conns[i].wnd }
 func (c *ICTCP) slot() sim.Time { return 2 * c.cfg.BaseRTT }
 
 func (c *ICTCP) scheduleSlot() {
-	c.eng.After(c.slot(), func() {
+	c.eng.ScheduleAfter(c.slot(), func() {
 		c.adjust()
 		c.scheduleSlot()
 	})

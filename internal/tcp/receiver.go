@@ -46,7 +46,8 @@ type Receiver struct {
 	pending     int      // data packets not yet acknowledged
 	ceState     bool     // CE value of the packets covered by pending ACK
 	pendingEcho sim.Time // echo timestamp for the pending ACK
-	ackTimer    *sim.Timer
+	ackTimer    sim.Timer
+	flushFn     func() // prebuilt r.flushAck, so re-arming allocates nothing
 
 	// Statistics.
 	dataPackets int64
@@ -81,6 +82,7 @@ func NewReceiver(eng *sim.Engine, hub *Hub, flow netsim.FlowID, src netsim.NodeI
 		cfg:  cfg,
 		ooo:  make(map[int64]int),
 	}
+	r.flushFn = r.flushAck
 	hub.Register(flow, r)
 	return r
 }
@@ -177,7 +179,7 @@ func (r *Receiver) delayedAck(ce bool, echo sim.Time) {
 		return
 	}
 	if !r.ackTimer.Active() {
-		r.ackTimer = r.eng.After(r.cfg.AckTimeout, r.flushAck)
+		r.eng.ResetAfter(&r.ackTimer, r.cfg.AckTimeout, r.flushFn)
 	}
 }
 
@@ -194,15 +196,15 @@ func (r *Receiver) flushAck() {
 // sendAck emits a cumulative ACK with the ECN echo.
 func (r *Receiver) sendAck(ece bool, echo sim.Time) {
 	r.acksSent++
-	r.host.Send(&netsim.Packet{
-		Flow:       r.flow,
-		Src:        r.host.ID(),
-		Dst:        r.src,
-		IsAck:      true,
-		AckNo:      r.rcvNxt,
-		ECE:        ece,
-		Wnd:        r.advertisedWnd,
-		EchoSentAt: echo,
-		SentAt:     r.eng.Now(),
-	})
+	p := r.host.AllocPacket()
+	p.Flow = r.flow
+	p.Src = r.host.ID()
+	p.Dst = r.src
+	p.IsAck = true
+	p.AckNo = r.rcvNxt
+	p.ECE = ece
+	p.Wnd = r.advertisedWnd
+	p.EchoSentAt = echo
+	p.SentAt = r.eng.Now()
+	r.host.Send(p)
 }

@@ -97,11 +97,13 @@ type Sender struct {
 	est        rttEstimator
 	rto        sim.Time
 	rtoBackoff int
-	rtoTimer   *sim.Timer
+	rtoTimer   sim.Timer
+	rtoFn      func() // prebuilt s.onRTO, so re-arming allocates nothing
 
 	// Pacing state: earliest time the next segment may leave.
 	nextSendAt sim.Time
-	paceTimer  *sim.Timer
+	paceTimer  sim.Timer
+	paceFn     func() // prebuilt s.trySend
 
 	stats SenderStats
 
@@ -132,6 +134,8 @@ func NewSender(eng *sim.Engine, hub *Hub, flow netsim.FlowID, dst netsim.NodeID,
 		cfg:  cfg,
 	}
 	s.rto = cfg.MinRTO
+	s.rtoFn = s.onRTO
+	s.paceFn = s.trySend
 	hub.Register(flow, s)
 	return s
 }
@@ -238,22 +242,20 @@ func (s *Sender) armPaceTimer() {
 	if s.paceTimer.Active() && s.paceTimer.When() <= s.nextSendAt {
 		return
 	}
-	s.paceTimer.Stop()
-	s.paceTimer = s.eng.At(s.nextSendAt, func() { s.trySend() })
+	s.eng.ResetAt(&s.paceTimer, s.nextSendAt, s.paceFn)
 }
 
 // sendSegment emits one data segment and manages the RTO timer.
 func (s *Sender) sendSegment(seq int64, segLen int, retransmit bool) {
-	p := &netsim.Packet{
-		Flow:       s.flow,
-		Src:        s.host.ID(),
-		Dst:        s.dst,
-		Seq:        seq,
-		Len:        segLen,
-		ECT:        true,
-		Retransmit: retransmit,
-		SentAt:     s.eng.Now(),
-	}
+	p := s.host.AllocPacket()
+	p.Flow = s.flow
+	p.Src = s.host.ID()
+	p.Dst = s.dst
+	p.Seq = seq
+	p.Len = segLen
+	p.ECT = true
+	p.Retransmit = retransmit
+	p.SentAt = s.eng.Now()
 	s.stats.SentPackets++
 	s.stats.SentBytes += int64(segLen)
 	if retransmit {
@@ -269,8 +271,7 @@ func (s *Sender) sendSegment(seq int64, segLen int, retransmit bool) {
 
 // armRTO (re)schedules the retransmission timer rto from now.
 func (s *Sender) armRTO() {
-	s.rtoTimer.Stop()
-	s.rtoTimer = s.eng.After(s.rto, s.onRTO)
+	s.eng.ResetAfter(&s.rtoTimer, s.rto, s.rtoFn)
 }
 
 // onRTO handles a retransmission timeout: collapse the window, rewind to

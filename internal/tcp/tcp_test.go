@@ -450,3 +450,27 @@ func TestHubIgnoresUnknownFlow(t *testing.T) {
 	// Must not panic.
 	hub.HandlePacket(&netsim.Packet{Flow: 99})
 }
+
+// BenchmarkSenderBurst measures the full sender->receiver->ACK round trip
+// for repeated 64 KB bursts over the dumbbell: the packet-pool and
+// re-armable-timer hot path.
+func BenchmarkSenderBurst(b *testing.B) {
+	eng := sim.NewEngine()
+	d := netsim.NewDumbbell(eng, netsim.DefaultDumbbellConfig(1))
+	sHub := NewHub(d.Senders[0])
+	rHub := NewHub(d.Receiver)
+	snd := NewSender(eng, sHub, 1, d.Receiver.ID(),
+		cc.NewDCTCP(cc.DefaultDCTCPConfig()), DefaultSenderConfig())
+	NewReceiver(eng, rHub, 1, d.Senders[0].ID(), DefaultReceiverConfig())
+
+	const burstBytes = 64 * 1000
+	b.ReportAllocs()
+	b.SetBytes(burstBytes)
+	for i := 0; i < b.N; i++ {
+		snd.AddDemand(burstBytes)
+		eng.Run()
+	}
+	if !snd.DemandMet() {
+		b.Fatal("demand not met")
+	}
+}

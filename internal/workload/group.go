@@ -98,12 +98,12 @@ func (g *Group) schedule() {
 			if now := g.eng.Now(); at < now {
 				at = now
 			}
-			g.eng.At(at, func() {
+			g.eng.Schedule(at, func() {
 				g.senders[flow].AddDemand(g.cfg.BytesPerFlow)
 			})
 		}
 		if g.cfg.Admitter != nil {
-			g.eng.At(start, func() {
+			g.eng.Schedule(start, func() {
 				g.cfg.Admitter.BeginBurst(AdmitContext{
 					Eng:   g.eng,
 					Burst: b,
