@@ -7,6 +7,11 @@
 #   3. go test           the full unit + determinism suite
 #   4. go test -race     the parallel orchestration tests under the race
 #                        detector (worker pool + experiment fan-out)
+#   5. audit gate        quick Fig-5/Fig-8 experiments re-run in checked
+#                        mode (every simulation invariant enforced, zero
+#                        violations tolerated) plus the rackmodel<->netsim
+#                        differential cross-check at the documented
+#                        tolerances (see EXPERIMENTS.md)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -21,5 +26,9 @@ go test ./...
 
 echo "==> go test -race ./internal/core -run TestParallel"
 go test -race ./internal/core -run TestParallel
+
+echo "==> audit gate: invariant-checked experiments + rackmodel/netsim differential"
+go test ./internal/audit -count=1
+go test ./internal/core -run 'TestAudited' -count=1
 
 echo "==> ci.sh: all checks passed"

@@ -60,7 +60,12 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines per experiment sweep (0 = GOMAXPROCS, 1 = serial)")
 	only := flag.String("only", "", "comma-separated experiment names (default: all)")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	auditFlag := flag.Bool("audit", false, "run simulations in checked mode: enforce invariants (conservation, queue bounds, cc protocol bounds) on every packet-level run")
 	flag.Parse()
+
+	if err := incastlab.ValidateWorkers(*workers); err != nil {
+		log.Fatalf("-workers: %v", err)
+	}
 
 	if *list {
 		for _, e := range experiments {
@@ -81,7 +86,7 @@ func main() {
 		}
 	}
 
-	opt := incastlab.Options{Seed: *seed, Quick: *quick, Workers: *workers}
+	opt := incastlab.Options{Seed: *seed, Quick: *quick, Workers: *workers, Audit: *auditFlag}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatalf("create output dir: %v", err)
 	}

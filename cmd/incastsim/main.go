@@ -43,7 +43,12 @@ func main() {
 	plot := flag.Bool("plot", true, "print the ASCII queue plot")
 	sweep := flag.String("sweep", "", "comma-separated incast degrees to run instead of -flows (e.g. 80,500,1400)")
 	workers := flag.Int("workers", 0, "worker goroutines for -sweep (0 = GOMAXPROCS, 1 = serial)")
+	auditFlag := flag.Bool("audit", false, "run in checked mode: enforce simulation invariants (conservation, queue bounds, cc protocol bounds) throughout the run")
 	flag.Parse()
+
+	if err := incastlab.ValidateWorkers(*workers); err != nil {
+		log.Fatalf("-workers: %v", err)
+	}
 
 	buildCfg := func(flows int) incastlab.SimConfig {
 		net := incastlab.DefaultDumbbellConfig(flows)
@@ -62,6 +67,7 @@ func main() {
 			Interval:            incastlab.Time(*intervalMS * float64(incastlab.Millisecond)),
 			Net:                 net,
 			ExternalBufferBytes: *contend,
+			Audit:               *auditFlag,
 			Seed:                *seed,
 		}
 		switch *cca {
@@ -142,8 +148,12 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("\n(%d simulation(s) in %v wall clock, workers=%d)\n",
-		len(results), elapsed.Round(time.Millisecond), *workers)
+	audited := ""
+	if *auditFlag {
+		audited = ", invariants audited: clean"
+	}
+	fmt.Printf("\n(%d simulation(s) in %v wall clock, workers=%d%s)\n",
+		len(results), elapsed.Round(time.Millisecond), *workers, audited)
 }
 
 func busyAvg(res *incastlab.SimResult) float64 {

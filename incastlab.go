@@ -35,6 +35,7 @@ import (
 	"fmt"
 
 	"incastlab/internal/app"
+	"incastlab/internal/audit"
 	"incastlab/internal/cc"
 	"incastlab/internal/core"
 	"incastlab/internal/millisampler"
@@ -127,11 +128,51 @@ type SimResult = core.SimResult
 func RunIncastSim(cfg SimConfig) *SimResult { return core.RunIncastSim(cfg) }
 
 // RunIncastSims executes independent simulations across a worker pool
-// (workers <= 0 uses GOMAXPROCS; 1 runs serially). Results are returned in
-// config order and are bit-identical to looping over RunIncastSim.
+// (workers == 0 uses GOMAXPROCS; 1 runs serially; negative counts are
+// invalid — see ValidateWorkers). Results are returned in config order and
+// are bit-identical to looping over RunIncastSim.
 func RunIncastSims(workers int, cfgs []SimConfig) []*SimResult {
 	return core.RunIncastSims(workers, cfgs)
 }
+
+// ValidateWorkers rejects invalid worker counts (negative values) with a
+// clear error; front ends should call it on user-supplied -workers values
+// before building experiments.
+var ValidateWorkers = core.ValidateWorkers
+
+// Invariant auditing -----------------------------------------------------
+
+// AuditConfig tunes the runtime invariant auditor (internal/audit): sweep
+// interval, violation cap, and end-state drain checks. Experiments enable
+// auditing wholesale through Options.Audit / SimConfig.Audit; the explicit
+// types are exported for callers embedding the auditor in their own engine
+// runs.
+type AuditConfig = audit.Config
+
+// Auditor enforces simulation invariants (byte/packet conservation, queue
+// bounds, clock monotonicity, cc protocol bounds, packet-pool hygiene) over
+// one engine run.
+type Auditor = audit.Auditor
+
+// AuditViolation is one recorded invariant breach.
+type AuditViolation = audit.Violation
+
+// NewAuditor creates an auditor bound to an engine.
+var NewAuditor = audit.New
+
+// DiffConfig parameterizes the rackmodel/netsim differential cross-check.
+type DiffConfig = audit.DiffConfig
+
+// DiffResult carries both sides' curves and tolerance verdicts.
+type DiffResult = audit.DiffResult
+
+// DefaultDiffConfig returns the canonical cross-check trace and tolerances.
+var DefaultDiffConfig = audit.DefaultDiffConfig
+
+// RunDiff drives one offered-load trace through both the analytic rack
+// model and the packet simulator and errors when they disagree beyond the
+// configured tolerances.
+var RunDiff = audit.RunDiff
 
 // DumbbellConfig describes the simulated topology.
 type DumbbellConfig = netsim.DumbbellConfig

@@ -61,6 +61,38 @@ type Algorithm interface {
 // calls the state where every flow sits at this floor the degenerate point.
 const MinWindow = netsim.MSS
 
+// MaxWindow is the sanity ceiling for congestion windows and ssthresh: the
+// algorithms here initialize ssthresh to 1<<30 and only ever shrink it, so
+// any value above this bound indicates state corruption.
+const MaxWindow = 1 << 30
+
+// Probe is a read-only snapshot of an algorithm's internal congestion state,
+// exposed so the invariant auditor can check protocol bounds (cwnd and
+// ssthresh within [MinWindow, MaxWindow], alpha within [0, 1]) without
+// coupling the auditor to concrete types. Has* flags report which optional
+// fields the algorithm populates.
+type Probe struct {
+	// CwndBytes is the effective congestion window, as Window() reports it.
+	CwndBytes int
+	// SsthreshBytes is the slow-start threshold (window-based algorithms).
+	SsthreshBytes int
+	HasSsthresh   bool
+	// Alpha is DCTCP's congestion estimate in [0, 1].
+	Alpha    float64
+	HasAlpha bool
+	// FractionalWindowBytes is the sub-MSS internal window of pacing
+	// algorithms (Swift); must be positive and finite.
+	FractionalWindowBytes float64
+	HasFractionalWindow   bool
+	// CapBytes is an outer clamp on the window (Guardrail); 0 = none.
+	CapBytes int
+}
+
+// Inspectable is implemented by algorithms that expose a state Probe.
+type Inspectable interface {
+	Probe() Probe
+}
+
 // IdleRestarter is implemented by algorithms that support RFC 2861-style
 // congestion window validation: after an idle period the window collapses
 // back to the initial window instead of trusting stale state. The paper's
@@ -124,6 +156,11 @@ func (r *Reno) OnTimeout(now sim.Time) {
 
 // Window implements Algorithm.
 func (r *Reno) Window() int { return r.cwnd }
+
+// Probe implements Inspectable.
+func (r *Reno) Probe() Probe {
+	return Probe{CwndBytes: r.cwnd, SsthreshBytes: r.ssthresh, HasSsthresh: true}
+}
 
 // PacingGap implements Algorithm; Reno is purely window-based.
 func (r *Reno) PacingGap() sim.Time { return 0 }

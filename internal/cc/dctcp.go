@@ -144,6 +144,17 @@ func (d *DCTCP) OnTimeout(now sim.Time) {
 // Window implements Algorithm.
 func (d *DCTCP) Window() int { return d.cwnd }
 
+// Probe implements Inspectable.
+func (d *DCTCP) Probe() Probe {
+	return Probe{
+		CwndBytes:     d.cwnd,
+		SsthreshBytes: d.ssthresh,
+		HasSsthresh:   true,
+		Alpha:         d.alpha,
+		HasAlpha:      true,
+	}
+}
+
 // PacingGap implements Algorithm; DCTCP is window-based.
 func (d *DCTCP) PacingGap() sim.Time { return 0 }
 

@@ -86,6 +86,18 @@ func (g *Guardrail) Window() int {
 	return w
 }
 
+// Probe implements Inspectable: the inner algorithm's probe with the
+// effective (clamped) window and the cap filled in.
+func (g *Guardrail) Probe() Probe {
+	var p Probe
+	if in, ok := g.inner.(Inspectable); ok {
+		p = in.Probe()
+	}
+	p.CwndBytes = g.Window()
+	p.CapBytes = g.capBytes
+	return p
+}
+
 // PacingGap stretches packet spacing when the cap is below one MSS's worth
 // of fair share; with the MSS floor this is rarely needed, so it simply
 // forwards to the inner algorithm.

@@ -131,6 +131,15 @@ func (s *Swift) Window() int {
 	return int(s.wnd)
 }
 
+// Probe implements Inspectable.
+func (s *Swift) Probe() Probe {
+	return Probe{
+		CwndBytes:             s.Window(),
+		FractionalWindowBytes: s.wnd,
+		HasFractionalWindow:   true,
+	}
+}
+
 // PacingGap stretches inter-packet spacing when the fractional window is
 // below one MSS: one MSS every (MSS/wnd) RTTs.
 func (s *Swift) PacingGap() sim.Time {

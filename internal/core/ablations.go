@@ -83,6 +83,7 @@ func AblationG(opt Options) *AblationResult {
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        ablationBursts(opt),
 			Seed:          opt.seed(),
+			Audit:         opt.Audit,
 			Alg: func(int) cc.Algorithm {
 				c := cc.DefaultDCTCPConfig()
 				c.G = g
@@ -117,6 +118,7 @@ func AblationECNThreshold(opt Options) *AblationResult {
 			Bursts:        ablationBursts(opt),
 			Net:           net,
 			Seed:          opt.seed(),
+			Audit:         opt.Audit,
 		})
 	}
 	for i, m := range RunIncastSims(opt.Workers, cfgs) {
@@ -147,6 +149,7 @@ func AblationSharedBuffer(opt Options) *AblationResult {
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        ablationBursts(opt),
 			Seed:          opt.seed(),
+			Audit:         opt.Audit,
 		},
 		{
 			Flows:               1000,
@@ -155,6 +158,7 @@ func AblationSharedBuffer(opt Options) *AblationResult {
 			Net:                 net,
 			ExternalBufferBytes: 700 * 1000,
 			Seed:                opt.seed(),
+			Audit:               opt.Audit,
 		},
 	}
 	labels := []string{"dedicated_2MB", "shared_2MB_contended"}
@@ -182,6 +186,7 @@ func AblationDelayedACKs(opt Options) *AblationResult {
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        ablationBursts(opt),
 			Seed:          opt.seed(),
+			Audit:         opt.Audit,
 		}
 		label := "immediate"
 		if delayed {
@@ -245,6 +250,7 @@ func AblationGuardrail(opt Options) *AblationResult {
 			cfg.BurstDuration = 15 * sim.Millisecond
 			cfg.Bursts = ablationBursts(opt)
 			cfg.Seed = opt.seed()
+			cfg.Audit = opt.Audit
 			cfgs = append(cfgs, cfg)
 			labels = append(labels, []string{fmt.Sprint(n), s.name})
 		}
@@ -289,6 +295,7 @@ func AblationCCA(opt Options) *AblationResult {
 			Bursts:        ablationBursts(opt),
 			Alg:           a.mk,
 			Seed:          opt.seed(),
+			Audit:         opt.Audit,
 		})
 	}
 	for i, m := range RunIncastSims(opt.Workers, cfgs) {
@@ -318,6 +325,7 @@ func AblationMinRTO(opt Options) *AblationResult {
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        ablationBursts(opt),
 			Seed:          opt.seed(),
+			Audit:         opt.Audit,
 		}
 		cfg.Sender.MinRTO = rto
 		cfgs = append(cfgs, cfg)
@@ -351,6 +359,7 @@ func AblationIdleRestart(opt Options) *AblationResult {
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        ablationBursts(opt),
 			Seed:          opt.seed(),
+			Audit:         opt.Audit,
 		}
 		label := "persistent"
 		if restart {
@@ -390,6 +399,7 @@ func AblationReceiverWindow(opt Options) *AblationResult {
 				BurstDuration: 15 * sim.Millisecond,
 				Bursts:        ablationBursts(opt),
 				Seed:          opt.seed(),
+				Audit:         opt.Audit,
 				Alg:           func(int) cc.Algorithm { return cc.NewReno(10 * netsim.MSS) },
 				EnableICTCP:   ictcp,
 			}
@@ -431,6 +441,7 @@ func AblationMarkingDiscipline(opt Options) *AblationResult {
 			Bursts:        ablationBursts(opt),
 			Net:           net,
 			Seed:          opt.seed(),
+			Audit:         opt.Audit,
 		})
 		label := "instantaneous"
 		if w > 0 {

@@ -30,10 +30,24 @@ type Options struct {
 	Quick bool
 	// Workers bounds the goroutines used to fan out independent runs
 	// within an experiment: 0 means GOMAXPROCS, 1 forces the serial path
-	// (useful for debugging). Results are identical either way — every run
-	// is an isolated engine seeded from Seed, and results are collected by
-	// index.
+	// (useful for debugging). Negative values are invalid; reject them with
+	// ValidateWorkers before running. Results are identical either way —
+	// every run is an isolated engine seeded from Seed, and results are
+	// collected by index.
 	Workers int
+	// Audit attaches the internal/audit invariant auditor to every
+	// packet-level simulation: byte/packet conservation, queue bounds,
+	// clock monotonicity, congestion-window protocol bounds, and packet
+	// -pool hygiene are checked throughout the run, and any violation
+	// panics with a summary. Results are bit-identical to unaudited runs;
+	// the cost is a modest slowdown.
+	Audit bool
+}
+
+// Validate rejects option values that would otherwise fail deep inside an
+// experiment run.
+func (o Options) Validate() error {
+	return ValidateWorkers(o.Workers)
 }
 
 func (o Options) seed() uint64 {

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"incastlab/internal/audit"
 	"incastlab/internal/cc"
 	"incastlab/internal/millisampler"
 	"incastlab/internal/netsim"
@@ -69,9 +70,25 @@ func CrossValidation(opt Options) *CrossValidationResult {
 	windowMS := int(sim.Time(bursts) * interval / sim.Millisecond)
 	rec := netsim.NewHostIngressRecorder(in.Network().Receiver, 0, sim.Millisecond, windowMS)
 
+	var auditor *audit.Auditor
+	if opt.Audit {
+		auditor = audit.New(eng, audit.Config{RequireDrained: true})
+		auditor.WatchDumbbell(in.Network())
+		for _, s := range in.Senders() {
+			auditor.WatchSender(s)
+		}
+		auditor.Start()
+	}
+
 	eng.RunUntil(sim.Time(bursts)*interval + 5*sim.Second)
 	if !in.Done() {
 		panic("core: cross-validation incast did not complete")
+	}
+	if auditor != nil {
+		auditor.Finish()
+		if err := auditor.Err(); err != nil {
+			panic(fmt.Sprintf("core: cross-validation failed its invariant audit: %v", err))
+		}
 	}
 
 	tr := millisampler.FromIngressRecorder(rec, net.HostLinkBps)

@@ -46,6 +46,7 @@ func ModeBoundary(opt Options) *ModeBoundaryResult {
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        bursts,
 			Seed:          opt.seed(),
+			Audit:         opt.Audit,
 		})
 	})
 	prev := ""

@@ -1,10 +1,22 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// ValidateWorkers rejects worker counts the runner does not define: only
+// 0 (= GOMAXPROCS) and positive bounds are meaningful. Front ends call this
+// before building experiments so a typo'd "-workers -4" fails with a clear
+// error instead of silently selecting a fallback.
+func ValidateWorkers(workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("workers must be >= 0 (0 means all cores, 1 forces serial); got %d", workers)
+	}
+	return nil
+}
 
 // runParallel evaluates fn(0), ..., fn(n-1) across up to workers goroutines
 // and returns the results indexed by input, so the output is identical to a
@@ -13,9 +25,14 @@ import (
 // builds its own sim.Engine and derives randomness from the configured seed,
 // never from shared state.
 //
-// workers <= 0 selects GOMAXPROCS; workers == 1 runs the plain serial loop
+// workers == 0 selects GOMAXPROCS; workers == 1 runs the plain serial loop
 // (no goroutines), which is the debugging mode the Workers option documents.
+// Negative counts are a caller bug — front ends validate with
+// ValidateWorkers — so they panic rather than being silently reinterpreted.
 func runParallel[R any](workers, n int, fn func(i int) R) []R {
+	if err := ValidateWorkers(workers); err != nil {
+		panic("core: " + err.Error())
+	}
 	out := make([]R, n)
 	w := workers
 	if w <= 0 {

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"incastlab/internal/audit"
 	"incastlab/internal/cc"
 	"incastlab/internal/netsim"
 	"incastlab/internal/sim"
@@ -93,6 +94,21 @@ func runRackIncast(opt Options, flows, bursts int, contended bool) rackGroupStat
 		neighbor = mkGroup(1, netsim.FlowID(flows+1), opt.seed()+7)
 	}
 
+	var auditor *audit.Auditor
+	if opt.Audit {
+		auditor = audit.New(eng, audit.Config{RequireDrained: true})
+		auditor.WatchRack(rack)
+		for _, s := range victim.Senders() {
+			auditor.WatchSender(s)
+		}
+		if neighbor != nil {
+			for _, s := range neighbor.Senders() {
+				auditor.WatchSender(s)
+			}
+		}
+		auditor.Start()
+	}
+
 	// Snapshot counters after the discarded first burst.
 	var baseTimeouts, baseDrops int64
 	q := rack.DownlinkQueue(0)
@@ -104,6 +120,12 @@ func runRackIncast(opt Options, flows, bursts int, contended bool) rackGroupStat
 	eng.RunUntil(sim.Time(bursts)*interval + 20*sim.Second)
 	if !victim.Done() || (neighbor != nil && !neighbor.Done()) {
 		panic("core: rack contention experiment did not complete")
+	}
+	if auditor != nil {
+		auditor.Finish()
+		if err := auditor.Err(); err != nil {
+			panic(fmt.Sprintf("core: rack contention experiment failed its invariant audit: %v", err))
+		}
 	}
 
 	var st rackGroupStats

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"incastlab/internal/audit"
 	"incastlab/internal/cc"
 	"incastlab/internal/netsim"
 	"incastlab/internal/sim"
@@ -52,6 +53,11 @@ type SimConfig struct {
 	// TrackInFlight additionally samples the per-flow in-flight
 	// distribution over the measured window of the last burst (Figure 7).
 	TrackInFlight bool
+	// Audit runs the simulation in checked mode: an internal/audit Auditor
+	// watches the whole dumbbell (conservation, queue bounds, clock,
+	// cc protocol bounds, pool hygiene) and any violation panics with a
+	// summary. Results are bit-identical to an unaudited run.
+	Audit bool
 	// Seed drives start jitter.
 	Seed uint64
 }
@@ -153,6 +159,16 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 		in.Network().Shared.SetExternalBytes(cfg.ExternalBufferBytes)
 	}
 
+	var auditor *audit.Auditor
+	if cfg.Audit {
+		auditor = audit.New(eng, audit.Config{RequireDrained: true})
+		auditor.WatchDumbbell(in.Network())
+		for _, s := range in.Senders() {
+			auditor.WatchSender(s)
+		}
+		auditor.Start()
+	}
+
 	res := &SimResult{
 		Flows:         cfg.Flows,
 		AlgName:       in.Senders()[0].Algorithm().Name(),
@@ -199,6 +215,12 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 	eng.RunUntil(deadline)
 	if !in.Done() {
 		panic(fmt.Sprintf("core: simulation with %d flows did not complete by %v", cfg.Flows, deadline))
+	}
+	if auditor != nil {
+		auditor.Finish()
+		if err := auditor.Err(); err != nil {
+			panic(fmt.Sprintf("core: %d-flow simulation failed its invariant audit: %v", cfg.Flows, err))
+		}
 	}
 
 	// Average the per-burst queue traces.

@@ -43,6 +43,7 @@ func Fig5Modes(opt Options) *Fig5Result {
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        bursts,
 			Seed:          opt.seed(),
+			Audit:         opt.Audit,
 		})
 	})
 	return r
@@ -170,6 +171,7 @@ func Fig6ShortBursts(opt Options) *Fig6Result {
 			SampleInterval: 50 * sim.Microsecond,
 			SampleWindow:   6 * sim.Millisecond,
 			Seed:           opt.seed(),
+			Audit:          opt.Audit,
 		})
 	})
 	return r
@@ -247,6 +249,7 @@ func Fig7InFlight(opt Options) *Fig7Result {
 		SampleInterval: 50 * sim.Microsecond,
 		TrackInFlight:  true,
 		Seed:           opt.seed(),
+		Audit:          opt.Audit,
 	})
 	r := &Fig7Result{Run: run, MaxSkew: run.InFlight.MaxSkew(10)}
 

@@ -212,3 +212,102 @@ func TestBurstString(t *testing.T) {
 		t.Fatal("empty string")
 	}
 }
+
+// Burst-boundary contract: Start and End are inclusive sample indexes, a
+// burst may begin at sample 0 or end at the final sample (or both), and a
+// one-interval burst at 1 ms sampling has DurationMS exactly 1.
+
+func TestDetectBurstAtTraceStart(t *testing.T) {
+	tr := testTrace([]float64{0.9, 0.8, 0.1})
+	bursts := Detect(tr, DefaultBurstThreshold)
+	if len(bursts) != 1 {
+		t.Fatalf("bursts = %v", bursts)
+	}
+	b := bursts[0]
+	if b.Start != 0 || b.End != 1 {
+		t.Fatalf("burst span = [%d..%d], want [0..1]", b.Start, b.End)
+	}
+	if b.DurationMS != 2 {
+		t.Fatalf("duration = %v ms, want 2", b.DurationMS)
+	}
+}
+
+func TestDetectBurstAtTraceEnd(t *testing.T) {
+	tr := testTrace([]float64{0.1, 0.2, 0.95})
+	bursts := Detect(tr, DefaultBurstThreshold)
+	if len(bursts) != 1 {
+		t.Fatalf("bursts = %v", bursts)
+	}
+	b := bursts[0]
+	if b.Start != 2 || b.End != 2 {
+		t.Fatalf("burst span = [%d..%d], want [2..2] (End inclusive, final sample)", b.Start, b.End)
+	}
+	if b.DurationMS != 1 {
+		t.Fatalf("single-interval burst duration = %v ms, want exactly 1", b.DurationMS)
+	}
+	if b.Bytes != 950_000 {
+		t.Fatalf("bytes = %v: End must be included in the accumulation", b.Bytes)
+	}
+}
+
+func TestDetectWholeTraceBurst(t *testing.T) {
+	tr := testTrace([]float64{0.9, 0.95, 0.9, 0.85})
+	tr.Samples[3].Flows = 80
+	bursts := Detect(tr, DefaultBurstThreshold)
+	if len(bursts) != 1 {
+		t.Fatalf("bursts = %v", bursts)
+	}
+	b := bursts[0]
+	if b.Start != 0 || b.End != len(tr.Samples)-1 {
+		t.Fatalf("burst span = [%d..%d], want [0..%d]", b.Start, b.End, len(tr.Samples)-1)
+	}
+	if b.DurationMS != 4 {
+		t.Fatalf("duration = %v ms, want 4", b.DurationMS)
+	}
+	if b.PeakFlows != 80 {
+		t.Fatalf("peak flows = %d: final sample must be scanned", b.PeakFlows)
+	}
+}
+
+func TestDetectSingleSampleTrace(t *testing.T) {
+	bursts := Detect(testTrace([]float64{0.9}), DefaultBurstThreshold)
+	if len(bursts) != 1 || bursts[0].Start != 0 || bursts[0].End != 0 {
+		t.Fatalf("bursts = %v, want one [0..0] burst", bursts)
+	}
+	if bursts[0].DurationMS != 1 {
+		t.Fatalf("duration = %v ms, want 1 (minimum at 1 ms sampling)", bursts[0].DurationMS)
+	}
+	if len(Detect(testTrace([]float64{0.1}), DefaultBurstThreshold)) != 0 {
+		t.Fatal("idle single-sample trace must have no bursts")
+	}
+}
+
+// TestDetectMinimumDurationProperty: at 1 ms sampling every detected burst
+// lasts at least 1 ms, DurationMS always equals the inclusive span length,
+// and spans never escape the trace.
+func TestDetectMinimumDurationProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		utils := make([]float64, len(raw))
+		for i, v := range raw {
+			utils[i] = float64(v) / 255
+		}
+		for _, b := range Detect(testTrace(utils), 0.5) {
+			if b.DurationMS < 1 {
+				return false
+			}
+			if b.DurationMS != float64(b.End-b.Start+1) {
+				return false
+			}
+			if b.Start < 0 || b.End >= len(utils) || b.Start > b.End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

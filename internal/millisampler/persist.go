@@ -5,6 +5,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -65,7 +66,11 @@ func (t *Trace) Save(path string) error {
 	return f.Close()
 }
 
-// Read parses a trace previously written by Write.
+// Read parses a trace previously written by Write. Untrusted input never
+// panics: the header's interval and line rate must be positive (NewTrace
+// would otherwise panic), the watermark must be a finite fraction >= 0,
+// every row must carry exactly four fields, and every sample value must be
+// finite and non-negative.
 func Read(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	header, err := br.ReadString('\n')
@@ -78,29 +83,54 @@ func Read(r io.Reader) (*Trace, error) {
 		&intervalNS, &lineRate, &wm); err != nil {
 		return nil, fmt.Errorf("millisampler: bad header %q: %w", header, err)
 	}
+	if intervalNS <= 0 {
+		return nil, fmt.Errorf("millisampler: header interval_ns=%d must be positive", intervalNS)
+	}
+	if lineRate <= 0 {
+		return nil, fmt.Errorf("millisampler: header line_rate_bps=%d must be positive", lineRate)
+	}
+	if math.IsNaN(wm) || math.IsInf(wm, 0) || wm < 0 {
+		return nil, fmt.Errorf("millisampler: header watermark_frac=%g must be finite and >= 0", wm)
+	}
 	cr := csv.NewReader(br)
+	// Enforce the four-column shape on every row, including the first: a
+	// truncated record is an error, never a short slice we index into.
+	cr.FieldsPerRecord = 4
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("millisampler: read samples: %w", err)
 	}
-	if len(rows) == 0 || len(rows[0]) != 4 || rows[0][0] != "bytes" {
+	if len(rows) == 0 || rows[0][0] != "bytes" {
 		return nil, fmt.Errorf("millisampler: missing column header")
+	}
+	field := func(row []string, col int, name string, rowIdx int) (float64, error) {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			return 0, fmt.Errorf("millisampler: row %d %s: %w", rowIdx, name, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return 0, fmt.Errorf("millisampler: row %d %s=%g must be finite and >= 0", rowIdx, name, v)
+		}
+		return v, nil
 	}
 	t := NewTrace(intervalNS, lineRate, len(rows)-1)
 	t.QueueWatermarkFraction = wm
 	for i, row := range rows[1:] {
 		s := &t.Samples[i]
-		if s.Bytes, err = strconv.ParseFloat(row[0], 64); err != nil {
-			return nil, fmt.Errorf("millisampler: row %d bytes: %w", i, err)
+		if s.Bytes, err = field(row, 0, "bytes", i); err != nil {
+			return nil, err
 		}
 		if s.Flows, err = strconv.Atoi(row[1]); err != nil {
 			return nil, fmt.Errorf("millisampler: row %d flows: %w", i, err)
 		}
-		if s.ECNBytes, err = strconv.ParseFloat(row[2], 64); err != nil {
-			return nil, fmt.Errorf("millisampler: row %d ecn: %w", i, err)
+		if s.Flows < 0 {
+			return nil, fmt.Errorf("millisampler: row %d flows=%d must be >= 0", i, s.Flows)
 		}
-		if s.RetxBytes, err = strconv.ParseFloat(row[3], 64); err != nil {
-			return nil, fmt.Errorf("millisampler: row %d retx: %w", i, err)
+		if s.ECNBytes, err = field(row, 2, "ecn", i); err != nil {
+			return nil, err
+		}
+		if s.RetxBytes, err = field(row, 3, "retx", i); err != nil {
+			return nil, err
 		}
 	}
 	return t, nil

@@ -106,3 +106,121 @@ func TestPersistenceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReadRejectsMalformedHeaders: header fields that would make NewTrace
+// panic, or poison downstream analysis with non-finite values, are errors.
+func TestReadRejectsMalformedHeaders(t *testing.T) {
+	body := "bytes,flows,ecn_bytes,retx_bytes\n1,2,3,4\n"
+	cases := map[string]string{
+		"zero interval":      "# millisampler interval_ns=0 line_rate_bps=1 watermark_frac=0\n" + body,
+		"negative interval":  "# millisampler interval_ns=-5 line_rate_bps=1 watermark_frac=0\n" + body,
+		"zero line rate":     "# millisampler interval_ns=1 line_rate_bps=0 watermark_frac=0\n" + body,
+		"negative line rate": "# millisampler interval_ns=1 line_rate_bps=-1 watermark_frac=0\n" + body,
+		"NaN watermark":      "# millisampler interval_ns=1 line_rate_bps=1 watermark_frac=NaN\n" + body,
+		"Inf watermark":      "# millisampler interval_ns=1 line_rate_bps=1 watermark_frac=+Inf\n" + body,
+		"negative watermark": "# millisampler interval_ns=1 line_rate_bps=1 watermark_frac=-0.5\n" + body,
+	}
+	for name, input := range cases {
+		if _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestReadRejectsMalformedRows: truncated or over-long records, non-finite
+// sample values, and negative counters all error instead of panicking or
+// producing a silently corrupt trace.
+func TestReadRejectsMalformedRows(t *testing.T) {
+	header := "# millisampler interval_ns=1000000 line_rate_bps=8000000000 watermark_frac=0.1\n" +
+		"bytes,flows,ecn_bytes,retx_bytes\n"
+	cases := map[string]string{
+		"truncated row":       header + "100,2\n",
+		"extra column":        header + "100,2,3,4,5\n",
+		"truncated mid-field": header + "100,2,3,4\n200,1\n",
+		"NaN bytes":           header + "NaN,2,3,4\n",
+		"Inf ecn":             header + "100,2,+Inf,4\n",
+		"negative retx":       header + "100,2,3,-4\n",
+		"negative bytes":      header + "-100,2,3,4\n",
+		"negative flows":      header + "100,-2,3,4\n",
+		"float flows":         header + "100,2.5,3,4\n",
+	}
+	for name, input := range cases {
+		got, err := Read(strings.NewReader(input))
+		if err == nil {
+			t.Errorf("%s: accepted as %+v", name, got)
+		}
+	}
+}
+
+// TestReadNeverPanics: arbitrary byte soup through Read either parses or
+// errors; it must never panic. Mutations of a valid serialized trace probe
+// the interesting paths (header intact, rows mangled).
+func TestReadNeverPanics(t *testing.T) {
+	valid := func() string {
+		tr := NewTrace(1_000_000, 8_000_000_000, 4)
+		tr.Samples[1] = Sample{Bytes: 900_000, Flows: 40, ECNBytes: 100_000, RetxBytes: 50}
+		var buf strings.Builder
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	f := func(cut uint16, junk []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Read panicked: %v", r)
+			}
+		}()
+		pos := int(cut) % (len(valid) + 1)
+		mangled := valid[:pos] + string(junk) + valid[pos:]
+		_, _ = Read(strings.NewReader(mangled))
+		_, _ = Read(strings.NewReader(string(junk)))
+		_, _ = Read(strings.NewReader(valid[:pos]))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripPreservesValidTraces: Write then Read is the identity on any
+// trace with finite non-negative samples — the hardened validation must not
+// reject values Write legitimately produces.
+func TestRoundTripPreservesValidTraces(t *testing.T) {
+	f := func(vals []uint32, wm uint8) bool {
+		n := len(vals)
+		if n == 0 || n > 100 {
+			return true
+		}
+		tr := NewTrace(250_000, 25_000_000_000, n)
+		tr.QueueWatermarkFraction = float64(wm) / 255
+		for i, v := range vals {
+			tr.Samples[i].Bytes = float64(v) / 7
+			tr.Samples[i].Flows = int(v % 997)
+			tr.Samples[i].ECNBytes = float64(v) / 13
+			tr.Samples[i].RetxBytes = float64(v) / 31
+		}
+		var buf strings.Builder
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Logf("round trip rejected: %v", err)
+			return false
+		}
+		if got.IntervalNS != tr.IntervalNS || got.LineRateBps != tr.LineRateBps ||
+			got.QueueWatermarkFraction != tr.QueueWatermarkFraction || len(got.Samples) != n {
+			return false
+		}
+		for i := range tr.Samples {
+			if got.Samples[i] != tr.Samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

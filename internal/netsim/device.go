@@ -82,6 +82,9 @@ func (h *Host) AllocPacket() *Packet {
 // remove).
 func (h *Host) SetOnReceive(fn func(now sim.Time, p *Packet)) { h.onReceive = fn }
 
+// OnReceive returns the installed delivery tap, for chaining.
+func (h *Host) OnReceive() func(now sim.Time, p *Packet) { return h.onReceive }
+
 // RxPackets returns the count of packets delivered to this host.
 func (h *Host) RxPackets() int64 { return h.rxPackets }
 
@@ -122,6 +125,9 @@ type Switch struct {
 	name   string
 	routes map[NodeID]*Link
 
+	// pool, when set, recycles packets dropped for lack of a route.
+	pool *PacketPool
+
 	// noRouteDrops counts packets for which no route existed.
 	noRouteDrops int64
 }
@@ -146,11 +152,16 @@ func (s *Switch) Route(dst NodeID) *Link { return s.routes[dst] }
 // NoRouteDrops counts packets dropped for lack of a route.
 func (s *Switch) NoRouteDrops() int64 { return s.noRouteDrops }
 
+// SetPool attaches a packet pool so that no-route drops are recycled
+// instead of leaking out of circulation.
+func (s *Switch) SetPool(pp *PacketPool) { s.pool = pp }
+
 // Receive implements Device: look up the output port and send.
 func (s *Switch) Receive(p *Packet) {
 	l, ok := s.routes[p.Dst]
 	if !ok {
 		s.noRouteDrops++
+		s.pool.Put(p)
 		return
 	}
 	l.Send(p)

@@ -19,6 +19,9 @@ type Impairment struct {
 	cfg  ImpairmentConfig
 	drop int64
 	pass int64
+
+	// pool, when set, recycles the packets this device drops.
+	pool *PacketPool
 }
 
 // ImpairmentConfig tunes an Impairment.
@@ -58,6 +61,10 @@ func (im *Impairment) ID() NodeID { return im.id }
 // Name implements Device.
 func (im *Impairment) Name() string { return "impairment" }
 
+// SetPool attaches a packet pool so that injected drops are recycled
+// instead of leaking out of circulation.
+func (im *Impairment) SetPool(pp *PacketPool) { im.pool = pp }
+
 // Dropped returns how many packets the device discarded.
 func (im *Impairment) Dropped() int64 { return im.drop }
 
@@ -69,6 +76,7 @@ func (im *Impairment) Receive(p *Packet) {
 	if (!p.IsAck || im.cfg.DropAcks) && im.cfg.DropProbability > 0 &&
 		im.rng.Float64() < im.cfg.DropProbability {
 		im.drop++
+		im.pool.Put(p)
 		return
 	}
 	im.pass++

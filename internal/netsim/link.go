@@ -32,6 +32,11 @@ type Link struct {
 	txDoneFn  func()
 	deliverFn func()
 
+	// pool, when set, recycles packets the egress queue tail-drops. Without
+	// it a dropped pooled packet would be lost to the pool forever (it is
+	// never delivered, so the terminal Host cannot recycle it).
+	pool *PacketPool
+
 	// txPackets and txBytes count packets that completed serialization.
 	txPackets int64
 	txBytes   int64
@@ -95,11 +100,40 @@ func (l *Link) TxPackets() int64 { return l.txPackets }
 // TxBytes returns the wire bytes fully serialized onto the link.
 func (l *Link) TxBytes() int64 { return l.txBytes }
 
+// SetPool attaches the topology's packet pool so that tail-dropped packets
+// are recycled instead of leaking out of circulation.
+func (l *Link) SetPool(pp *PacketPool) { l.pool = pp }
+
+// InFlightPackets returns the number of packets currently on the link: the
+// one being serialized (if any) plus those in propagation.
+func (l *Link) InFlightPackets() int {
+	n := len(l.inflight) - l.head
+	if l.current != nil {
+		n++
+	}
+	return n
+}
+
+// ForEachInFlight calls fn for every packet on the link, serializing packet
+// first, then propagating packets in delivery order. Packets must not be
+// mutated or retained.
+func (l *Link) ForEachInFlight(fn func(p *Packet)) {
+	if l.current != nil {
+		fn(l.current)
+	}
+	for _, p := range l.inflight[l.head:] {
+		fn(p)
+	}
+}
+
 // Send enqueues p for transmission. If the queue rejects the packet it is
 // dropped (the queue records the drop). If the transmitter is idle,
 // serialization starts immediately.
 func (l *Link) Send(p *Packet) {
 	if !l.queue.Enqueue(l.eng.Now(), p) {
+		// The drop ends this packet's life; it will never reach a Host, so
+		// recycle it here. Safe with a nil pool or a foreign packet.
+		l.pool.Put(p)
 		return
 	}
 	if !l.busy {

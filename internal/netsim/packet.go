@@ -68,10 +68,36 @@ type Packet struct {
 // pointers past HandlePacket; they copy out the header fields they need.
 type PacketPool struct {
 	free []*Packet
+
+	// gets and puts count lifecycle transitions; gets - puts is the number
+	// of pool-owned packets currently live in the network.
+	gets, puts int64
+
+	observer PoolObserver
+}
+
+// PoolObserver observes packet lifecycle transitions on a PacketPool. The
+// invariant auditor installs one to track live/free state independently of
+// the pool's own bookkeeping, which lets it detect double-releases that the
+// pooled flag would otherwise silently absorb.
+type PoolObserver interface {
+	// OnGet fires after a packet is taken from the pool.
+	OnGet(p *Packet)
+	// OnPut fires on every Put call, before the pool's own checks; pooled
+	// reports whether the packet was pool-owned at the time of the call
+	// (false for double-puts and foreign packets).
+	OnPut(p *Packet, pooled bool)
 }
 
 // NewPacketPool returns an empty pool.
 func NewPacketPool() *PacketPool { return &PacketPool{} }
+
+// SetObserver installs a lifecycle observer (nil to remove).
+func (pp *PacketPool) SetObserver(o PoolObserver) { pp.observer = o }
+
+// Outstanding returns the number of packets taken from the pool and not yet
+// returned — the pool-owned packets currently traversing the network.
+func (pp *PacketPool) Outstanding() int64 { return pp.gets - pp.puts }
 
 // Get returns a zeroed packet owned by the pool.
 func (pp *PacketPool) Get() *Packet {
@@ -85,6 +111,10 @@ func (pp *PacketPool) Get() *Packet {
 		p = &Packet{}
 	}
 	p.pooled = true
+	pp.gets++
+	if pp.observer != nil {
+		pp.observer.OnGet(p)
+	}
 	return p
 }
 
@@ -92,10 +122,17 @@ func (pp *PacketPool) Get() *Packet {
 // come from a pool are ignored, so callers can recycle unconditionally. Safe
 // on a nil pool.
 func (pp *PacketPool) Put(p *Packet) {
-	if pp == nil || p == nil || !p.pooled {
+	if pp == nil || p == nil {
+		return
+	}
+	if pp.observer != nil {
+		pp.observer.OnPut(p, p.pooled)
+	}
+	if !p.pooled {
 		return
 	}
 	p.pooled = false
+	pp.puts++
 	pp.free = append(pp.free, p)
 }
 

@@ -113,11 +113,33 @@ func (q *Queue) LenBytes() int { return q.bytes }
 // Stats returns a copy of the queue's counters.
 func (q *Queue) Stats() QueueStats { return q.stats }
 
+// CapacityPackets returns the packet-count bound (0 = unlimited).
+func (q *Queue) CapacityPackets() int { return q.capacityPackets }
+
+// CapacityBytes returns the IP-byte bound (0 = unlimited).
+func (q *Queue) CapacityBytes() int { return q.capacityBytes }
+
 // SetOnChange installs an occupancy observer (nil to remove).
 func (q *Queue) SetOnChange(fn func(now sim.Time, packets, bytes int)) { q.onChange = fn }
 
+// OnChange returns the installed occupancy observer, so a new observer can
+// chain to the previous one instead of displacing it.
+func (q *Queue) OnChange() func(now sim.Time, packets, bytes int) { return q.onChange }
+
 // SetOnDrop installs a drop observer (nil to remove).
 func (q *Queue) SetOnDrop(fn func(now sim.Time, p *Packet)) { q.onDrop = fn }
+
+// OnDrop returns the installed drop observer, for chaining.
+func (q *Queue) OnDrop() func(now sim.Time, p *Packet) { return q.onDrop }
+
+// ForEachPacket calls fn for every queued packet in FIFO order. The packets
+// must not be mutated or retained; the auditor uses this to cross-check
+// occupancy accounting and packet liveness.
+func (q *Queue) ForEachPacket(fn func(p *Packet)) {
+	for _, p := range q.packets {
+		fn(p)
+	}
+}
 
 // admissible reports whether p fits under the queue's own limits and, if
 // bound, the shared buffer's dynamic threshold.

@@ -66,10 +66,16 @@ type Rack struct {
 	Shared    *SharedBuffer
 	// Pool recycles packets across all hosts in the topology.
 	Pool *PacketPool
+
+	// links retains every link in the topology for audit enumeration.
+	links []*Link
 }
 
 // DownlinkQueue returns receiver i's ToR port queue.
 func (r *Rack) DownlinkQueue(i int) *Queue { return r.Downlinks[i].Queue() }
+
+// AllLinks returns every link in the topology.
+func (r *Rack) AllLinks() []*Link { return r.links }
 
 // NewRack wires up the topology on eng.
 func NewRack(eng *sim.Engine, cfg RackConfig) *Rack {
@@ -85,7 +91,18 @@ func NewRack(eng *sim.Engine, cfg RackConfig) *Rack {
 	r := &Rack{Config: cfg, Eng: eng, Pool: NewPacketPool()}
 	r.Shared = NewSharedBuffer(cfg.SharedBufferBytes, cfg.SharedBufferAlpha)
 	r.SenderToR = NewSwitch(NodeID(cfg.Receivers+cfg.Senders), "tor-senders")
+	r.SenderToR.SetPool(r.Pool)
 	r.ReceiverToR = NewSwitch(NodeID(cfg.Receivers+cfg.Senders+1), "tor-receivers")
+	r.ReceiverToR.SetPool(r.Pool)
+
+	// Every link shares the topology pool (so drops recycle) and is
+	// retained for audit enumeration.
+	newLink := func(lc LinkConfig) *Link {
+		l := NewLink(eng, lc)
+		l.SetPool(r.Pool)
+		r.links = append(r.links, l)
+		return l
+	}
 
 	portQueue := func(name string, shared bool) *Queue {
 		qc := QueueConfig{
@@ -107,7 +124,7 @@ func NewRack(eng *sim.Engine, cfg RackConfig) *Rack {
 		id := NodeID(i)
 		h := NewHost(eng, id, fmt.Sprintf("receiver-%d", i))
 		h.SetPool(r.Pool)
-		down := NewLink(eng, LinkConfig{
+		down := newLink(LinkConfig{
 			Name:         fmt.Sprintf("tor-receivers->receiver-%d", i),
 			BandwidthBps: cfg.HostLinkBps,
 			PropDelay:    cfg.HostPropDelay,
@@ -115,7 +132,7 @@ func NewRack(eng *sim.Engine, cfg RackConfig) *Rack {
 			Dst:          h,
 		})
 		r.ReceiverToR.AddRoute(id, down)
-		h.SetUplink(NewLink(eng, LinkConfig{
+		h.SetUplink(newLink(LinkConfig{
 			Name:         fmt.Sprintf("receiver-%d->tor-receivers", i),
 			BandwidthBps: cfg.HostLinkBps,
 			PropDelay:    cfg.HostPropDelay,
@@ -127,14 +144,14 @@ func NewRack(eng *sim.Engine, cfg RackConfig) *Rack {
 	}
 
 	// Inter-ToR links.
-	r.Uplink = NewLink(eng, LinkConfig{
+	r.Uplink = newLink(LinkConfig{
 		Name:         "tor-senders->tor-receivers",
 		BandwidthBps: cfg.CoreLinkBps,
 		PropDelay:    cfg.CorePropDelay,
 		Queue:        portQueue("uplink", false),
 		Dst:          r.ReceiverToR,
 	})
-	reverseCore := NewLink(eng, LinkConfig{
+	reverseCore := newLink(LinkConfig{
 		Name:         "tor-receivers->tor-senders",
 		BandwidthBps: cfg.CoreLinkBps,
 		PropDelay:    cfg.CorePropDelay,
@@ -151,14 +168,14 @@ func NewRack(eng *sim.Engine, cfg RackConfig) *Rack {
 		id := NodeID(cfg.Receivers + i)
 		h := NewHost(eng, id, fmt.Sprintf("sender-%d", i))
 		h.SetPool(r.Pool)
-		h.SetUplink(NewLink(eng, LinkConfig{
+		h.SetUplink(newLink(LinkConfig{
 			Name:         fmt.Sprintf("sender-%d->tor-senders", i),
 			BandwidthBps: cfg.HostLinkBps,
 			PropDelay:    cfg.HostPropDelay,
 			Queue:        NewQueue(QueueConfig{Name: fmt.Sprintf("sender-%d-nic", i)}),
 			Dst:          r.SenderToR,
 		}))
-		down := NewLink(eng, LinkConfig{
+		down := newLink(LinkConfig{
 			Name:         fmt.Sprintf("tor-senders->sender-%d", i),
 			BandwidthBps: cfg.HostLinkBps,
 			PropDelay:    cfg.HostPropDelay,

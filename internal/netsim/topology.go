@@ -94,10 +94,17 @@ type Dumbbell struct {
 	Shared *SharedBuffer
 	// Pool recycles packets across all hosts in the topology.
 	Pool *PacketPool
+
+	// links retains every link in the topology (NIC uplinks, ToR ports, and
+	// the inter-ToR pair) so that audits can enumerate all in-flight packets.
+	links []*Link
 }
 
 // BottleneckQueue returns the queue of the receiver-ToR downlink port.
 func (d *Dumbbell) BottleneckQueue() *Queue { return d.Bottleneck.Queue() }
+
+// AllLinks returns every link in the topology.
+func (d *Dumbbell) AllLinks() []*Link { return d.links }
 
 // NewDumbbell wires up the topology on eng.
 //
@@ -112,7 +119,18 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 	d.Receiver = NewHost(eng, 0, "receiver")
 	d.Receiver.SetPool(d.Pool)
 	d.SenderToR = NewSwitch(NodeID(cfg.Senders+1), "tor-senders")
+	d.SenderToR.SetPool(d.Pool)
 	d.ReceiverToR = NewSwitch(NodeID(cfg.Senders+2), "tor-receiver")
+	d.ReceiverToR.SetPool(d.Pool)
+
+	// Every link shares the topology pool (so drops recycle) and is
+	// retained for audit enumeration.
+	newLink := func(lc LinkConfig) *Link {
+		l := NewLink(eng, lc)
+		l.SetPool(d.Pool)
+		d.links = append(d.links, l)
+		return l
+	}
 
 	if cfg.SharedBufferBytes > 0 {
 		alpha := cfg.SharedBufferAlpha
@@ -138,7 +156,7 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 
 	// Bottleneck: receiver ToR -> receiver, at host line rate. This is the
 	// queue all figures study. It participates in the shared buffer.
-	d.Bottleneck = NewLink(eng, LinkConfig{
+	d.Bottleneck = newLink(LinkConfig{
 		Name:         "tor-receiver->receiver",
 		BandwidthBps: cfg.HostLinkBps,
 		PropDelay:    cfg.HostPropDelay,
@@ -148,7 +166,7 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 	d.ReceiverToR.AddRoute(0, d.Bottleneck)
 
 	// Inter-ToR links, both directions.
-	d.Uplink = NewLink(eng, LinkConfig{
+	d.Uplink = newLink(LinkConfig{
 		Name:         "tor-senders->tor-receiver",
 		BandwidthBps: cfg.CoreLinkBps,
 		PropDelay:    cfg.CorePropDelay,
@@ -156,7 +174,7 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 		Dst:          d.ReceiverToR,
 	})
 	d.SenderToR.AddRoute(0, d.Uplink)
-	reverseCore := NewLink(eng, LinkConfig{
+	reverseCore := newLink(LinkConfig{
 		Name:         "tor-receiver->tor-senders",
 		BandwidthBps: cfg.CoreLinkBps,
 		PropDelay:    cfg.CorePropDelay,
@@ -165,7 +183,7 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 	})
 
 	// Receiver NIC: receiver -> receiver ToR (the ACK path).
-	d.Receiver.SetUplink(NewLink(eng, LinkConfig{
+	d.Receiver.SetUplink(newLink(LinkConfig{
 		Name:         "receiver->tor-receiver",
 		BandwidthBps: cfg.HostLinkBps,
 		PropDelay:    cfg.HostPropDelay,
@@ -180,7 +198,7 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 		id := NodeID(i + 1)
 		h := NewHost(eng, id, fmt.Sprintf("sender-%d", i))
 		h.SetPool(d.Pool)
-		h.SetUplink(NewLink(eng, LinkConfig{
+		h.SetUplink(newLink(LinkConfig{
 			Name:         fmt.Sprintf("sender-%d->tor-senders", i),
 			BandwidthBps: cfg.HostLinkBps,
 			PropDelay:    cfg.HostPropDelay,
@@ -188,7 +206,7 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 			Dst:          d.SenderToR,
 		}))
 		// ToR port back down to this sender (ACK delivery).
-		down := NewLink(eng, LinkConfig{
+		down := newLink(LinkConfig{
 			Name:         fmt.Sprintf("tor-senders->sender-%d", i),
 			BandwidthBps: cfg.HostLinkBps,
 			PropDelay:    cfg.HostPropDelay,

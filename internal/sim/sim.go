@@ -130,6 +130,11 @@ type Engine struct {
 
 	// executed counts events that have run, for diagnostics and benchmarks.
 	executed uint64
+
+	// onEvent, if set, observes every event's timestamp immediately before
+	// its closure runs. Installed by the invariant auditor to check clock
+	// monotonicity; nil (the default) costs one branch per event.
+	onEvent func(at Time)
 }
 
 // NewEngine returns an empty engine whose clock starts at zero.
@@ -143,6 +148,11 @@ func (e *Engine) Pending() int { return len(e.events) }
 
 // Executed returns the number of events that have been run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
+
+// SetOnEvent installs an observer called with each event's timestamp right
+// before the event's closure executes (nil to remove). The observer must not
+// mutate engine state; it exists for audit instrumentation.
+func (e *Engine) SetOnEvent(fn func(at Time)) { e.onEvent = fn }
 
 // newEvent takes an event from the free list (or allocates one) and
 // initialises it for scheduling at the given time.
@@ -290,6 +300,9 @@ func (e *Engine) step() bool {
 	e.executed++
 	fn := ev.fn
 	e.recycle(ev)
+	if e.onEvent != nil {
+		e.onEvent(e.now)
+	}
 	fn()
 	return true
 }

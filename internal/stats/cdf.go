@@ -13,10 +13,16 @@ type CDF struct {
 	sorted []float64
 }
 
-// NewCDF builds a CDF from values. The input is copied.
+// NewCDF builds a CDF from values. The input is copied; NaN values are
+// dropped (they have no order, and sorting them would corrupt the binary
+// searches At and Quantile rely on).
 func NewCDF(values []float64) *CDF {
-	s := make([]float64, len(values))
-	copy(s, values)
+	s := make([]float64, 0, len(values))
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			s = append(s, v)
+		}
+	}
 	sort.Float64s(s)
 	return &CDF{sorted: s}
 }
@@ -24,9 +30,10 @@ func NewCDF(values []float64) *CDF {
 // N returns the sample count.
 func (c *CDF) N() int { return len(c.sorted) }
 
-// At returns P(X <= x), the fraction of samples at or below x.
+// At returns P(X <= x), the fraction of samples at or below x. At(NaN) is
+// NaN: no sample is ordered against NaN.
 func (c *CDF) At(x float64) float64 {
-	if len(c.sorted) == 0 {
+	if len(c.sorted) == 0 || math.IsNaN(x) {
 		return math.NaN()
 	}
 	// First index with sorted[i] > x.
@@ -37,9 +44,12 @@ func (c *CDF) At(x float64) float64 {
 	return float64(i) / float64(len(c.sorted))
 }
 
-// Quantile returns the q-quantile of the sample (inverse CDF).
+// Quantile returns the q-quantile of the sample (inverse CDF). q must be a
+// number in [0, 1]; NaN panics like any other out-of-range argument (the
+// comparisons below would otherwise silently wave it through, since every
+// comparison against NaN is false).
 func (c *CDF) Quantile(q float64) float64 {
-	if q < 0 || q > 1 {
+	if math.IsNaN(q) || q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
 	}
 	if len(c.sorted) == 0 {
@@ -86,11 +96,14 @@ func (c *CDF) Points(n int) []Point {
 
 // Histogram counts samples in equal-width bins over [lo, hi). Samples
 // outside the range are clamped into the first or last bin, which matches
-// how the paper's axes saturate.
+// how the paper's axes saturate. NaN samples are counted separately rather
+// than binned: float-to-int conversion of NaN is implementation-defined in
+// Go, so without the guard a NaN would land in an arbitrary bin.
 type Histogram struct {
 	Lo, Hi float64
 	Counts []int
 	total  int
+	nans   int
 }
 
 // NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
@@ -104,8 +117,12 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
 }
 
-// Add records one sample.
+// Add records one sample. NaN samples are tallied in NaNs, not in any bin.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		h.nans++
+		return
+	}
 	bins := len(h.Counts)
 	i := int(float64(bins) * (x - h.Lo) / (h.Hi - h.Lo))
 	if i < 0 {
@@ -118,8 +135,11 @@ func (h *Histogram) Add(x float64) {
 	h.total++
 }
 
-// Total returns the number of samples recorded.
+// Total returns the number of samples recorded into bins (NaNs excluded).
 func (h *Histogram) Total() int { return h.total }
+
+// NaNs returns the number of NaN samples rejected by Add.
+func (h *Histogram) NaNs() int { return h.nans }
 
 // BinCenter returns the midpoint of bin i.
 func (h *Histogram) BinCenter(i int) float64 {

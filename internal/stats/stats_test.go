@@ -311,3 +311,51 @@ func TestSpansAboveProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCDFDropsNaNInputs(t *testing.T) {
+	c := NewCDF([]float64{3, math.NaN(), 1, math.NaN(), 2})
+	if c.N() != 3 {
+		t.Fatalf("N = %d, want 3 (NaNs dropped)", c.N())
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("median = %v, want 2", got)
+	}
+	if got := c.At(2); got != 2.0/3 {
+		t.Errorf("At(2) = %v, want 2/3", got)
+	}
+}
+
+func TestCDFAtNaNIsNaN(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3})
+	if got := c.At(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("At(NaN) = %v, want NaN", got)
+	}
+}
+
+func TestCDFQuantilePanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(NaN) did not panic")
+		}
+	}()
+	NewCDF([]float64{1, 2, 3}).Quantile(math.NaN())
+}
+
+func TestHistogramRejectsNaN(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(math.NaN())
+	h.Add(2)
+	h.Add(math.NaN())
+	if h.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", h.Total())
+	}
+	if h.NaNs() != 2 {
+		t.Fatalf("NaNs = %d, want 2", h.NaNs())
+	}
+	if h.Counts[0] != 0 || h.Counts[1] != 1 {
+		t.Fatalf("counts = %v: NaN leaked into a bin", h.Counts)
+	}
+	if got := h.Fraction(1); got != 1 {
+		t.Fatalf("Fraction(1) = %v, want 1 (NaNs must not dilute fractions)", got)
+	}
+}
