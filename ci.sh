@@ -12,6 +12,11 @@
 #                        violations tolerated) plus the rackmodel<->netsim
 #                        differential cross-check at the documented
 #                        tolerances (see EXPERIMENTS.md)
+#   6. obs gate          quick Fig-5 run three ways (no metrics; metrics
+#                        serial; metrics parallel): CSV artifacts must be
+#                        bit-identical across all three, both snapshots
+#                        must parse and carry the key metric families, and
+#                        their deterministic subsets must be byte-equal
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -30,5 +35,21 @@ go test -race ./internal/core -run TestParallel
 echo "==> audit gate: invariant-checked experiments + rackmodel/netsim differential"
 go test ./internal/audit -count=1
 go test ./internal/core -run 'TestAudited' -count=1
+
+echo "==> obs gate: metrics must not perturb results; serial == parallel snapshots"
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+go run ./cmd/figures -quick -only fig5 -workers 1 -out "$OBS_TMP/base"
+go run ./cmd/figures -quick -only fig5 -workers 1 -metrics "$OBS_TMP/m1.json" -out "$OBS_TMP/serial"
+go run ./cmd/figures -quick -only fig5 -workers 4 -metrics "$OBS_TMP/m2.json" -out "$OBS_TMP/parallel"
+for f in "$OBS_TMP"/base/fig5*.csv; do
+  name="$(basename "$f")"
+  cmp "$f" "$OBS_TMP/serial/$name"    # instrumented == uninstrumented
+  cmp "$f" "$OBS_TMP/parallel/$name"  # parallel == serial
+done
+go run ./internal/obs/snapcheck \
+  -require runs,sim_events_executed,sim_time_ns,net_queue_enqueued_packets,net_link_tx_bytes,net_pool_gets,tcp_sent_packets,cc_cwnd_updates,burst_bct_ms \
+  "$OBS_TMP/m1.json"
+go run ./internal/obs/snapcheck -diff "$OBS_TMP/m1.json" "$OBS_TMP/m2.json"
 
 echo "==> ci.sh: all checks passed"

@@ -61,6 +61,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment names (default: all)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	auditFlag := flag.Bool("audit", false, "run simulations in checked mode: enforce invariants (conservation, queue bounds, cc protocol bounds) on every packet-level run")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot of all runs to this file (\"-\" for stdout)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) and sample memory statistics")
 	flag.Parse()
 
 	if err := incastlab.ValidateWorkers(*workers); err != nil {
@@ -87,6 +89,23 @@ func main() {
 	}
 
 	opt := incastlab.Options{Seed: *seed, Quick: *quick, Workers: *workers, Audit: *auditFlag}
+
+	var metrics *incastlab.MetricsRegistry
+	if *metricsPath != "" || *pprofAddr != "" {
+		metrics = incastlab.NewMetricsRegistry()
+		opt.Metrics = metrics
+	}
+	var prof *incastlab.Profiler
+	if *pprofAddr != "" {
+		var err error
+		prof, err = incastlab.StartProfiler(*pprofAddr, metrics, time.Second)
+		if err != nil {
+			log.Fatalf("-pprof: %v", err)
+		}
+		defer prof.Stop()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", prof.Addr())
+	}
+
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatalf("create output dir: %v", err)
 	}
@@ -94,7 +113,6 @@ func main() {
 	if err != nil {
 		log.Fatalf("create summary: %v", err)
 	}
-	defer summaryFile.Close()
 	sink := io.MultiWriter(os.Stdout, summaryFile)
 
 	timings := make(map[string]float64)
@@ -112,6 +130,8 @@ func main() {
 		}
 		timings[e.name] = elapsed.Seconds()
 		order = append(order, e.name)
+		metrics.SetGauge("wall_experiment_seconds", incastlab.MetricsMergeSum,
+			elapsed.Seconds(), "experiment", e.name)
 		fmt.Fprintf(sink, "%s\n[%s completed in %v; CSVs under %s]\n\n",
 			res.Summary(), e.name, elapsed.Round(time.Millisecond), *out)
 	}
@@ -125,6 +145,24 @@ func main() {
 
 	if err := writeBenchSummary(filepath.Join(*out, "bench_summary.json"), *workers, timings, total); err != nil {
 		log.Fatalf("write bench summary: %v", err)
+	}
+
+	// A failed Close can lose buffered summary output; surface it as a
+	// non-zero exit instead of silently shipping a truncated file.
+	if err := summaryFile.Close(); err != nil {
+		log.Fatalf("close summary: %v", err)
+	}
+
+	if *metricsPath != "" {
+		// Stop (idempotent) before snapshotting so the profiler's final
+		// MemStats sample lands in the written file.
+		prof.Stop()
+		if err := metrics.Snapshot().WriteFile(*metricsPath); err != nil {
+			log.Fatalf("-metrics: %v", err)
+		}
+		if *metricsPath != "-" {
+			fmt.Printf("metrics snapshot written to %s\n", *metricsPath)
+		}
 	}
 }
 

@@ -44,10 +44,27 @@ func main() {
 	sweep := flag.String("sweep", "", "comma-separated incast degrees to run instead of -flows (e.g. 80,500,1400)")
 	workers := flag.Int("workers", 0, "worker goroutines for -sweep (0 = GOMAXPROCS, 1 = serial)")
 	auditFlag := flag.Bool("audit", false, "run in checked mode: enforce simulation invariants (conservation, queue bounds, cc protocol bounds) throughout the run")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file (\"-\" for stdout) and print the metrics summary")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) and sample memory statistics")
 	flag.Parse()
 
 	if err := incastlab.ValidateWorkers(*workers); err != nil {
 		log.Fatalf("-workers: %v", err)
+	}
+
+	var metrics *incastlab.MetricsRegistry
+	if *metricsPath != "" || *pprofAddr != "" {
+		metrics = incastlab.NewMetricsRegistry()
+	}
+	var prof *incastlab.Profiler
+	if *pprofAddr != "" {
+		var err error
+		prof, err = incastlab.StartProfiler(*pprofAddr, metrics, time.Second)
+		if err != nil {
+			log.Fatalf("-pprof: %v", err)
+		}
+		defer prof.Stop()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", prof.Addr())
 	}
 
 	buildCfg := func(flows int) incastlab.SimConfig {
@@ -69,6 +86,8 @@ func main() {
 			ExternalBufferBytes: *contend,
 			Audit:               *auditFlag,
 			Seed:                *seed,
+			Metrics:             metrics,
+			Experiment:          "incastsim",
 		}
 		switch *cca {
 		case "dctcp":
@@ -154,6 +173,21 @@ func main() {
 	}
 	fmt.Printf("\n(%d simulation(s) in %v wall clock, workers=%d%s)\n",
 		len(results), elapsed.Round(time.Millisecond), *workers, audited)
+
+	if *metricsPath != "" {
+		// Stop (idempotent) before snapshotting so the profiler's final
+		// MemStats sample lands in the written file.
+		prof.Stop()
+		snap := metrics.Snapshot()
+		fmt.Println()
+		fmt.Print(snap.Summary())
+		if err := snap.WriteFile(*metricsPath); err != nil {
+			log.Fatalf("-metrics: %v", err)
+		}
+		if *metricsPath != "-" {
+			fmt.Printf("metrics snapshot written to %s\n", *metricsPath)
+		}
+	}
 }
 
 func busyAvg(res *incastlab.SimResult) float64 {

@@ -40,6 +40,7 @@ import (
 	"incastlab/internal/core"
 	"incastlab/internal/millisampler"
 	"incastlab/internal/netsim"
+	"incastlab/internal/obs"
 	"incastlab/internal/predict"
 	"incastlab/internal/schedule"
 	"incastlab/internal/services"
@@ -139,6 +140,47 @@ func RunIncastSims(workers int, cfgs []SimConfig) []*SimResult {
 // clear error; front ends should call it on user-supplied -workers values
 // before building experiments.
 var ValidateWorkers = core.ValidateWorkers
+
+// Observability -----------------------------------------------------------
+
+// MetricsRegistry collects run telemetry (engine, queue, link, pool,
+// transport, and congestion-control counters) from instrumented
+// simulations. Attach one via Options.Metrics or SimConfig.Metrics; a nil
+// registry disables all instrumentation. Merging is commutative, so
+// snapshots are identical across serial and parallel runs, and
+// instrumented simulation results are bit-identical to uninstrumented
+// ones.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry creates an empty metrics registry.
+var NewMetricsRegistry = obs.NewRegistry
+
+// MetricsSnapshot is a registry's exported state: a stable, sorted,
+// JSON-serializable view. Snapshot.Deterministic() strips wall-clock-domain
+// metrics (wall_*, mem_*) for bit-for-bit comparisons across runs.
+type MetricsSnapshot = obs.Snapshot
+
+// ParseMetricsSnapshot parses and validates a snapshot previously written
+// with MetricsSnapshot.WriteFile/WriteJSON.
+var ParseMetricsSnapshot = obs.ParseSnapshot
+
+// MetricsMergeMode selects how repeated gauge observations fold together.
+type MetricsMergeMode = obs.MergeMode
+
+// Gauge merge modes: sum accumulates, max/min keep the extreme.
+const (
+	MetricsMergeSum = obs.MergeSum
+	MetricsMergeMax = obs.MergeMax
+	MetricsMergeMin = obs.MergeMin
+)
+
+// Profiler serves net/http/pprof on a dedicated listener and periodically
+// samples runtime memory statistics into a registry (mem_* max-gauges).
+type Profiler = obs.Profiler
+
+// StartProfiler starts a pprof server on addr; if reg is non-nil, memory
+// statistics are sampled into it at the given interval.
+var StartProfiler = obs.StartProfiler
 
 // Invariant auditing -----------------------------------------------------
 

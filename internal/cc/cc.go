@@ -93,6 +93,16 @@ type Inspectable interface {
 	Probe() Probe
 }
 
+// UpdateCounter is implemented by algorithms that count congestion-window
+// updates (any assignment that changed cwnd: growth, proportional or
+// multiplicative decrease, timeout collapse). The observability layer sums
+// these across flows; the counters are plain int64 increments on the ACK
+// path and never influence algorithm behavior.
+type UpdateCounter interface {
+	// CwndUpdates returns the number of window changes so far.
+	CwndUpdates() int64
+}
+
 // IdleRestarter is implemented by algorithms that support RFC 2861-style
 // congestion window validation: after an idle period the window collapses
 // back to the initial window instead of trusting stale state. The paper's
@@ -110,6 +120,7 @@ type Reno struct {
 	cwnd     int
 	ssthresh int
 	initial  int
+	updates  int64
 }
 
 // NewReno creates a Reno instance with the given initial window in bytes.
@@ -132,27 +143,36 @@ func (r *Reno) Name() string { return "reno" }
 
 // OnAck grows the window: exponentially in slow start, ~1 MSS/RTT after.
 func (r *Reno) OnAck(a Ack) {
+	before := r.cwnd
 	if r.cwnd < r.ssthresh {
 		r.cwnd += a.BytesAcked
 		if r.cwnd > r.ssthresh {
 			r.cwnd = r.ssthresh
 		}
-		return
+	} else {
+		r.cwnd += netsim.MSS * a.BytesAcked / r.cwnd
 	}
-	r.cwnd += netsim.MSS * a.BytesAcked / r.cwnd
+	if r.cwnd != before {
+		r.updates++
+	}
 }
 
 // OnLoss halves the window (fast recovery).
 func (r *Reno) OnLoss(now sim.Time) {
 	r.ssthresh = maxInt(r.cwnd/2, MinWindow)
 	r.cwnd = r.ssthresh
+	r.updates++
 }
 
 // OnTimeout collapses to one segment and restarts slow start.
 func (r *Reno) OnTimeout(now sim.Time) {
 	r.ssthresh = maxInt(r.cwnd/2, MinWindow)
 	r.cwnd = MinWindow
+	r.updates++
 }
+
+// CwndUpdates implements UpdateCounter.
+func (r *Reno) CwndUpdates() int64 { return r.updates }
 
 // Window implements Algorithm.
 func (r *Reno) Window() int { return r.cwnd }

@@ -56,6 +56,10 @@ type DCTCP struct {
 	// uses alpha/2; D2TCP substitutes the deadline-corrected
 	// alpha^(1/d)/2 through this hook.
 	penalty func(alpha float64) float64
+
+	// updates counts congestion-window changes, for the observability
+	// layer (UpdateCounter). Plain increments; never read by the algorithm.
+	updates int64
 }
 
 // NewDCTCP creates a DCTCP instance.
@@ -108,24 +112,32 @@ func (d *DCTCP) OnAck(a Ack) {
 	if a.ECE {
 		if !d.reducedThisWindow {
 			d.reducedThisWindow = true
+			before := d.cwnd
 			d.cwnd = int(float64(d.cwnd) * (1 - d.penalty(d.alpha)))
 			if d.cwnd < MinWindow {
 				d.cwnd = MinWindow
 			}
 			d.ssthresh = d.cwnd
+			if d.cwnd != before {
+				d.updates++
+			}
 		}
 		// No growth on marked ACKs.
 		return
 	}
 
+	before := d.cwnd
 	if d.cwnd < d.ssthresh {
 		d.cwnd += a.BytesAcked
 		if d.cwnd > d.ssthresh {
 			d.cwnd = d.ssthresh
 		}
-		return
+	} else {
+		d.cwnd += netsim.MSS * a.BytesAcked / d.cwnd
 	}
-	d.cwnd += netsim.MSS * a.BytesAcked / d.cwnd
+	if d.cwnd != before {
+		d.updates++
+	}
 }
 
 // OnLoss halves the window, as for standard TCP: DCTCP falls back to loss
@@ -133,13 +145,18 @@ func (d *DCTCP) OnAck(a Ack) {
 func (d *DCTCP) OnLoss(now sim.Time) {
 	d.ssthresh = maxInt(d.cwnd/2, MinWindow)
 	d.cwnd = d.ssthresh
+	d.updates++
 }
 
 // OnTimeout collapses the window to one MSS.
 func (d *DCTCP) OnTimeout(now sim.Time) {
 	d.ssthresh = maxInt(d.cwnd/2, MinWindow)
 	d.cwnd = MinWindow
+	d.updates++
 }
+
+// CwndUpdates implements UpdateCounter.
+func (d *DCTCP) CwndUpdates() int64 { return d.updates }
 
 // Window implements Algorithm.
 func (d *DCTCP) Window() int { return d.cwnd }

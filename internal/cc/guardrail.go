@@ -110,6 +110,15 @@ func (g *Guardrail) OnIdleRestart() {
 	}
 }
 
+// CwndUpdates forwards the inner algorithm's update count (0 when the
+// inner algorithm does not count).
+func (g *Guardrail) CwndUpdates() int64 {
+	if uc, ok := g.inner.(UpdateCounter); ok {
+		return uc.CwndUpdates()
+	}
+	return 0
+}
+
 // FairShareCap returns the cap Guardrail would pick for n flows given the
 // bottleneck parameters, exported for tests and planning tools.
 func FairShareCap(bdpBytes, ecnThresholdBytes, n int) int {

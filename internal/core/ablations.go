@@ -91,7 +91,7 @@ func AblationG(opt Options) *AblationResult {
 			},
 		})
 	}
-	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+	for i, m := range opt.runSims("ablation_g", cfgs) {
 		t.AddRow(append([]string{trace.Float(gains[i])}, ablationRow(m)...)...)
 	}
 	return &AblationResult{
@@ -121,7 +121,7 @@ func AblationECNThreshold(opt Options) *AblationResult {
 			Audit:         opt.Audit,
 		})
 	}
-	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+	for i, m := range opt.runSims("ablation_ecn_threshold", cfgs) {
 		t.AddRow(append([]string{fmt.Sprint(ks[i])}, ablationRow(m)...)...)
 	}
 	return &AblationResult{
@@ -162,7 +162,7 @@ func AblationSharedBuffer(opt Options) *AblationResult {
 		},
 	}
 	labels := []string{"dedicated_2MB", "shared_2MB_contended"}
-	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+	for i, m := range opt.runSims("ablation_shared_buffer", cfgs) {
 		t.AddRow(append([]string{labels[i]}, ablationRow(m)...)...)
 	}
 
@@ -197,7 +197,7 @@ func AblationDelayedACKs(opt Options) *AblationResult {
 		cfgs = append(cfgs, cfg)
 		labels = append(labels, label)
 	}
-	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+	for i, m := range opt.runSims("ablation_delayed_acks", cfgs) {
 		t.AddRow(append([]string{labels[i]}, ablationRow(m)...)...)
 	}
 	return &AblationResult{
@@ -255,7 +255,7 @@ func AblationGuardrail(opt Options) *AblationResult {
 			labels = append(labels, []string{fmt.Sprint(n), s.name})
 		}
 	}
-	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+	for i, m := range opt.runSims("ablation_guardrail", cfgs) {
 		t.AddRow(append(labels[i], ablationRow(m)...)...)
 	}
 	return &AblationResult{
@@ -298,7 +298,7 @@ func AblationCCA(opt Options) *AblationResult {
 			Audit:         opt.Audit,
 		})
 	}
-	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+	for i, m := range opt.runSims("ablation_cca", cfgs) {
 		t.AddRow(append([]string{algs[i].name}, ablationRow(m)...)...)
 	}
 	return &AblationResult{
@@ -330,7 +330,7 @@ func AblationMinRTO(opt Options) *AblationResult {
 		cfg.Sender.MinRTO = rto
 		cfgs = append(cfgs, cfg)
 	}
-	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+	for i, m := range opt.runSims("ablation_min_rto", cfgs) {
 		t.AddRow(append([]string{trace.Float(rtos[i].Milliseconds())}, ablationRow(m)...)...)
 	}
 	return &AblationResult{
@@ -369,7 +369,7 @@ func AblationIdleRestart(opt Options) *AblationResult {
 		cfgs = append(cfgs, cfg)
 		labels = append(labels, label)
 	}
-	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+	for i, m := range opt.runSims("ablation_idle_restart", cfgs) {
 		t.AddRow(append([]string{labels[i]}, ablationRow(m)...)...)
 	}
 	return &AblationResult{
@@ -411,7 +411,7 @@ func AblationReceiverWindow(opt Options) *AblationResult {
 			labels = append(labels, []string{fmt.Sprint(n), label})
 		}
 	}
-	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+	for i, m := range opt.runSims("ablation_receiver_window", cfgs) {
 		t.AddRow(append(labels[i], ablationRow(m)...)...)
 	}
 	return &AblationResult{
@@ -449,7 +449,7 @@ func AblationMarkingDiscipline(opt Options) *AblationResult {
 		}
 		labels = append(labels, label)
 	}
-	for i, m := range RunIncastSims(opt.Workers, cfgs) {
+	for i, m := range opt.runSims("ablation_marking", cfgs) {
 		t.AddRow(append([]string{labels[i]}, ablationRow(m)...)...)
 	}
 	return &AblationResult{

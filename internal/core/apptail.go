@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"incastlab/internal/app"
 	"incastlab/internal/cc"
@@ -44,6 +45,10 @@ func QueryTailLatency(opt Options) *QueryTailResult {
 	}
 	results := runParallel(opt.Workers, len(degrees), func(i int) degreeResult {
 		n := degrees[i]
+		var wallStart time.Time
+		if opt.Metrics != nil {
+			wallStart = time.Now()
+		}
 		eng := sim.NewEngine()
 		cfg := app.DefaultPartitionAggregateConfig(n)
 		cfg.Queries = queries
@@ -59,6 +64,8 @@ func QueryTailLatency(opt Options) *QueryTailResult {
 		for _, s := range pa.Senders() {
 			timeouts += s.Stats().Timeouts
 		}
+		harvestEngineRun(opt.Metrics, "ext_query_tail", eng, wallStart,
+			"workers", fmt.Sprint(n))
 		return degreeResult{qct: pa.QCTStats(), timeouts: timeouts}
 	})
 	for i, n := range degrees {

@@ -19,6 +19,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"incastlab/internal/obs"
 )
 
 // Options configures every experiment runner.
@@ -42,6 +44,14 @@ type Options struct {
 	// panics with a summary. Results are bit-identical to unaudited runs;
 	// the cost is a modest slowdown.
 	Audit bool
+	// Metrics, when non-nil, collects run telemetry (engine, queue, link,
+	// pool, transport, and congestion-control counters) from every
+	// packet-level simulation the experiment spawns. Metrics are harvested
+	// after each run from counters the simulation maintains anyway, so
+	// instrumented results are bit-identical to uninstrumented ones, and
+	// the registry's merge is commutative, so snapshots are identical
+	// across serial and parallel schedules.
+	Metrics *obs.Registry
 }
 
 // Validate rejects option values that would otherwise fail deep inside an

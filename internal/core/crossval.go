@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"incastlab/internal/audit"
 	"incastlab/internal/cc"
@@ -51,6 +52,10 @@ func CrossValidation(opt Options) *CrossValidationResult {
 		bursts = 15
 	}
 
+	var wallStart time.Time
+	if opt.Metrics != nil {
+		wallStart = time.Now()
+	}
 	eng := sim.NewEngine()
 	net := netsim.DefaultDumbbellConfig(flows)
 	wl := workload.IncastConfig{
@@ -91,7 +96,14 @@ func CrossValidation(opt Options) *CrossValidationResult {
 		}
 	}
 
-	tr := millisampler.FromIngressRecorder(rec, net.HostLinkBps)
+	harvestIncastRun(opt.Metrics, "crossval", flows, eng, in, wallStart)
+
+	tr, err := millisampler.FromIngressRecorder(rec, net.HostLinkBps)
+	if err != nil {
+		// The recorder above is constructed with sim.Millisecond, so this
+		// is unreachable short of a programming error.
+		panic(fmt.Sprintf("core: cross-validation recorder: %v", err))
+	}
 	return &CrossValidationResult{
 		TrueFlows:         flows,
 		TrueBurstsPerSec:  float64(sim.Second) / float64(interval),

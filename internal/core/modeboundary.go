@@ -41,13 +41,13 @@ func ModeBoundary(opt Options) *ModeBoundaryResult {
 	// The runs are independent; only the boundary classification below
 	// carries state across grid points, so it stays a serial pass.
 	r.Runs = runParallel(opt.Workers, len(flows), func(i int) *SimResult {
-		return RunIncastSim(SimConfig{
+		return RunIncastSim(opt.instrument("mode_boundary", SimConfig{
 			Flows:         flows[i],
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        bursts,
 			Seed:          opt.seed(),
 			Audit:         opt.Audit,
-		})
+		}))
 	})
 	prev := ""
 	for i, n := range flows {

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"incastlab/internal/obs"
+	"incastlab/internal/sim"
+)
+
+// TestInstrumentedSimMatchesUninstrumented verifies the observability
+// layer's core promise: attaching a metrics registry changes nothing about
+// the simulation (the mirror of the audit gate in audit_test.go).
+func TestInstrumentedSimMatchesUninstrumented(t *testing.T) {
+	run := func(reg *obs.Registry) *SimResult {
+		return RunIncastSim(SimConfig{
+			Flows: 30, BurstDuration: sim.Millisecond, Bursts: 3,
+			Interval: 5 * sim.Millisecond, Seed: 42,
+			Metrics: reg, Experiment: "test",
+		})
+	}
+	plain, instrumented := run(nil), run(obs.NewRegistry())
+	if plain.MeanBCT != instrumented.MeanBCT || plain.MaxBCT != instrumented.MaxBCT ||
+		plain.MaxQueue != instrumented.MaxQueue || plain.Drops != instrumented.Drops ||
+		plain.Marks != instrumented.Marks || plain.Timeouts != instrumented.Timeouts ||
+		plain.SentPackets != instrumented.SentPackets {
+		t.Fatalf("metrics changed results:\nplain:        %+v\ninstrumented: %+v",
+			plain, instrumented)
+	}
+}
+
+// deterministicSnapshotJSON runs the quick Fig-5 sweep with the given
+// worker count and renders the deterministic (sim-domain) subset of the
+// harvested metrics.
+func deterministicSnapshotJSON(t *testing.T, workers int) []byte {
+	t.Helper()
+	reg := obs.NewRegistry()
+	Fig5Modes(Options{Seed: 7, Quick: true, Workers: workers, Metrics: reg})
+	var buf bytes.Buffer
+	if err := reg.Snapshot().Deterministic().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestMetricsSnapshotSerialMatchesParallel verifies the registry's merge
+// commutativity end to end: the deterministic snapshot of a parallel sweep
+// is byte-identical to the serial one.
+func TestMetricsSnapshotSerialMatchesParallel(t *testing.T) {
+	serial := deterministicSnapshotJSON(t, 1)
+	for _, workers := range []int{2, 0} {
+		parallel := deterministicSnapshotJSON(t, workers)
+		if !bytes.Equal(serial, parallel) {
+			t.Fatalf("snapshot with workers=%d differs from serial:\nserial:\n%s\nparallel:\n%s",
+				workers, serial, parallel)
+		}
+	}
+	// Sanity: the snapshot actually contains the run telemetry.
+	snap, err := obs.ParseSnapshot(serial)
+	if err != nil {
+		t.Fatalf("ParseSnapshot: %v", err)
+	}
+	want := map[string]bool{
+		"runs": false, "sim_events_executed": false, "sim_time_ns": false,
+		"net_queue_enqueued_packets": false, "net_pool_gets": false,
+		"tcp_sent_packets": false, "cc_cwnd_updates": false,
+	}
+	for _, c := range snap.Counters {
+		if _, ok := want[c.Name]; ok {
+			want[c.Name] = true
+			if c.Labels["experiment"] != "fig5" {
+				t.Errorf("counter %s labeled %v, want experiment=fig5", c.Name, c.Labels)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("snapshot is missing counter %q", name)
+		}
+	}
+}
+
+// TestHarvestCoversEngineAndHistograms pins the per-run harvest content on
+// a single ad-hoc run: event counts match the engine's own accounting and
+// the final-cwnd/alpha/BCT histograms observe every flow and burst.
+func TestHarvestCoversEngineAndHistograms(t *testing.T) {
+	reg := obs.NewRegistry()
+	const flows, bursts = 30, 3
+	RunIncastSim(SimConfig{
+		Flows: flows, BurstDuration: sim.Millisecond, Bursts: bursts,
+		Interval: 5 * sim.Millisecond, Seed: 42, Metrics: reg,
+	})
+	snap := reg.Snapshot()
+
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] += c.Value
+	}
+	if counters["runs"] != 1 {
+		t.Fatalf("runs = %d, want 1", counters["runs"])
+	}
+	if counters["sim_events_executed"] <= 0 ||
+		counters["sim_events_scheduled"] < counters["sim_events_executed"] {
+		t.Fatalf("implausible event counts: scheduled=%d executed=%d",
+			counters["sim_events_scheduled"], counters["sim_events_executed"])
+	}
+	if counters["sim_time_ns"] <= 0 {
+		t.Fatalf("sim_time_ns = %d, want > 0", counters["sim_time_ns"])
+	}
+	if got := counters["net_pool_gets"] - counters["net_pool_puts"]; got != 0 {
+		t.Fatalf("pool gets-puts = %d after a drained run, want 0", got)
+	}
+
+	hists := map[string]int64{}
+	for _, h := range snap.Histograms {
+		hists[h.Name] += h.Count
+	}
+	if hists["cc_final_cwnd_bytes"] != flows {
+		t.Errorf("cc_final_cwnd_bytes observed %d flows, want %d",
+			hists["cc_final_cwnd_bytes"], flows)
+	}
+	if hists["cc_final_alpha"] != flows {
+		t.Errorf("cc_final_alpha observed %d flows, want %d (DCTCP default)",
+			hists["cc_final_alpha"], flows)
+	}
+	if hists["burst_bct_ms"] != bursts {
+		t.Errorf("burst_bct_ms observed %d bursts, want %d", hists["burst_bct_ms"], bursts)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"incastlab/internal/audit"
 	"incastlab/internal/cc"
@@ -60,6 +61,10 @@ func runRackIncast(opt Options, flows, bursts int, contended bool) rackGroupStat
 		duration = 15 * sim.Millisecond
 		interval = 250 * sim.Millisecond
 	)
+	var wallStart time.Time
+	if opt.Metrics != nil {
+		wallStart = time.Now()
+	}
 	eng := sim.NewEngine()
 	cfg := netsim.DefaultRackConfig(flows, 2)
 	rack := netsim.NewRack(eng, cfg)
@@ -141,6 +146,13 @@ func runRackIncast(opt Options, flows, bursts int, contended bool) rackGroupStat
 	st.Timeouts = victim.AggregateSenderStats().Timeouts - baseTimeouts
 	st.Drops = q.Stats().DroppedPackets - baseDrops
 	st.PeakPkts = q.Stats().PeakPackets
+
+	scenario := "solo"
+	if contended {
+		scenario = "contended"
+	}
+	harvestEngineRun(opt.Metrics, "ext_rack_contention", eng, wallStart,
+		"scenario", scenario)
 	return st
 }
 

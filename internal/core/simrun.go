@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"incastlab/internal/audit"
 	"incastlab/internal/cc"
 	"incastlab/internal/netsim"
+	"incastlab/internal/obs"
 	"incastlab/internal/sim"
 	"incastlab/internal/stats"
 	"incastlab/internal/tcp"
@@ -60,6 +62,14 @@ type SimConfig struct {
 	Audit bool
 	// Seed drives start jitter.
 	Seed uint64
+	// Metrics, when non-nil, receives the run's telemetry at the end of
+	// the simulation (see internal/obs). Harvesting happens after the run
+	// from counters the simulation maintains anyway, so results are
+	// bit-identical with or without it.
+	Metrics *obs.Registry
+	// Experiment labels the harvested metrics with the experiment that
+	// spawned the run; empty means "adhoc".
+	Experiment string
 }
 
 // fill applies the paper defaults.
@@ -132,6 +142,12 @@ type SimResult struct {
 // queue trace and counters.
 func RunIncastSim(cfg SimConfig) *SimResult {
 	cfg.fill()
+	// Wall time is only measured when it will be reported; the simulation
+	// itself never reads it.
+	var wallStart time.Time
+	if cfg.Metrics != nil {
+		wallStart = time.Now()
+	}
 	eng := sim.NewEngine()
 
 	wl := workload.IncastConfig{
@@ -271,5 +287,7 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 	st := q.Stats()
 	res.Drops = st.DroppedPackets - baseDrops
 	res.Marks = st.MarkedPackets - baseMarks
+
+	harvestIncastMetrics(&cfg, eng, in, wallStart)
 	return res
 }

@@ -38,13 +38,13 @@ func Fig5Modes(opt Options) *Fig5Result {
 	}
 	r := &Fig5Result{}
 	r.Modes = runParallel(opt.Workers, len(flows), func(i int) *SimResult {
-		return RunIncastSim(SimConfig{
+		return RunIncastSim(opt.instrument("fig5", SimConfig{
 			Flows:         flows[i],
 			BurstDuration: 15 * sim.Millisecond,
 			Bursts:        bursts,
 			Seed:          opt.seed(),
 			Audit:         opt.Audit,
-		})
+		}))
 	})
 	return r
 }
@@ -164,7 +164,7 @@ func Fig6ShortBursts(opt Options) *Fig6Result {
 	}
 	r := &Fig6Result{}
 	r.Runs = runParallel(opt.Workers, len(flows), func(i int) *SimResult {
-		return RunIncastSim(SimConfig{
+		return RunIncastSim(opt.instrument("fig6", SimConfig{
 			Flows:          flows[i],
 			BurstDuration:  2 * sim.Millisecond,
 			Bursts:         bursts,
@@ -172,7 +172,7 @@ func Fig6ShortBursts(opt Options) *Fig6Result {
 			SampleWindow:   6 * sim.Millisecond,
 			Seed:           opt.seed(),
 			Audit:          opt.Audit,
-		})
+		}))
 	})
 	return r
 }
@@ -242,7 +242,7 @@ func Fig7InFlight(opt Options) *Fig7Result {
 	if opt.Quick {
 		bursts = 5
 	}
-	run := RunIncastSim(SimConfig{
+	run := RunIncastSim(opt.instrument("fig7", SimConfig{
 		Flows:          80,
 		BurstDuration:  15 * sim.Millisecond,
 		Bursts:         bursts,
@@ -250,7 +250,7 @@ func Fig7InFlight(opt Options) *Fig7Result {
 		TrackInFlight:  true,
 		Seed:           opt.seed(),
 		Audit:          opt.Audit,
-	})
+	}))
 	r := &Fig7Result{Run: run, MaxSkew: run.InFlight.MaxSkew(10)}
 
 	// Ramp: once most flows have finished (the burst tail), the remaining

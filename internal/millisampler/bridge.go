@@ -1,7 +1,10 @@
 package millisampler
 
 import (
+	"fmt"
+
 	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
 )
 
 // FromIngressRecorder converts a packet-simulator host recorder into a
@@ -10,9 +13,16 @@ import (
 // between the paper's two methodologies.
 //
 // The recorder must have been created with the Millisampler interval
-// (1 ms) for the trace to carry the paper's semantics, but any interval is
-// accepted. lineRateBps is the simulated host's NIC rate.
-func FromIngressRecorder(rec *netsim.HostIngressRecorder, lineRateBps int64) *Trace {
+// (1 ms): the burst detector and per-burst statistics all assume
+// millisecond bins, so a recorder at any other granularity would silently
+// produce wrong durations and frequencies. lineRateBps is the simulated
+// host's NIC rate.
+func FromIngressRecorder(rec *netsim.HostIngressRecorder, lineRateBps int64) (*Trace, error) {
+	if rec.Bytes.IntervalNS != int64(sim.Millisecond) {
+		return nil, fmt.Errorf(
+			"millisampler: recorder interval %dns is not the 1ms Millisampler bin; burst durations and frequencies would be wrong",
+			rec.Bytes.IntervalNS)
+	}
 	n := rec.Bytes.Len()
 	t := NewTrace(rec.Bytes.IntervalNS, lineRateBps, n)
 	for i := 0; i < n; i++ {
@@ -23,5 +33,5 @@ func FromIngressRecorder(rec *netsim.HostIngressRecorder, lineRateBps int64) *Tr
 			RetxBytes: rec.RetxBytes.Values[i],
 		}
 	}
-	return t
+	return t, nil
 }

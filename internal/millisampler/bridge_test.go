@@ -23,7 +23,10 @@ func TestFromIngressRecorder(t *testing.T) {
 	deliver(sim.Millisecond+5, &netsim.Packet{Flow: 1, Dst: 0, Len: 500, Retransmit: true})
 	eng.Run()
 
-	tr := FromIngressRecorder(rec, 10*netsim.Gbps)
+	tr, err := FromIngressRecorder(rec, 10*netsim.Gbps)
+	if err != nil {
+		t.Fatalf("FromIngressRecorder: %v", err)
+	}
 	if tr.IntervalNS != int64(sim.Millisecond) || tr.LineRateBps != 10*netsim.Gbps {
 		t.Fatalf("trace metadata wrong: %+v", tr)
 	}
@@ -40,5 +43,24 @@ func TestFromIngressRecorder(t *testing.T) {
 	}
 	if tr.Samples[2].Bytes != 0 {
 		t.Fatalf("sample 2 should be empty")
+	}
+}
+
+// TestFromIngressRecorderRejectsWrongInterval pins the interval check: a
+// recorder not sampling at the 1 ms Millisampler bin must be rejected, not
+// silently converted into a trace with wrong burst semantics.
+func TestFromIngressRecorderRejectsWrongInterval(t *testing.T) {
+	eng := sim.NewEngine()
+	h := netsim.NewHost(eng, 0, "rx")
+	h.Attach(netsim.PacketHandlerFunc(func(p *netsim.Packet) {}))
+	rec := netsim.NewHostIngressRecorder(h, 0, 100*sim.Microsecond, 3)
+	eng.Run()
+
+	tr, err := FromIngressRecorder(rec, 10*netsim.Gbps)
+	if err == nil {
+		t.Fatalf("FromIngressRecorder accepted a 100us recorder: %+v", tr)
+	}
+	if tr != nil {
+		t.Fatalf("error path returned a non-nil trace: %+v", tr)
 	}
 }

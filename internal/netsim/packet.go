@@ -70,10 +70,18 @@ type PacketPool struct {
 	free []*Packet
 
 	// gets and puts count lifecycle transitions; gets - puts is the number
-	// of pool-owned packets currently live in the network.
-	gets, puts int64
+	// of pool-owned packets currently live in the network. hits counts
+	// gets served from the free list (the remainder allocated).
+	gets, puts, hits int64
 
 	observer PoolObserver
+}
+
+// PoolStats is a snapshot of a pool's lifecycle counters, for the
+// observability layer: Hits/Gets is the recycling rate of the packet hot
+// path (Misses = Gets - Hits are heap allocations).
+type PoolStats struct {
+	Gets, Puts, Hits, Misses int64
 }
 
 // PoolObserver observes packet lifecycle transitions on a PacketPool. The
@@ -99,6 +107,14 @@ func (pp *PacketPool) SetObserver(o PoolObserver) { pp.observer = o }
 // returned — the pool-owned packets currently traversing the network.
 func (pp *PacketPool) Outstanding() int64 { return pp.gets - pp.puts }
 
+// Stats returns the pool's lifecycle counters. Safe on a nil pool.
+func (pp *PacketPool) Stats() PoolStats {
+	if pp == nil {
+		return PoolStats{}
+	}
+	return PoolStats{Gets: pp.gets, Puts: pp.puts, Hits: pp.hits, Misses: pp.gets - pp.hits}
+}
+
 // Get returns a zeroed packet owned by the pool.
 func (pp *PacketPool) Get() *Packet {
 	var p *Packet
@@ -107,6 +123,7 @@ func (pp *PacketPool) Get() *Packet {
 		pp.free[n-1] = nil
 		pp.free = pp.free[:n-1]
 		*p = Packet{}
+		pp.hits++
 	} else {
 		p = &Packet{}
 	}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Profiler is a running profiling endpoint plus an optional periodic
+// runtime.MemStats sampler. It exists for long experiment sweeps: attach
+// it with -pprof on cmd/figures or cmd/incastsim, point `go tool pprof`
+// at the address, and read the sampled memory highs out of the metrics
+// snapshot afterwards (mem_* gauges, wall-clock domain).
+type Profiler struct {
+	srv  *http.Server
+	addr string
+	done chan struct{}
+	tick *time.Ticker
+	reg  *Registry
+	once sync.Once
+}
+
+// StartProfiler serves net/http/pprof on addr (e.g. "localhost:6060").
+// When reg is non-nil and interval > 0 it also samples runtime.MemStats
+// into mem_* gauges every interval. Returns an error if the address
+// cannot be listened on.
+func StartProfiler(addr string, reg *Registry, interval time.Duration) (*Profiler, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	p := &Profiler{
+		srv:  &http.Server{Handler: mux},
+		addr: ln.Addr().String(),
+		done: make(chan struct{}),
+	}
+	go p.srv.Serve(ln)
+
+	if reg != nil && interval > 0 {
+		p.reg = reg
+		p.tick = time.NewTicker(interval)
+		go func() {
+			for {
+				select {
+				case <-p.done:
+					return
+				case <-p.tick.C:
+					SampleMemStats(reg)
+				}
+			}
+		}()
+	}
+	return p, nil
+}
+
+// Addr returns the bound address (useful when addr had port 0).
+func (p *Profiler) Addr() string { return p.addr }
+
+// Stop shuts the endpoint and the sampler down, recording one final
+// MemStats sample so even runs shorter than the sampling interval export
+// mem_* gauges. Nil-safe and idempotent, so callers can Stop explicitly
+// before snapshotting while also deferring it for early exits.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		close(p.done)
+		if p.tick != nil {
+			p.tick.Stop()
+			SampleMemStats(p.reg)
+		}
+		p.srv.Close()
+	})
+}
+
+// SampleMemStats records one runtime.MemStats observation into reg as
+// mem_* gauges. All metrics are wall-clock-domain (excluded from
+// deterministic snapshots): memory behavior legitimately differs between
+// runs of the same seed. Highs fold by max, totals by max too (they are
+// monotone within one process, so the last sample wins through max
+// without needing a "latest" mode). Nil-safe.
+func SampleMemStats(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c := reg.Collector()
+	c.Gauge("mem_heap_alloc_bytes", MergeMax).Set(float64(ms.HeapAlloc))
+	c.Gauge("mem_heap_sys_bytes", MergeMax).Set(float64(ms.HeapSys))
+	c.Gauge("mem_total_alloc_bytes", MergeMax).Set(float64(ms.TotalAlloc))
+	c.Gauge("mem_mallocs", MergeMax).Set(float64(ms.Mallocs))
+	c.Gauge("mem_num_gc", MergeMax).Set(float64(ms.NumGC))
+	c.Gauge("mem_gc_pause_total_ns", MergeMax).Set(float64(ms.PauseTotalNs))
+	c.Gauge("mem_goroutines", MergeMax).Set(float64(runtime.NumGoroutine()))
+	c.Close()
+}

@@ -1,0 +1,102 @@
+// Command snapcheck validates metrics snapshots written by -metrics, for
+// use in CI:
+//
+//	snapcheck FILE            parse + structural validation, print a digest
+//	snapcheck -diff A B       additionally require the two snapshots'
+//	                          deterministic subsets to be byte-identical
+//	snapcheck -require name FILE
+//	                          fail unless a metric with that name exists
+//
+// Exit code 0 means the checks passed; anything else is a failure with a
+// diagnostic on stderr.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"incastlab/internal/obs"
+)
+
+func main() {
+	diff := flag.Bool("diff", false, "compare two snapshots' deterministic subsets byte-for-byte")
+	require := flag.String("require", "", "comma-separated metric names that must be present")
+	flag.Parse()
+
+	if err := run(*diff, *require, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "snapcheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(diff bool, require string, args []string) error {
+	if diff {
+		if len(args) != 2 {
+			return fmt.Errorf("-diff needs exactly two snapshot files")
+		}
+		a, err := load(args[0])
+		if err != nil {
+			return err
+		}
+		b, err := load(args[1])
+		if err != nil {
+			return err
+		}
+		var ab, bb bytes.Buffer
+		if err := a.Deterministic().WriteJSON(&ab); err != nil {
+			return err
+		}
+		if err := b.Deterministic().WriteJSON(&bb); err != nil {
+			return err
+		}
+		if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+			return fmt.Errorf("deterministic metrics differ between %s and %s", args[0], args[1])
+		}
+		fmt.Printf("deterministic metrics identical: %s == %s\n", args[0], args[1])
+		return nil
+	}
+
+	if len(args) != 1 {
+		return fmt.Errorf("need exactly one snapshot file (or -diff A B)")
+	}
+	s, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	if require != "" {
+		have := map[string]bool{}
+		for _, c := range s.Counters {
+			have[c.Name] = true
+		}
+		for _, g := range s.Gauges {
+			have[g.Name] = true
+		}
+		for _, h := range s.Histograms {
+			have[h.Name] = true
+		}
+		for _, name := range strings.Split(require, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" && !have[name] {
+				return fmt.Errorf("%s: required metric %q missing", args[0], name)
+			}
+		}
+	}
+	fmt.Printf("%s: ok (%d counters, %d gauges, %d histograms)\n",
+		args[0], len(s.Counters), len(s.Gauges), len(s.Histograms))
+	return nil
+}
+
+func load(path string) (*obs.Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := obs.ParseSnapshot(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -231,10 +231,15 @@ func subSeed(p *Profile, gc GenConfig) uint64 {
 }
 
 // hostScale returns a stable per-host multiplier on flow counts (~N(1,3%)),
-// so hosts of one service look similar but not identical (Fig 3b).
+// so hosts of one service look similar but not identical (Fig 3b). The
+// profile name is mixed into the seed so that host k of one service does
+// not share its multiplier with host k of every other service.
 func hostScale(p *Profile, seed uint64, host int) float64 {
-	rng := sim.NewRand(seed ^ (uint64(host)+1)*0x517cc1b727220a95)
-	_ = p
+	h := seed ^ (uint64(host)+1)*0x517cc1b727220a95
+	for _, c := range []byte(p.Name) {
+		h ^= uint64(c) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	rng := sim.NewRand(h)
 	return 1 + 0.03*rng.NormFloat64()
 }
 

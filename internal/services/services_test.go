@@ -57,6 +57,25 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestHostScalePerService pins the hostScale regression: the per-host flow
+// multiplier must depend on the service profile (two services' host-k
+// multipliers differ) while staying deterministic for one profile.
+func TestHostScalePerService(t *testing.T) {
+	storage, _ := ByName("storage")
+	video, _ := ByName("video")
+	const seed, host = 7, 3
+	if a, b := hostScale(&storage, seed, host), hostScale(&storage, seed, host); a != b {
+		t.Fatalf("hostScale not deterministic: %v vs %v", a, b)
+	}
+	if a, b := hostScale(&storage, seed, host), hostScale(&video, seed, host); a == b {
+		t.Fatalf("hostScale ignores the profile: storage and video both got %v", a)
+	}
+	// Different hosts of one service still differ from each other.
+	if a, b := hostScale(&storage, seed, 3), hostScale(&storage, seed, 4); a == b {
+		t.Fatalf("hostScale ignores the host: hosts 3 and 4 both got %v", a)
+	}
+}
+
 // corpusFor caches nothing; small corpora keep tests quick.
 func corpusFor(t *testing.T, name string, hosts, rounds int) *millisampler.Report {
 	t.Helper()

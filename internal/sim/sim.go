@@ -131,6 +131,12 @@ type Engine struct {
 	// executed counts events that have run, for diagnostics and benchmarks.
 	executed uint64
 
+	// freeHits and freeMisses count event allocations served from the free
+	// list versus fresh heap allocations — the free-list hit rate the
+	// observability layer reports. Plain unconditional increments: cheaper
+	// than any branch-to-skip would be.
+	freeHits, freeMisses uint64
+
 	// onEvent, if set, observes every event's timestamp immediately before
 	// its closure runs. Installed by the invariant auditor to check clock
 	// monotonicity; nil (the default) costs one branch per event.
@@ -149,6 +155,15 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Executed returns the number of events that have been run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
+// Scheduled returns the number of events ever scheduled (fired, pending,
+// or canceled).
+func (e *Engine) Scheduled() uint64 { return e.seq }
+
+// FreeListStats reports how many event allocations were served from the
+// engine's free list (hits) versus the heap (misses). hits/(hits+misses)
+// is the steady-state zero-allocation rate of the event hot path.
+func (e *Engine) FreeListStats() (hits, misses uint64) { return e.freeHits, e.freeMisses }
+
 // SetOnEvent installs an observer called with each event's timestamp right
 // before the event's closure executes (nil to remove). The observer must not
 // mutate engine state; it exists for audit instrumentation.
@@ -162,8 +177,10 @@ func (e *Engine) newEvent(at Time, fn func()) *event {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
+		e.freeHits++
 	} else {
 		ev = &event{}
+		e.freeMisses++
 	}
 	ev.at = at
 	ev.seq = e.seq

@@ -28,19 +28,32 @@ func Plot(w io.Writer, title, xlabel, ylabel string, series []Series, width, hei
 		return fmt.Errorf("trace: nothing to plot")
 	}
 
+	// Bounds are taken over finite points only: a NaN would poison the
+	// min/max folds (and Inf would stretch the scale to nothing), and the
+	// resulting NaN ranges turn into out-of-range grid indices below.
 	xmin, xmax := math.Inf(1), math.Inf(-1)
 	ymin, ymax := math.Inf(1), math.Inf(-1)
+	empty := true
 	for _, s := range series {
 		if len(s.X) != len(s.Y) {
 			return fmt.Errorf("trace: series %q has %d xs but %d ys", s.Name, len(s.X), len(s.Y))
 		}
+		if len(s.X) > 0 {
+			empty = false
+		}
 		for i := range s.X {
+			if !finitePoint(s.X[i], s.Y[i]) {
+				continue
+			}
 			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
 			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
 		}
 	}
-	if math.IsInf(xmin, 1) {
+	if empty {
 		return fmt.Errorf("trace: all series empty")
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("trace: no finite points to plot")
 	}
 	if xmax == xmin {
 		xmax = xmin + 1
@@ -56,6 +69,9 @@ func Plot(w io.Writer, title, xlabel, ylabel string, series []Series, width, hei
 	for si, s := range series {
 		g := glyphs[si%len(glyphs)]
 		for i := range s.X {
+			if !finitePoint(s.X[i], s.Y[i]) {
+				continue
+			}
 			c := int(float64(width-1) * (s.X[i] - xmin) / (xmax - xmin))
 			r := height - 1 - int(float64(height-1)*(s.Y[i]-ymin)/(ymax-ymin))
 			grid[r][c] = g
@@ -80,6 +96,11 @@ func Plot(w io.Writer, title, xlabel, ylabel string, series []Series, width, hei
 	}
 	_, err := fmt.Fprintf(w, " x: %s in [%s, %s]\n", xlabel, Float(xmin), Float(xmax))
 	return err
+}
+
+// finitePoint reports whether both coordinates are plottable.
+func finitePoint(x, y float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0) && !math.IsNaN(y) && !math.IsInf(y, 0)
 }
 
 // PlotString renders a plot into a string, swallowing size errors into the

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -122,6 +123,53 @@ func TestPlotErrors(t *testing.T) {
 	}
 	if err := Plot(&b, "t", "x", "y", []Series{{Name: "a", X: []float64{1}, Y: []float64{1}}}, 5, 2); err == nil {
 		t.Fatal("tiny plot area should error")
+	}
+}
+
+func TestPlotEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	var b strings.Builder
+
+	// Series present but with zero points: a clean error, not a panic.
+	empty := []Series{{Name: "a"}, {Name: "b"}}
+	if err := Plot(&b, "t", "x", "y", empty, 40, 10); err == nil {
+		t.Fatal("all-empty series should error")
+	}
+
+	// All-NaN y values would poison min/max bounds and turn the grid
+	// indices into int(NaN); it must error cleanly instead.
+	allNaN := []Series{{Name: "a", X: []float64{0, 1, 2}, Y: []float64{nan, nan, nan}}}
+	if err := Plot(&b, "t", "x", "y", allNaN, 40, 10); err == nil {
+		t.Fatal("all-NaN series should error")
+	}
+	if out := PlotString("t", "x", "y", allNaN, 40, 10); !strings.Contains(out, "plot error") {
+		t.Fatalf("PlotString should surface the error, got:\n%s", out)
+	}
+
+	// Non-finite points mixed into a finite series are skipped: the plot
+	// renders and its bounds come from the finite points only.
+	mixed := []Series{{
+		Name: "a",
+		X:    []float64{0, 1, nan, 3, 4},
+		Y:    []float64{0, 10, 5, math.Inf(1), 2},
+	}}
+	out := PlotString("t", "x", "y", mixed, 40, 10)
+	if strings.Contains(out, "plot error") {
+		t.Fatalf("mixed finite/NaN series failed: %s", out)
+	}
+	if !strings.Contains(out, "x: x in [0, 4]") {
+		t.Fatalf("bounds should ignore non-finite points:\n%s", out)
+	}
+	if !strings.Contains(out, "y: y in [0, 10]") {
+		t.Fatalf("y bounds should ignore non-finite points:\n%s", out)
+	}
+
+	// Zero (and negative) dimensions error rather than allocate or panic.
+	one := []Series{{Name: "a", X: []float64{1}, Y: []float64{1}}}
+	for _, dims := range [][2]int{{0, 0}, {0, 10}, {40, 0}, {-5, 10}} {
+		if err := Plot(&b, "t", "x", "y", one, dims[0], dims[1]); err == nil {
+			t.Fatalf("dimensions %v should error", dims)
+		}
 	}
 }
 
