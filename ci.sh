@@ -17,8 +17,24 @@
 #                        bit-identical across all three, both snapshots
 #                        must parse and carry the key metric families, and
 #                        their deterministic subsets must be byte-equal
+#   7. registry gate     `figures -list` must match the checked-in golden
+#                        name list, an unknown -only name must exit
+#                        non-zero, and the quick fig5 + ablation_g CSVs
+#                        must be byte-identical to the checked-in goldens
+#                        (the scenario refactor is behavior-preserving)
+#   8. scenario gate     one example spec runs end to end through
+#                        `incastsim -scenario` and produces its CSV; a
+#                        bogus spec path must exit non-zero
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "==> gofmt -l"
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$UNFORMATTED" >&2
+  exit 1
+fi
 
 echo "==> go vet ./..."
 go vet ./...
@@ -51,5 +67,24 @@ go run ./internal/obs/snapcheck \
   -require runs,sim_events_executed,sim_time_ns,net_queue_enqueued_packets,net_link_tx_bytes,net_pool_gets,tcp_sent_packets,cc_cwnd_updates,burst_bct_ms \
   "$OBS_TMP/m1.json"
 go run ./internal/obs/snapcheck -diff "$OBS_TMP/m1.json" "$OBS_TMP/m2.json"
+
+echo "==> registry gate: -list golden, unknown -only rejection, quick CSV goldens"
+go run ./cmd/figures -list | diff -u internal/core/testdata/registry_names.golden -
+if go run ./cmd/figures -only bogus -out "$OBS_TMP/bogus" 2>/dev/null; then
+  echo "figures -only bogus should have exited non-zero" >&2
+  exit 1
+fi
+go run ./cmd/figures -quick -only fig5,ablation_g -out "$OBS_TMP/golden"
+for f in internal/core/testdata/quick/*.csv; do
+  cmp "$f" "$OBS_TMP/golden/$(basename "$f")"
+done
+
+echo "==> scenario gate: example spec end to end; bad spec path rejected"
+go run ./cmd/incastsim -scenario examples/scenarios/ml_periodic_bursts.json -quick -out "$OBS_TMP/scenario" >/dev/null
+test -s "$OBS_TMP/scenario/ml_periodic_bursts.csv"
+if go run ./cmd/incastsim -scenario "$OBS_TMP/no_such_spec.json" 2>/dev/null; then
+  echo "incastsim -scenario with a missing file should have exited non-zero" >&2
+  exit 1
+fi
 
 echo "==> ci.sh: all checks passed"

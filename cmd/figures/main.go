@@ -1,6 +1,7 @@
 // Command figures regenerates every table and figure of "Understanding
 // Incast Bursts in Modern Datacenters" (IMC 2024), plus the ablations, as
-// CSV artifacts and text summaries.
+// CSV artifacts and text summaries. The set of experiments comes from the
+// incastlab registry — there is no list to maintain here.
 //
 // Usage:
 //
@@ -23,55 +24,21 @@ import (
 	"time"
 
 	"incastlab"
+	"incastlab/internal/cli"
 )
-
-// experiments enumerates the runners by name, in presentation order.
-var experiments = []struct {
-	name string
-	run  func(incastlab.Options) incastlab.Result
-}{
-	{"table1", func(o incastlab.Options) incastlab.Result { return incastlab.Table1(o) }},
-	{"fig1", func(o incastlab.Options) incastlab.Result { return incastlab.Fig1ExampleTrace(o) }},
-	{"fig2_fig4", func(o incastlab.Options) incastlab.Result { return incastlab.Fig2And4BurstCharacterization(o) }},
-	{"fig3", func(o incastlab.Options) incastlab.Result { return incastlab.Fig3Stability(o) }},
-	{"fig5", func(o incastlab.Options) incastlab.Result { return incastlab.Fig5Modes(o) }},
-	{"fig6", func(o incastlab.Options) incastlab.Result { return incastlab.Fig6ShortBursts(o) }},
-	{"fig7", func(o incastlab.Options) incastlab.Result { return incastlab.Fig7InFlight(o) }},
-	{"crossval", func(o incastlab.Options) incastlab.Result { return incastlab.CrossValidation(o) }},
-	{"ablation_g", func(o incastlab.Options) incastlab.Result { return incastlab.AblationG(o) }},
-	{"ablation_ecn_threshold", func(o incastlab.Options) incastlab.Result { return incastlab.AblationECNThreshold(o) }},
-	{"ablation_shared_buffer", func(o incastlab.Options) incastlab.Result { return incastlab.AblationSharedBuffer(o) }},
-	{"ablation_delayed_acks", func(o incastlab.Options) incastlab.Result { return incastlab.AblationDelayedACKs(o) }},
-	{"ablation_guardrail", func(o incastlab.Options) incastlab.Result { return incastlab.AblationGuardrail(o) }},
-	{"ablation_cca", func(o incastlab.Options) incastlab.Result { return incastlab.AblationCCA(o) }},
-	{"ablation_min_rto", func(o incastlab.Options) incastlab.Result { return incastlab.AblationMinRTO(o) }},
-	{"ablation_idle_restart", func(o incastlab.Options) incastlab.Result { return incastlab.AblationIdleRestart(o) }},
-	{"ablation_receiver_window", func(o incastlab.Options) incastlab.Result { return incastlab.AblationReceiverWindow(o) }},
-	{"ablation_marking", func(o incastlab.Options) incastlab.Result { return incastlab.AblationMarkingDiscipline(o) }},
-	{"ext_query_tail", func(o incastlab.Options) incastlab.Result { return incastlab.QueryTailLatency(o) }},
-	{"ext_rack_contention", func(o incastlab.Options) incastlab.Result { return incastlab.RackContention(o) }},
-	{"ext_mode_boundary", func(o incastlab.Options) incastlab.Result { return incastlab.ModeBoundary(o) }},
-}
 
 func main() {
 	out := flag.String("out", "out", "output directory for CSV artifacts")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	quick := flag.Bool("quick", false, "reduced corpus sizes (seconds instead of minutes)")
-	workers := flag.Int("workers", 0, "worker goroutines per experiment sweep (0 = GOMAXPROCS, 1 = serial)")
 	only := flag.String("only", "", "comma-separated experiment names (default: all)")
 	list := flag.Bool("list", false, "list experiment names and exit")
-	auditFlag := flag.Bool("audit", false, "run simulations in checked mode: enforce invariants (conservation, queue bounds, cc protocol bounds) on every packet-level run")
-	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot of all runs to this file (\"-\" for stdout)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) and sample memory statistics")
+	common := cli.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := incastlab.ValidateWorkers(*workers); err != nil {
-		log.Fatalf("-workers: %v", err)
-	}
-
 	if *list {
-		for _, e := range experiments {
-			fmt.Println(e.name)
+		for _, name := range incastlab.ExperimentNames() {
+			fmt.Println(name)
 		}
 		return
 	}
@@ -82,28 +49,24 @@ func main() {
 			selected[strings.TrimSpace(name)] = true
 		}
 		for name := range selected {
-			if !knownExperiment(name) {
-				log.Fatalf("unknown experiment %q (use -list)", name)
+			if _, ok := incastlab.LookupExperiment(name); !ok {
+				log.Fatalf("unknown experiment %q; registered experiments are:\n  %s",
+					name, strings.Join(incastlab.ExperimentNames(), "\n  "))
 			}
 		}
 	}
 
-	opt := incastlab.Options{Seed: *seed, Quick: *quick, Workers: *workers, Audit: *auditFlag}
-
-	var metrics *incastlab.MetricsRegistry
-	if *metricsPath != "" || *pprofAddr != "" {
-		metrics = incastlab.NewMetricsRegistry()
-		opt.Metrics = metrics
+	if err := common.Setup(); err != nil {
+		log.Fatal(err)
 	}
-	var prof *incastlab.Profiler
-	if *pprofAddr != "" {
-		var err error
-		prof, err = incastlab.StartProfiler(*pprofAddr, metrics, time.Second)
-		if err != nil {
-			log.Fatalf("-pprof: %v", err)
-		}
-		defer prof.Stop()
-		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", prof.Addr())
+	defer common.Close()
+
+	opt := incastlab.Options{
+		Seed:    *seed,
+		Quick:   *quick,
+		Workers: common.Workers,
+		Audit:   common.Audit,
+		Metrics: common.Metrics(),
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -118,32 +81,32 @@ func main() {
 	timings := make(map[string]float64)
 	order := []string{}
 	totalStarted := time.Now()
-	for _, e := range experiments {
-		if len(selected) > 0 && !selected[e.name] {
+	for _, e := range incastlab.Experiments() {
+		if len(selected) > 0 && !selected[e.Name] {
 			continue
 		}
 		started := time.Now()
-		res := e.run(opt)
+		res := e.Run(opt)
 		elapsed := time.Since(started)
 		if err := res.WriteFiles(*out); err != nil {
-			log.Fatalf("%s: write artifacts: %v", e.name, err)
+			log.Fatalf("%s: write artifacts: %v", e.Name, err)
 		}
-		timings[e.name] = elapsed.Seconds()
-		order = append(order, e.name)
-		metrics.SetGauge("wall_experiment_seconds", incastlab.MetricsMergeSum,
-			elapsed.Seconds(), "experiment", e.name)
+		timings[e.Name] = elapsed.Seconds()
+		order = append(order, e.Name)
+		common.Metrics().SetGauge("wall_experiment_seconds", incastlab.MetricsMergeSum,
+			elapsed.Seconds(), "experiment", e.Name)
 		fmt.Fprintf(sink, "%s\n[%s completed in %v; CSVs under %s]\n\n",
-			res.Summary(), e.name, elapsed.Round(time.Millisecond), *out)
+			res.Summary(), e.Name, elapsed.Round(time.Millisecond), *out)
 	}
 	total := time.Since(totalStarted)
 
-	fmt.Fprintf(sink, "Wall-clock per experiment (workers=%d):\n", *workers)
+	fmt.Fprintf(sink, "Wall-clock per experiment (workers=%d):\n", common.Workers)
 	for _, name := range order {
 		fmt.Fprintf(sink, "  %-26s %8.3fs\n", name, timings[name])
 	}
 	fmt.Fprintf(sink, "  %-26s %8.3fs\n", "total", total.Seconds())
 
-	if err := writeBenchSummary(filepath.Join(*out, "bench_summary.json"), *workers, timings, total); err != nil {
+	if err := writeBenchSummary(filepath.Join(*out, "bench_summary.json"), common.Workers, timings, total); err != nil {
 		log.Fatalf("write bench summary: %v", err)
 	}
 
@@ -153,16 +116,8 @@ func main() {
 		log.Fatalf("close summary: %v", err)
 	}
 
-	if *metricsPath != "" {
-		// Stop (idempotent) before snapshotting so the profiler's final
-		// MemStats sample lands in the written file.
-		prof.Stop()
-		if err := metrics.Snapshot().WriteFile(*metricsPath); err != nil {
-			log.Fatalf("-metrics: %v", err)
-		}
-		if *metricsPath != "-" {
-			fmt.Printf("metrics snapshot written to %s\n", *metricsPath)
-		}
+	if err := common.WriteMetrics(false); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -184,13 +139,4 @@ func writeBenchSummary(path string, workers int, timings map[string]float64, tot
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
-}
-
-func knownExperiment(name string) bool {
-	for _, e := range experiments {
-		if e.name == name {
-			return true
-		}
-	}
-	return false
 }

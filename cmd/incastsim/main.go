@@ -1,6 +1,8 @@
 // Command incastsim runs one packet-level incast simulation over the
 // paper's dumbbell topology and reports the congestion outcome: queue
-// behavior, burst completion times, marks, drops, and timeouts.
+// behavior, burst completion times, marks, drops, and timeouts. With
+// -scenario it instead runs a declarative JSON scenario spec end to end
+// and writes the sweep's CSV artifact.
 //
 // Examples:
 //
@@ -11,6 +13,7 @@
 //	incastsim -flows 200 -guardrail               # Section 5.1 clamp
 //	incastsim -flows 1000 -shared 2000000 -contend 700000
 //	incastsim -sweep 80,500,1400                  # one run per degree, in parallel
+//	incastsim -scenario examples/scenarios/ml_periodic_bursts.json
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"incastlab"
+	"incastlab/internal/cli"
 )
 
 func main() {
@@ -42,30 +46,26 @@ func main() {
 	seed := flag.Uint64("seed", 1, "jitter seed")
 	plot := flag.Bool("plot", true, "print the ASCII queue plot")
 	sweep := flag.String("sweep", "", "comma-separated incast degrees to run instead of -flows (e.g. 80,500,1400)")
-	workers := flag.Int("workers", 0, "worker goroutines for -sweep (0 = GOMAXPROCS, 1 = serial)")
-	auditFlag := flag.Bool("audit", false, "run in checked mode: enforce simulation invariants (conservation, queue bounds, cc protocol bounds) throughout the run")
-	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot to this file (\"-\" for stdout) and print the metrics summary")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) and sample memory statistics")
+	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec (JSON file) instead of the flag-built simulation")
+	out := flag.String("out", "out", "output directory for the -scenario CSV artifact")
+	quick := flag.Bool("quick", false, "with -scenario: reduced burst counts")
+	common := cli.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := incastlab.ValidateWorkers(*workers); err != nil {
-		log.Fatalf("-workers: %v", err)
+	if err := common.Setup(); err != nil {
+		log.Fatal(err)
+	}
+	defer common.Close()
+
+	if *scenarioPath != "" {
+		runScenario(common, *scenarioPath, *out, *seed, *quick)
+		if err := common.WriteMetrics(true); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
-	var metrics *incastlab.MetricsRegistry
-	if *metricsPath != "" || *pprofAddr != "" {
-		metrics = incastlab.NewMetricsRegistry()
-	}
-	var prof *incastlab.Profiler
-	if *pprofAddr != "" {
-		var err error
-		prof, err = incastlab.StartProfiler(*pprofAddr, metrics, time.Second)
-		if err != nil {
-			log.Fatalf("-pprof: %v", err)
-		}
-		defer prof.Stop()
-		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", prof.Addr())
-	}
+	metrics := common.Metrics()
 
 	buildCfg := func(flows int) incastlab.SimConfig {
 		net := incastlab.DefaultDumbbellConfig(flows)
@@ -84,7 +84,7 @@ func main() {
 			Interval:            incastlab.Time(*intervalMS * float64(incastlab.Millisecond)),
 			Net:                 net,
 			ExternalBufferBytes: *contend,
-			Audit:               *auditFlag,
+			Audit:               common.Audit,
 			Seed:                *seed,
 			Metrics:             metrics,
 			Experiment:          "incastsim",
@@ -143,7 +143,7 @@ func main() {
 	}
 
 	started := time.Now()
-	results := incastlab.RunIncastSims(*workers, cfgs)
+	results := incastlab.RunIncastSims(common.Workers, cfgs)
 	elapsed := time.Since(started)
 
 	for i, res := range results {
@@ -168,26 +168,46 @@ func main() {
 		}
 	}
 	audited := ""
-	if *auditFlag {
+	if common.Audit {
 		audited = ", invariants audited: clean"
 	}
 	fmt.Printf("\n(%d simulation(s) in %v wall clock, workers=%d%s)\n",
-		len(results), elapsed.Round(time.Millisecond), *workers, audited)
+		len(results), elapsed.Round(time.Millisecond), common.Workers, audited)
 
-	if *metricsPath != "" {
-		// Stop (idempotent) before snapshotting so the profiler's final
-		// MemStats sample lands in the written file.
-		prof.Stop()
-		snap := metrics.Snapshot()
-		fmt.Println()
-		fmt.Print(snap.Summary())
-		if err := snap.WriteFile(*metricsPath); err != nil {
-			log.Fatalf("-metrics: %v", err)
-		}
-		if *metricsPath != "-" {
-			fmt.Printf("metrics snapshot written to %s\n", *metricsPath)
-		}
+	if err := common.WriteMetrics(true); err != nil {
+		log.Fatal(err)
 	}
+}
+
+// runScenario loads the JSON spec at path, runs it, writes its CSV
+// artifact under out, and prints the rendered summary. Any resolution or
+// validation failure exits non-zero with the underlying error.
+func runScenario(common *cli.Common, path, out string, seed uint64, quick bool) {
+	spec, err := incastlab.LoadScenario(path)
+	if err != nil {
+		log.Fatalf("-scenario: %v", err)
+	}
+	opt := incastlab.Options{
+		Seed:    seed,
+		Quick:   quick,
+		Workers: common.Workers,
+		Audit:   common.Audit,
+		Metrics: common.Metrics(),
+	}
+	started := time.Now()
+	res, err := incastlab.RunScenario(opt, spec)
+	if err != nil {
+		log.Fatalf("-scenario %s: %v", path, err)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		log.Fatalf("create output dir: %v", err)
+	}
+	if err := res.WriteFiles(out); err != nil {
+		log.Fatalf("%s: write artifacts: %v", res.Name(), err)
+	}
+	fmt.Print(res.Summary())
+	fmt.Printf("\n[%s completed in %v; CSVs under %s]\n",
+		res.Name(), time.Since(started).Round(time.Millisecond), out)
 }
 
 func busyAvg(res *incastlab.SimResult) float64 {

@@ -42,6 +42,7 @@ import (
 	"incastlab/internal/netsim"
 	"incastlab/internal/obs"
 	"incastlab/internal/predict"
+	"incastlab/internal/scenario"
 	"incastlab/internal/schedule"
 	"incastlab/internal/services"
 	"incastlab/internal/sim"
@@ -73,6 +74,81 @@ type Result = core.Result
 // AllExperiments regenerates every table, figure, and ablation in
 // presentation order.
 func AllExperiments(opt Options) []Result { return core.All(opt) }
+
+// Experiment registry ----------------------------------------------------
+
+// Experiment is one registered experiment: its registry name, kind, the
+// part of the paper it reproduces, and its runner. Every experiment
+// self-registers, so the registry is the single source of truth for
+// front ends (cmd/figures -list/-only drive off it).
+type Experiment = core.Experiment
+
+// ExperimentKind classifies a registered experiment.
+type ExperimentKind = core.Kind
+
+// Experiment kinds.
+const (
+	KindTable     = core.KindTable
+	KindFigure    = core.KindFigure
+	KindAblation  = core.KindAblation
+	KindExtension = core.KindExtension
+)
+
+// Experiments returns the full registry in presentation order.
+var Experiments = core.Experiments
+
+// ExperimentNames returns the registered experiment names in presentation
+// order.
+var ExperimentNames = core.ExperimentNames
+
+// LookupExperiment resolves a registered experiment by name.
+var LookupExperiment = core.LookupExperiment
+
+// TableResult is the generic table-backed experiment result: named CSV
+// artifacts plus a rendered text summary. Every registered experiment's
+// result embeds one.
+type TableResult = core.TableResult
+
+// Scenario API -----------------------------------------------------------
+
+// Scenario is a declarative, JSON-encodable experiment specification:
+// topology, workload, congestion control, transport tuning, and an
+// optional sweep axis. It validates (Scenario.Validate) and compiles into
+// packet-level simulations (RunScenario); the ten Ablation* experiments
+// are themselves scenario specs run through the same path. See
+// examples/scenarios/ for ready-to-run files.
+type (
+	Scenario          = scenario.Spec
+	ScenarioTopology  = scenario.Topology
+	ScenarioWorkload  = scenario.Workload
+	ScenarioCC        = scenario.CC
+	ScenarioTransport = scenario.Transport
+	ScenarioSweep     = scenario.Sweep
+	ScenarioValue     = scenario.Value
+)
+
+// LoadScenario reads and validates a scenario spec from a JSON file.
+var LoadScenario = scenario.Load
+
+// ParseScenario parses and validates a scenario spec from JSON text.
+var ParseScenario = scenario.Parse
+
+// AblationSpecs returns the declarative specs behind the ten Ablation*
+// runners, in registry order.
+var AblationSpecs = core.AblationSpecs
+
+// CompileScenario validates spec and compiles it into simulation configs,
+// returning the sweep table's label header, one label row per config, and
+// the configs themselves.
+func CompileScenario(opt Options, spec Scenario) ([]string, [][]string, []SimConfig, error) {
+	return core.CompileScenario(opt, spec)
+}
+
+// RunScenario validates, compiles, and runs spec, rendering the sweep
+// into a single-CSV TableResult.
+func RunScenario(opt Options, spec Scenario) (*TableResult, error) {
+	return core.RunScenario(opt, spec)
+}
 
 // Table1 returns the five-services registry (paper Table 1).
 func Table1(opt Options) *core.Table1Result { return core.Table1(opt) }

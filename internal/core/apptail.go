@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"path/filepath"
-	"strings"
 	"time"
 
 	"incastlab/internal/app"
@@ -14,6 +12,13 @@ import (
 	"incastlab/internal/trace"
 )
 
+func init() {
+	register(190, Experiment{
+		Name: "ext_query_tail", Kind: KindExtension, PaperRef: "Section 1 (service-level impact)",
+		Run: func(o Options) Result { return QueryTailLatency(o) },
+	})
+}
+
 // QueryTailResult is an extension experiment beyond the paper's figures:
 // it quantifies the paper's introduction claim that incast-induced loss
 // "causes high tail latency that directly impacts service-level
@@ -22,6 +27,7 @@ import (
 // grows, so the bandwidth bound is identical across rows; everything above
 // it is incast damage.
 type QueryTailResult struct {
+	TableResult
 	// Rows pairs each fan-in degree with its QCT summary (milliseconds).
 	Degrees []int
 	QCT     []stats.Summary
@@ -73,32 +79,18 @@ func QueryTailLatency(opt Options) *QueryTailResult {
 		r.QCT = append(r.QCT, results[i].qct)
 		r.Timeouts = append(r.Timeouts, results[i].timeouts)
 	}
-	return r
-}
 
-// Name implements Result.
-func (r *QueryTailResult) Name() string { return "ext_query_tail" }
-
-func (r *QueryTailResult) table() *trace.Table {
 	t := trace.NewTable("workers", "qct_p50_ms", "qct_p99_ms", "qct_max_ms", "timeouts")
 	for i, n := range r.Degrees {
 		s := r.QCT[i]
 		t.AddRow(fmt.Sprint(n), trace.Float(s.P50), trace.Float(s.P99), trace.Float(s.Max),
 			fmt.Sprint(r.Timeouts[i]))
 	}
-	return t
-}
-
-// WriteFiles implements Result.
-func (r *QueryTailResult) WriteFiles(dir string) error {
-	return r.table().SaveCSV(filepath.Join(dir, "ext_query_tail.csv"))
-}
-
-// Summary implements Result.
-func (r *QueryTailResult) Summary() string {
-	var b strings.Builder
-	b.WriteString(section("Extension: partition/aggregate query tail latency vs fan-in"))
-	b.WriteString(r.table().Text())
-	b.WriteString("\nEqual total bytes per query: the median stays at the bandwidth bound while\nthe tail explodes once the synchronized first windows overflow the ToR queue.\n")
-	return b.String()
+	r.TableResult = TableResult{
+		ExpName:   "ext_query_tail",
+		Artifacts: []Artifact{{File: "ext_query_tail.csv", Table: t}},
+		SummaryText: section("Extension: partition/aggregate query tail latency vs fan-in") + t.Text() +
+			"\nEqual total bytes per query: the median stays at the bandwidth bound while\nthe tail explodes once the synchronized first windows overflow the ToR queue.\n",
+	}
+	return r
 }

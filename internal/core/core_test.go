@@ -181,15 +181,15 @@ func TestFig7InFlightSkew(t *testing.T) {
 
 func TestAblationECNThresholdMonotone(t *testing.T) {
 	r := AblationECNThreshold(quick)
-	if len(r.Table.Rows) != 3 {
-		t.Fatalf("rows = %d", len(r.Table.Rows))
+	if len(r.Table().Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Table().Rows))
 	}
 	// Busy-queue depth should increase with K (column 1).
 	prev := -1.0
-	for _, row := range r.Table.Rows {
+	for _, row := range r.Table().Rows {
 		v := parseFloat(t, row[1])
 		if v <= prev {
-			t.Fatalf("queue depth not increasing with K: %v", r.Table.Rows)
+			t.Fatalf("queue depth not increasing with K: %v", r.Table().Rows)
 		}
 		prev = v
 	}
@@ -199,7 +199,7 @@ func TestAblationGuardrailShrinksSpike(t *testing.T) {
 	r := AblationGuardrail(quick)
 	// Rows come in groups of three per flow count: dctcp, guardrail, wave.
 	byScheme := map[string][]string{}
-	for _, row := range r.Table.Rows {
+	for _, row := range r.Table().Rows {
 		if row[0] == "80" {
 			byScheme[row[1]] = row
 		}
@@ -218,7 +218,7 @@ func TestAblationGuardrailShrinksSpike(t *testing.T) {
 func TestAblationCCAContrast(t *testing.T) {
 	r := AblationCCA(quick)
 	byName := map[string][]string{}
-	for _, row := range r.Table.Rows {
+	for _, row := range r.Table().Rows {
 		byName[row[0]] = row
 	}
 	renoMax := parseFloat(t, byName["reno"][2])
@@ -234,7 +234,7 @@ func TestAblationSharedBufferCausesTimeouts(t *testing.T) {
 		t.Skip("two 1000-flow simulations")
 	}
 	r := AblationSharedBuffer(quick)
-	dedicated, shared := r.Table.Rows[0], r.Table.Rows[1]
+	dedicated, shared := r.Table().Rows[0], r.Table().Rows[1]
 	if parseFloat(t, dedicated[5]) != 0 { // timeouts
 		t.Fatalf("dedicated buffer should absorb 1000 flows: %v", dedicated)
 	}
@@ -245,8 +245,8 @@ func TestAblationSharedBufferCausesTimeouts(t *testing.T) {
 
 func TestAblationDelayedACKsDeepenQueue(t *testing.T) {
 	r := AblationDelayedACKs(quick)
-	imm := parseFloat(t, r.Table.Rows[0][2])     // queue_max
-	delayed := parseFloat(t, r.Table.Rows[1][2]) // queue_max
+	imm := parseFloat(t, r.Table().Rows[0][2])     // queue_max
+	delayed := parseFloat(t, r.Table().Rows[1][2]) // queue_max
 	if delayed < imm {
 		t.Fatalf("delayed ACKs max queue %v < immediate %v; coalescing should deepen bursts", delayed, imm)
 	}
@@ -254,10 +254,10 @@ func TestAblationDelayedACKsDeepenQueue(t *testing.T) {
 
 func TestAblationGRuns(t *testing.T) {
 	r := AblationG(quick)
-	if len(r.Table.Rows) != 4 {
-		t.Fatalf("rows = %d", len(r.Table.Rows))
+	if len(r.Table().Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Table().Rows))
 	}
-	for _, row := range r.Table.Rows {
+	for _, row := range r.Table().Rows {
 		if parseFloat(t, row[5]) != 0 { // timeouts
 			t.Fatalf("g sweep should stay in healthy mode: %v", row)
 		}
@@ -350,19 +350,19 @@ func TestAblationMinRTOBCTTracksRTO(t *testing.T) {
 		t.Skip("three 1400-flow simulations")
 	}
 	r := AblationMinRTO(quick)
-	if len(r.Table.Rows) != 3 {
-		t.Fatalf("rows = %d", len(r.Table.Rows))
+	if len(r.Table().Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Table().Rows))
 	}
 	// BCT (column 4) must increase with min RTO, roughly one-for-one.
 	var prevRTO, prevBCT float64
-	for i, row := range r.Table.Rows {
+	for i, row := range r.Table().Rows {
 		rto := parseFloat(t, row[0])
 		bct := parseFloat(t, row[4])
 		if bct < rto {
 			t.Fatalf("BCT %v ms below the %v ms min RTO", bct, rto)
 		}
 		if i > 0 && bct <= prevBCT {
-			t.Fatalf("BCT not increasing with min RTO: %v", r.Table.Rows)
+			t.Fatalf("BCT not increasing with min RTO: %v", r.Table().Rows)
 		}
 		prevRTO, prevBCT = rto, bct
 	}
@@ -371,8 +371,8 @@ func TestAblationMinRTOBCTTracksRTO(t *testing.T) {
 
 func TestAblationIdleRestartIsNoOpDuringIncast(t *testing.T) {
 	r := AblationIdleRestart(quick)
-	persistent := parseFloat(t, r.Table.Rows[0][3]) // spike_pkts
-	restart := parseFloat(t, r.Table.Rows[1][3])
+	persistent := parseFloat(t, r.Table().Rows[0][3]) // spike_pkts
+	restart := parseFloat(t, r.Table().Rows[1][3])
 	// RFC 2861/5681 restarts clamp to min(IW, cwnd); incast windows are
 	// already below IW, so the straggler spike must be unchanged — the
 	// negative result that motivates the sub-IW guardrail.
@@ -404,7 +404,7 @@ func TestRackContentionDegradesVictim(t *testing.T) {
 func TestAblationReceiverWindowShape(t *testing.T) {
 	r := AblationReceiverWindow(quick)
 	rows := map[string][]string{}
-	for _, row := range r.Table.Rows {
+	for _, row := range r.Table().Rows {
 		rows[row[0]+"/"+row[1]] = row
 	}
 	// At 40 flows, ICTCP must cut Reno's queue excursions.
@@ -467,8 +467,8 @@ func TestAllExperimentsQuick(t *testing.T) {
 
 func TestAblationMarkingDisciplineDeepensQueue(t *testing.T) {
 	r := AblationMarkingDiscipline(quick)
-	inst := parseFloat(t, r.Table.Rows[0][3]) // queue_max
-	ewma := parseFloat(t, r.Table.Rows[1][3])
+	inst := parseFloat(t, r.Table().Rows[0][3]) // queue_max
+	ewma := parseFloat(t, r.Table().Rows[1][3])
 	if ewma <= inst {
 		t.Fatalf("EWMA marking max queue %v <= instantaneous %v; lagging feedback should deepen excursions",
 			ewma, inst)

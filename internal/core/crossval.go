@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"path/filepath"
-	"strings"
 	"time"
 
 	"incastlab/internal/audit"
@@ -16,6 +14,13 @@ import (
 	"incastlab/internal/workload"
 )
 
+func init() {
+	register(80, Experiment{
+		Name: "crossval", Kind: KindExtension, PaperRef: "Sections 3 & 4 (methodology cross-check)",
+		Run: func(o Options) Result { return CrossValidation(o) },
+	})
+}
+
 // CrossValidationResult ties the paper's two methodologies together: it
 // runs the Section 4 packet-level simulator on a production-like burst
 // cadence and feeds the receiver NIC's packets through the Section 3
@@ -23,6 +28,7 @@ import (
 // workload (frequency, duration, incast degree) — evidence that the
 // measurement tooling and the simulator agree with each other.
 type CrossValidationResult struct {
+	TableResult
 	// Ground truth from the workload generator.
 	TrueFlows         int
 	TrueBurstsPerSec  float64
@@ -104,19 +110,33 @@ func CrossValidation(opt Options) *CrossValidationResult {
 		// is unreachable short of a programming error.
 		panic(fmt.Sprintf("core: cross-validation recorder: %v", err))
 	}
-	return &CrossValidationResult{
+	r := &CrossValidationResult{
 		TrueFlows:         flows,
 		TrueBurstsPerSec:  float64(sim.Second) / float64(interval),
 		TrueBurstDuration: duration,
 		Trace:             tr,
 		Report:            millisampler.Analyze([]*millisampler.Trace{tr}),
 	}
+
+	cmp := r.comparisonTable()
+	ts := trace.NewTable("time_ms", "util", "flows", "ecn_util")
+	capacity := float64(r.Trace.LineRateBps) / 8 * float64(r.Trace.IntervalNS) / 1e9
+	for i, s := range r.Trace.Samples {
+		ts.AddFloats(float64(i), s.Bytes/capacity, float64(s.Flows), s.ECNBytes/capacity)
+	}
+	r.TableResult = TableResult{
+		ExpName: "crossval",
+		Artifacts: []Artifact{
+			{File: "crossval.csv", Table: cmp},
+			{File: "crossval_trace.csv", Table: ts},
+		},
+		SummaryText: section("Cross-validation: Millisampler over the packet simulator") + cmp.Text() +
+			"\nThe Section 3 measurement pipeline, run over Section 4's simulated packets,\nrecovers the configured workload.\n",
+	}
+	return r
 }
 
-// Name implements Result.
-func (r *CrossValidationResult) Name() string { return "crossval" }
-
-func (r *CrossValidationResult) table() *trace.Table {
+func (r *CrossValidationResult) comparisonTable() *trace.Table {
 	t := trace.NewTable("metric", "workload_truth", "millisampler_measured")
 	rep := r.Report
 	t.AddRow("bursts_per_second", trace.Float(r.TrueBurstsPerSec),
@@ -126,26 +146,4 @@ func (r *CrossValidationResult) table() *trace.Table {
 	t.AddRow("incast_degree", fmt.Sprint(r.TrueFlows), trace.Float(rep.Flows.Quantile(0.5)))
 	t.AddRow("incast_fraction", "1", trace.Float(rep.IncastFraction()))
 	return t
-}
-
-// WriteFiles implements Result.
-func (r *CrossValidationResult) WriteFiles(dir string) error {
-	if err := r.table().SaveCSV(filepath.Join(dir, "crossval.csv")); err != nil {
-		return err
-	}
-	t := trace.NewTable("time_ms", "util", "flows", "ecn_util")
-	capacity := float64(r.Trace.LineRateBps) / 8 * float64(r.Trace.IntervalNS) / 1e9
-	for i, s := range r.Trace.Samples {
-		t.AddFloats(float64(i), s.Bytes/capacity, float64(s.Flows), s.ECNBytes/capacity)
-	}
-	return t.SaveCSV(filepath.Join(dir, "crossval_trace.csv"))
-}
-
-// Summary implements Result.
-func (r *CrossValidationResult) Summary() string {
-	var b strings.Builder
-	b.WriteString(section("Cross-validation: Millisampler over the packet simulator"))
-	b.WriteString(r.table().Text())
-	b.WriteString("\nThe Section 3 measurement pipeline, run over Section 4's simulated packets,\nrecovers the configured workload.\n")
-	return b.String()
 }

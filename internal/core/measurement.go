@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"path/filepath"
 	"strings"
 
 	"incastlab/internal/millisampler"
@@ -12,41 +11,51 @@ import (
 	"incastlab/internal/trace"
 )
 
+func init() {
+	register(10, Experiment{
+		Name: "table1", Kind: KindTable, PaperRef: "Table 1",
+		Run: func(o Options) Result { return Table1(o) },
+	})
+	register(20, Experiment{
+		Name: "fig1", Kind: KindFigure, PaperRef: "Figure 1",
+		Run: func(o Options) Result { return Fig1ExampleTrace(o) },
+	})
+	register(30, Experiment{
+		Name: "fig2_fig4", Kind: KindFigure, PaperRef: "Figures 2 & 4",
+		Run: func(o Options) Result { return Fig2And4BurstCharacterization(o) },
+	})
+	register(40, Experiment{
+		Name: "fig3", Kind: KindFigure, PaperRef: "Figure 3",
+		Run: func(o Options) Result { return Fig3Stability(o) },
+	})
+}
+
 // Table1Result reproduces Table 1: the five example services.
 type Table1Result struct {
+	TableResult
 	Services []services.Profile
 }
 
 // Table1 returns the service registry.
 func Table1(opt Options) *Table1Result {
-	return &Table1Result{Services: services.All()}
-}
-
-// Name implements Result.
-func (r *Table1Result) Name() string { return "table1" }
-
-func (r *Table1Result) table() *trace.Table {
+	r := &Table1Result{Services: services.All()}
 	t := trace.NewTable("service", "description")
 	for _, p := range r.Services {
 		t.AddRow(p.Name, p.Description)
 	}
-	return t
-}
-
-// WriteFiles implements Result.
-func (r *Table1Result) WriteFiles(dir string) error {
-	return r.table().SaveCSV(filepath.Join(dir, "table1_services.csv"))
-}
-
-// Summary implements Result.
-func (r *Table1Result) Summary() string {
-	return section("Table 1: five example services") + r.table().Text()
+	r.TableResult = TableResult{
+		ExpName:     "table1",
+		Artifacts:   []Artifact{{File: "table1_services.csv", Table: t}},
+		SummaryText: section("Table 1: five example services") + t.Text(),
+	}
+	return r
 }
 
 // Fig1Result reproduces Figure 1: a two-second example trace from one
 // "aggregator" host at 1 ms granularity — throughput, active flows,
 // ECN-marked throughput, and retransmissions.
 type Fig1Result struct {
+	TableResult
 	Trace  *millisampler.Trace
 	Bursts []millisampler.Burst
 	// MeanUtilization should land near the paper's 10.6%.
@@ -93,29 +102,31 @@ func Fig1ExampleTrace(opt Options) *Fig1Result {
 			break
 		}
 	}
-	return &Fig1Result{
+	r := &Fig1Result{
 		Trace:           pick.tr,
 		Bursts:          pick.bursts,
 		MeanUtilization: pick.tr.MeanUtilization(),
 	}
+	r.TableResult = TableResult{
+		ExpName:     "fig1",
+		Artifacts:   []Artifact{{File: "fig1_example_trace.csv", Table: r.seriesTable()}},
+		SummaryText: r.renderSummary(),
+	}
+	return r
 }
 
-// Name implements Result.
-func (r *Fig1Result) Name() string { return "fig1" }
-
-// WriteFiles implements Result: the four per-millisecond series.
-func (r *Fig1Result) WriteFiles(dir string) error {
+// seriesTable renders the four per-millisecond series.
+func (r *Fig1Result) seriesTable() *trace.Table {
 	t := trace.NewTable("time_ms", "throughput_util", "active_flows", "ecn_util", "retx_util")
 	capacity := float64(r.Trace.LineRateBps) / 8 * float64(r.Trace.IntervalNS) / 1e9
 	for i, s := range r.Trace.Samples {
 		t.AddFloats(float64(i), s.Bytes/capacity, float64(s.Flows),
 			s.ECNBytes/capacity, s.RetxBytes/capacity)
 	}
-	return t.SaveCSV(filepath.Join(dir, "fig1_example_trace.csv"))
+	return t
 }
 
-// Summary implements Result.
-func (r *Fig1Result) Summary() string {
+func (r *Fig1Result) renderSummary() string {
 	var b strings.Builder
 	b.WriteString(section("Figure 1: example incast bursts at one aggregator host"))
 	incasts := 0
@@ -159,6 +170,7 @@ type ServiceReport struct {
 // frequency, duration, and flow count (Fig 2) and of queue watermark, ECN
 // marking, and retransmissions (Fig 4), over the 20-host x 9-round corpus.
 type Fig2And4Result struct {
+	TableResult
 	Reports []ServiceReport
 }
 
@@ -179,38 +191,8 @@ func Fig2And4BurstCharacterization(opt Options) *Fig2And4Result {
 			Report:  millisampler.Analyze(services.Collect(profiles[i], cfg)),
 		}
 	})
-	return r
-}
-
-// Name implements Result.
-func (r *Fig2And4Result) Name() string { return "fig2_fig4" }
-
-func (r *Fig2And4Result) table() *trace.Table {
-	t := trace.NewTable("service", "bursts", "incast_frac", "util",
-		"freq_p50_per_s", "dur_p50_ms", "dur_p90_ms",
-		"flows_p50", "flows_p99", "low_flow_frac",
-		"wm_p50", "ecn_zero_frac", "ecn_p95", "retx_zero_frac", "retx_p999")
-	for _, sr := range r.Reports {
-		rep := sr.Report
-		t.AddRow(sr.Service,
-			fmt.Sprint(rep.Bursts), trace.Float(rep.IncastFraction()), trace.Float(rep.MeanUtilization),
-			trace.Float(rep.BurstsPerSecond.Quantile(0.5)),
-			trace.Float(rep.DurationMS.Quantile(0.5)), trace.Float(rep.DurationMS.Quantile(0.9)),
-			trace.Float(rep.Flows.Quantile(0.5)), trace.Float(rep.Flows.Quantile(0.99)),
-			trace.Float(rep.Flows.At(20)),
-			trace.Float(rep.QueueWatermark.Quantile(0.5)),
-			trace.Float(rep.ECNFraction.At(0)), trace.Float(rep.ECNFraction.Quantile(0.95)),
-			trace.Float(rep.RetxFraction.At(0)), trace.Float(rep.RetxFraction.Quantile(0.999)))
-	}
-	return t
-}
-
-// WriteFiles implements Result: a summary plus per-metric CDF files with
-// one (x, F) column pair per service.
-func (r *Fig2And4Result) WriteFiles(dir string) error {
-	if err := r.table().SaveCSV(filepath.Join(dir, "fig2_fig4_summary.csv")); err != nil {
-		return err
-	}
+	summary := r.summaryTable()
+	artifacts := []Artifact{{File: "fig2_fig4_summary.csv", Table: summary}}
 	metrics := []struct {
 		file string
 		get  func(*millisampler.Report) *stats.CDF
@@ -237,23 +219,42 @@ func (r *Fig2And4Result) WriteFiles(dir string) error {
 			}
 			t.AddRow(row...)
 		}
-		if err := t.SaveCSV(filepath.Join(dir, m.file)); err != nil {
-			return err
-		}
+		artifacts = append(artifacts, Artifact{File: m.file, Table: t})
 	}
-	return nil
+	r.TableResult = TableResult{
+		ExpName:   "fig2_fig4",
+		Artifacts: artifacts,
+		SummaryText: section("Figures 2 & 4: burst characteristics and network effects across services") +
+			summary.Text(),
+	}
+	return r
 }
 
-// Summary implements Result.
-func (r *Fig2And4Result) Summary() string {
-	return section("Figures 2 & 4: burst characteristics and network effects across services") +
-		r.table().Text()
+func (r *Fig2And4Result) summaryTable() *trace.Table {
+	t := trace.NewTable("service", "bursts", "incast_frac", "util",
+		"freq_p50_per_s", "dur_p50_ms", "dur_p90_ms",
+		"flows_p50", "flows_p99", "low_flow_frac",
+		"wm_p50", "ecn_zero_frac", "ecn_p95", "retx_zero_frac", "retx_p999")
+	for _, sr := range r.Reports {
+		rep := sr.Report
+		t.AddRow(sr.Service,
+			fmt.Sprint(rep.Bursts), trace.Float(rep.IncastFraction()), trace.Float(rep.MeanUtilization),
+			trace.Float(rep.BurstsPerSecond.Quantile(0.5)),
+			trace.Float(rep.DurationMS.Quantile(0.5)), trace.Float(rep.DurationMS.Quantile(0.9)),
+			trace.Float(rep.Flows.Quantile(0.5)), trace.Float(rep.Flows.Quantile(0.99)),
+			trace.Float(rep.Flows.At(20)),
+			trace.Float(rep.QueueWatermark.Quantile(0.5)),
+			trace.Float(rep.ECNFraction.At(0)), trace.Float(rep.ECNFraction.Quantile(0.95)),
+			trace.Float(rep.RetxFraction.At(0)), trace.Float(rep.RetxFraction.Quantile(0.999)))
+	}
+	return t
 }
 
 // Fig3Result reproduces Figure 3: stability of the incast degree over time
 // (3a: per-service mean flow count per round over 18 h) and across hosts
 // (3b: per-host mean and p99 for the aggregator).
 type Fig3Result struct {
+	TableResult
 	// Services lists the service names in row order.
 	Services []string
 	// RoundHours gives each round's wall-clock offset in hours.
@@ -329,31 +330,28 @@ func Fig3Stability(opt Options) *Fig3Result {
 		r.HostMeans = append(r.HostMeans, sum.Mean)
 		r.HostP99s = append(r.HostP99s, sum.P99)
 	}
-	return r
-}
 
-// Name implements Result.
-func (r *Fig3Result) Name() string { return "fig3" }
-
-// WriteFiles implements Result.
-func (r *Fig3Result) WriteFiles(dir string) error {
-	header := append([]string{"hour"}, r.Services...)
-	t := &trace.Table{Header: header}
+	over := &trace.Table{Header: append([]string{"hour"}, r.Services...)}
 	for round := range r.RoundHours {
 		row := []string{trace.Float(r.RoundHours[round])}
 		for s := range r.Services {
 			row = append(row, trace.Float(r.RoundMeans[s][round]))
 		}
-		t.AddRow(row...)
-	}
-	if err := t.SaveCSV(filepath.Join(dir, "fig3a_flows_over_time.csv")); err != nil {
-		return err
+		over.AddRow(row...)
 	}
 	hb := trace.NewTable("host", "mean_flows", "p99_flows")
 	for h := range r.HostMeans {
 		hb.AddFloats(float64(h), r.HostMeans[h], r.HostP99s[h])
 	}
-	return hb.SaveCSV(filepath.Join(dir, "fig3b_aggregator_hosts.csv"))
+	r.TableResult = TableResult{
+		ExpName: "fig3",
+		Artifacts: []Artifact{
+			{File: "fig3a_flows_over_time.csv", Table: over},
+			{File: "fig3b_aggregator_hosts.csv", Table: hb},
+		},
+		SummaryText: r.renderSummary(),
+	}
+	return r
 }
 
 // StabilitySpread returns (max-min)/mean of service s's round means — the
@@ -372,8 +370,7 @@ func (r *Fig3Result) StabilitySpread(service string) float64 {
 	return 0
 }
 
-// Summary implements Result.
-func (r *Fig3Result) Summary() string {
+func (r *Fig3Result) renderSummary() string {
 	var b strings.Builder
 	b.WriteString(section("Figure 3: incast degree is stable over time and across hosts"))
 	t := trace.NewTable("service", "mean_flows", "spread_over_rounds")

@@ -2,13 +2,19 @@ package core
 
 import (
 	"fmt"
-	"path/filepath"
 	"strings"
 
 	"incastlab/internal/netsim"
 	"incastlab/internal/sim"
 	"incastlab/internal/trace"
 )
+
+func init() {
+	register(210, Experiment{
+		Name: "ext_mode_boundary", Kind: KindExtension, PaperRef: "Section 4.2 (mode boundaries)",
+		Run: func(o Options) Result { return ModeBoundary(o) },
+	})
+}
 
 // ModeBoundaryResult sweeps the incast degree and classifies each run into
 // the paper's three operating modes, locating the two regime boundaries
@@ -19,6 +25,7 @@ import (
 //   - degenerate -> timeouts at N = capacity + BDP (~1358: beyond that,
 //     even 1-MSS windows overflow the queue in steady state).
 type ModeBoundaryResult struct {
+	TableResult
 	Flows []int
 	Modes []string
 	// Runs holds the underlying results, aligned with Flows.
@@ -64,13 +71,7 @@ func ModeBoundary(opt Options) *ModeBoundaryResult {
 		}
 		prev = label
 	}
-	return r
-}
 
-// Name implements Result.
-func (r *ModeBoundaryResult) Name() string { return "ext_mode_boundary" }
-
-func (r *ModeBoundaryResult) table() *trace.Table {
 	t := trace.NewTable("flows", "mode", "queue_busy_avg_pkts", "frac_below_k",
 		"mean_bct_ms", "timeouts")
 	for i, n := range r.Flows {
@@ -79,19 +80,18 @@ func (r *ModeBoundaryResult) table() *trace.Table {
 			trace.Float(m.FracBelowK), trace.Float(m.MeanBCT.Milliseconds()),
 			fmt.Sprint(m.Timeouts))
 	}
-	return t
+	r.TableResult = TableResult{
+		ExpName:     "ext_mode_boundary",
+		Artifacts:   []Artifact{{File: "ext_mode_boundary.csv", Table: t}},
+		SummaryText: r.renderSummary(t),
+	}
+	return r
 }
 
-// WriteFiles implements Result.
-func (r *ModeBoundaryResult) WriteFiles(dir string) error {
-	return r.table().SaveCSV(filepath.Join(dir, "ext_mode_boundary.csv"))
-}
-
-// Summary implements Result.
-func (r *ModeBoundaryResult) Summary() string {
+func (r *ModeBoundaryResult) renderSummary(t *trace.Table) string {
 	var b strings.Builder
 	b.WriteString(section("Extension: locating the operating-mode boundaries"))
-	b.WriteString(r.table().Text())
+	b.WriteString(t.Text())
 	net := netsim.DefaultDumbbellConfig(1)
 	bdpPkts := net.BDPBytes() / netsim.MTU
 	fmt.Fprintf(&b, "\npredicted: healthy->degenerate at K+BDP = %d+%d = %d flows; measured at %d\n",

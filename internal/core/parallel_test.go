@@ -84,42 +84,26 @@ func TestParallelAblationCCADeterministic(t *testing.T) {
 	}
 }
 
-// TestParallelAllExperimentsMatchSerial sweeps the whole suite: every
-// experiment's summary must be identical under serial and parallel
-// execution. This is the test the acceptance criteria call for.
+// TestParallelAllExperimentsMatchSerial sweeps the registry: every
+// registered experiment's summary must be identical under serial and
+// parallel execution, and its result must answer to its registry name.
+// This is the test the acceptance criteria call for; driving it off
+// Experiments() means a newly registered experiment is covered for free.
 func TestParallelAllExperimentsMatchSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full quick suite twice")
 	}
-	experiments := []struct {
-		name string
-		run  func(Options) string
-	}{
-		{"fig1", func(o Options) string { return Fig1ExampleTrace(o).Summary() }},
-		{"fig2_fig4", func(o Options) string { return Fig2And4BurstCharacterization(o).Summary() }},
-		{"fig3", func(o Options) string { return Fig3Stability(o).Summary() }},
-		{"fig5", func(o Options) string { return Fig5Modes(o).Summary() }},
-		{"fig6", func(o Options) string { return Fig6ShortBursts(o).Summary() }},
-		{"mode_boundary", func(o Options) string { return ModeBoundary(o).Summary() }},
-		{"rack_contention", func(o Options) string { return RackContention(o).Summary() }},
-		{"query_tail", func(o Options) string { return QueryTailLatency(o).Summary() }},
-		{"ablation_g", func(o Options) string { return AblationG(o).Summary() }},
-		{"ablation_ecn", func(o Options) string { return AblationECNThreshold(o).Summary() }},
-		{"ablation_delayed_acks", func(o Options) string { return AblationDelayedACKs(o).Summary() }},
-		{"ablation_guardrail", func(o Options) string { return AblationGuardrail(o).Summary() }},
-		{"ablation_min_rto", func(o Options) string { return AblationMinRTO(o).Summary() }},
-		{"ablation_idle_restart", func(o Options) string { return AblationIdleRestart(o).Summary() }},
-		{"ablation_receiver_window", func(o Options) string { return AblationReceiverWindow(o).Summary() }},
-		{"ablation_marking", func(o Options) string { return AblationMarkingDiscipline(o).Summary() }},
-	}
-	for _, exp := range experiments {
+	for _, exp := range Experiments() {
 		exp := exp
-		t.Run(exp.name, func(t *testing.T) {
+		t.Run(exp.Name, func(t *testing.T) {
 			t.Parallel()
-			serial := exp.run(Options{Seed: 1, Quick: true, Workers: 1})
-			parallel := exp.run(Options{Seed: 1, Quick: true, Workers: runtime.GOMAXPROCS(0)})
-			if serial != parallel {
-				t.Errorf("%s: parallel summary differs from serial", exp.name)
+			serial := exp.Run(Options{Seed: 1, Quick: true, Workers: 1})
+			if serial.Name() != exp.Name {
+				t.Errorf("registered %q but Result.Name() = %q", exp.Name, serial.Name())
+			}
+			parallel := exp.Run(Options{Seed: 1, Quick: true, Workers: runtime.GOMAXPROCS(0)})
+			if serial.Summary() != parallel.Summary() {
+				t.Errorf("%s: parallel summary differs from serial", exp.Name)
 			}
 		})
 	}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"path/filepath"
-	"strings"
 	"time"
 
 	"incastlab/internal/audit"
@@ -15,6 +13,13 @@ import (
 	"incastlab/internal/workload"
 )
 
+func init() {
+	register(200, Experiment{
+		Name: "ext_rack_contention", Kind: KindExtension, PaperRef: "Section 3.4 (rack-level contention)",
+		Run: func(o Options) Result { return RackContention(o) },
+	})
+}
+
 // RackContentionResult realizes the paper's Section 3.4 claim inside the
 // packet simulator: "simultaneous burst events to other hosts on the same
 // rack (i.e., rack-level contention) can consume shared switch memory and
@@ -25,6 +30,7 @@ import (
 // neighboring port of the same ToR, because the two ports' DT limits
 // shrink to ~444 packets each.
 type RackContentionResult struct {
+	TableResult
 	// Solo and Contended summarize the victim group's measured bursts
 	// (burst 0 discarded).
 	Solo, Contended rackGroupStats
@@ -47,10 +53,25 @@ func RackContention(opt Options) *RackContentionResult {
 		flows = 400
 		bursts = 3
 	}
-	scenarios := runParallel(opt.Workers, 2, func(i int) rackGroupStats {
+	groups := runParallel(opt.Workers, 2, func(i int) rackGroupStats {
 		return runRackIncast(opt, flows, bursts, i == 1)
 	})
-	return &RackContentionResult{Solo: scenarios[0], Contended: scenarios[1]}
+	r := &RackContentionResult{Solo: groups[0], Contended: groups[1]}
+
+	t := trace.NewTable("scenario", "mean_bct_ms", "max_bct_ms", "timeouts", "drops", "peak_queue_pkts")
+	add := func(name string, s rackGroupStats) {
+		t.AddRow(name, trace.Float(s.MeanBCT.Milliseconds()), trace.Float(s.MaxBCT.Milliseconds()),
+			fmt.Sprint(s.Timeouts), fmt.Sprint(s.Drops), fmt.Sprint(s.PeakPkts))
+	}
+	add("victim_alone", r.Solo)
+	add("victim_with_neighbor_incast", r.Contended)
+	r.TableResult = TableResult{
+		ExpName:   "ext_rack_contention",
+		Artifacts: []Artifact{{File: "ext_rack_contention.csv", Table: t}},
+		SummaryText: section("Extension: rack-level shared-buffer contention (packet-level)") + t.Text() +
+			"\nThe same incast that the dynamic-threshold share of the buffer absorbs when\nalone loses packets once a neighbor port bursts simultaneously — Section 3.4.\n",
+	}
+	return r
 }
 
 // runRackIncast drives the victim group (flows senders to receiver 0) and,
@@ -147,39 +168,11 @@ func runRackIncast(opt Options, flows, bursts int, contended bool) rackGroupStat
 	st.Drops = q.Stats().DroppedPackets - baseDrops
 	st.PeakPkts = q.Stats().PeakPackets
 
-	scenario := "solo"
+	label := "solo"
 	if contended {
-		scenario = "contended"
+		label = "contended"
 	}
 	harvestEngineRun(opt.Metrics, "ext_rack_contention", eng, wallStart,
-		"scenario", scenario)
+		"scenario", label)
 	return st
-}
-
-// Name implements Result.
-func (r *RackContentionResult) Name() string { return "ext_rack_contention" }
-
-func (r *RackContentionResult) table() *trace.Table {
-	t := trace.NewTable("scenario", "mean_bct_ms", "max_bct_ms", "timeouts", "drops", "peak_queue_pkts")
-	add := func(name string, s rackGroupStats) {
-		t.AddRow(name, trace.Float(s.MeanBCT.Milliseconds()), trace.Float(s.MaxBCT.Milliseconds()),
-			fmt.Sprint(s.Timeouts), fmt.Sprint(s.Drops), fmt.Sprint(s.PeakPkts))
-	}
-	add("victim_alone", r.Solo)
-	add("victim_with_neighbor_incast", r.Contended)
-	return t
-}
-
-// WriteFiles implements Result.
-func (r *RackContentionResult) WriteFiles(dir string) error {
-	return r.table().SaveCSV(filepath.Join(dir, "ext_rack_contention.csv"))
-}
-
-// Summary implements Result.
-func (r *RackContentionResult) Summary() string {
-	var b strings.Builder
-	b.WriteString(section("Extension: rack-level shared-buffer contention (packet-level)"))
-	b.WriteString(r.table().Text())
-	b.WriteString("\nThe same incast that the dynamic-threshold share of the buffer absorbs when\nalone loses packets once a neighbor port bursts simultaneously — Section 3.4.\n")
-	return b.String()
 }

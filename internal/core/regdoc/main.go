@@ -1,0 +1,19 @@
+// Command regdoc prints the experiment-registry Markdown table embedded in
+// EXPERIMENTS.md ("Experiment registry" section). Regenerate the block
+// after registering a new experiment:
+//
+//	go run ./internal/core/regdoc
+//
+// and paste the output between the registry markers. The registry docs
+// test fails until the embedded copy matches.
+package main
+
+import (
+	"fmt"
+
+	"incastlab/internal/core"
+)
+
+func main() {
+	fmt.Print(core.RegistryMarkdown())
+}

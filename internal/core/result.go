@@ -1,0 +1,56 @@
+package core
+
+import (
+	"path/filepath"
+
+	"incastlab/internal/trace"
+)
+
+// Artifact is one CSV file an experiment produces: a file name (relative
+// to the output directory) and the table written into it.
+type Artifact struct {
+	File  string
+	Table *trace.Table
+}
+
+// TableResult is the shared table-backed implementation of Result. Every
+// experiment renders itself into one at construction time — a name, the
+// CSV artifacts, and the finished text digest — so the Name, WriteFiles,
+// and Summary plumbing lives here exactly once instead of being repeated
+// per experiment. Typed results (Fig5Result, Fig3Result, ...) embed a
+// TableResult and keep their structured fields alongside it.
+type TableResult struct {
+	// ExpName is the experiment identifier (e.g. "fig5"); it must equal
+	// the name the experiment is registered under.
+	ExpName string
+	// Artifacts are the CSV files, written under the output directory in
+	// order.
+	Artifacts []Artifact
+	// SummaryText is the rendered human-readable digest.
+	SummaryText string
+}
+
+// Name implements Result.
+func (r *TableResult) Name() string { return r.ExpName }
+
+// WriteFiles implements Result: every artifact lands under dir.
+func (r *TableResult) WriteFiles(dir string) error {
+	for _, a := range r.Artifacts {
+		if err := a.Table.SaveCSV(filepath.Join(dir, a.File)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary implements Result.
+func (r *TableResult) Summary() string { return r.SummaryText }
+
+// Table returns the primary (first) artifact's table, which is where
+// single-table experiments such as the ablations keep their rows.
+func (r *TableResult) Table() *trace.Table {
+	if len(r.Artifacts) == 0 {
+		return nil
+	}
+	return r.Artifacts[0].Table
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"incastlab/internal/cc"
+	"incastlab/internal/netsim"
+	"incastlab/internal/predict"
+	"incastlab/internal/scenario"
+	"incastlab/internal/schedule"
+	"incastlab/internal/sim"
+	"incastlab/internal/trace"
+)
+
+// This file lowers declarative scenario.Specs into packet-level SimConfigs
+// and runs them through the shared sweep loop. The ten built-in ablations
+// are specs compiled here (see ablations.go), and `incastsim -scenario`
+// feeds user-written spec files through the same path, so a scenario
+// behaves identically whether it ships with the repo or arrives as JSON.
+
+// CompileScenario lowers a spec into one SimConfig per sweep row, plus the
+// axis columns that label each row: header holds the axis column names and
+// labels[i] the row's values for them. The spec is validated first, so a
+// spec that passes scenario.Validate always compiles.
+func CompileScenario(opt Options, spec scenario.Spec) (header []string, labels [][]string, cfgs []SimConfig, err error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+
+	column := spec.Sweep.Column
+	if column == "" {
+		column = spec.Sweep.Axis
+	}
+
+	switch {
+	case spec.Sweep.Axis == "flows":
+		header = []string{column}
+		for i, v := range spec.Sweep.Values {
+			f, _ := v.Number()
+			cfgs = append(cfgs, compileRow(opt, spec, int(f), v))
+			labels = append(labels, []string{axisLabel(spec.Sweep, i, v)})
+		}
+	case len(spec.Sweep.Flows) > 0:
+		// Crossed sweep: incast degrees outermost, axis values inner.
+		header = []string{"flows", column}
+		for _, n := range spec.Sweep.Flows {
+			for i, v := range spec.Sweep.Values {
+				cfgs = append(cfgs, compileRow(opt, spec, n, v))
+				labels = append(labels, []string{strconv.Itoa(n), axisLabel(spec.Sweep, i, v)})
+			}
+		}
+	default:
+		header = []string{column}
+		for i, v := range spec.Sweep.Values {
+			cfgs = append(cfgs, compileRow(opt, spec, spec.Workload.Flows, v))
+			labels = append(labels, []string{axisLabel(spec.Sweep, i, v)})
+		}
+	}
+	return header, labels, cfgs, nil
+}
+
+// axisLabel renders a sweep value for its table column.
+func axisLabel(sw scenario.Sweep, i int, v scenario.Value) string {
+	if len(sw.Labels) > 0 {
+		return sw.Labels[i]
+	}
+	if f, ok := v.Number(); ok {
+		return trace.Float(f)
+	}
+	return v.String()
+}
+
+// compileRow builds the SimConfig for one sweep row: workload and
+// transport bases first, then the topology (gated for the shared-buffer
+// axis), then the swept value on top.
+func compileRow(opt Options, spec scenario.Spec, n int, v scenario.Value) SimConfig {
+	cfg := SimConfig{
+		Flows:         n,
+		BurstDuration: msTime(spec.Workload.BurstMS, 15),
+		Bursts:        scenarioBursts(opt, spec.Workload),
+		Seed:          opt.seed(),
+		Audit:         opt.Audit,
+	}
+	if spec.Workload.IntervalMS > 0 {
+		cfg.Interval = msTime(spec.Workload.IntervalMS, 0)
+	}
+	if tr := spec.Transport; tr != nil {
+		if tr.MinRTOMS > 0 {
+			cfg.Sender.MinRTO = msTime(tr.MinRTOMS, 0)
+		}
+		if tr.DelayedAcks {
+			cfg.Receiver.DelayedAcks = true
+			cfg.Receiver.AckEvery = ackEvery(tr.AckEvery)
+		}
+		if tr.IdleRestart {
+			cfg.Sender.RestartAfterIdle = true
+		}
+		if tr.ICTCP {
+			cfg.EnableICTCP = true
+		}
+	}
+
+	// The shared-buffer axis toggles the topology's pooled memory per row;
+	// every other axis sees the full topology on every row.
+	shared := true
+	if spec.Sweep.Axis == "shared_buffer" {
+		shared, _ = v.Bool()
+	}
+	if net, overridden := scenarioNet(n, spec.Topology, shared); overridden {
+		cfg.Net = net
+		if shared && spec.Topology.ContendBytes > 0 {
+			cfg.ExternalBufferBytes = spec.Topology.ContendBytes
+		}
+	}
+
+	cfg.Alg = scenarioAlg(spec.CC, n, spec.Topology)
+
+	switch spec.Sweep.Axis {
+	case "flows", "shared_buffer":
+		// Fully handled above.
+	case "g":
+		g, _ := v.Number()
+		cfg.Alg = func(int) cc.Algorithm {
+			c := cc.DefaultDCTCPConfig()
+			c.G = g
+			return cc.NewDCTCP(c)
+		}
+	case "ecn_threshold_pkts":
+		k, _ := v.Number()
+		net, _ := scenarioNet(n, spec.Topology, true)
+		net.ECNThresholdPackets = int(k)
+		cfg.Net = net
+	case "min_rto_ms":
+		ms, _ := v.Number()
+		cfg.Sender.MinRTO = msTime(ms, 0)
+	case "marking_ewma":
+		w, _ := v.Number()
+		net, _ := scenarioNet(n, spec.Topology, true)
+		net.ECNAverageWeight = w
+		cfg.Net = net
+	case "delayed_acks":
+		if on, _ := v.Bool(); on {
+			cfg.Receiver.DelayedAcks = true
+			ae := 0
+			if spec.Transport != nil {
+				ae = spec.Transport.AckEvery
+			}
+			cfg.Receiver.AckEvery = ackEvery(ae)
+		}
+	case "idle_restart":
+		if on, _ := v.Bool(); on {
+			cfg.Sender.RestartAfterIdle = true
+		}
+	case "ictcp":
+		on, _ := v.Bool()
+		cfg.EnableICTCP = on
+	case "cc":
+		name, _ := v.Str()
+		cfg.Alg = ccByName(name, spec.CC, n, spec.Topology)
+	case "scheme":
+		name, _ := v.Str()
+		switch {
+		case name == "dctcp+guardrail":
+			cfg.Alg = guardrailAlg(opt, n, spec.Topology)
+		case scenario.WaveSize(name) > 0:
+			cfg.Admitter = schedule.NewWave(scenario.WaveSize(name))
+		}
+	}
+	return cfg
+}
+
+// scenarioNet builds a row's dumbbell: the paper defaults for n senders
+// with the spec's overrides applied. shared gates the pooled-buffer fields
+// so the "shared_buffer" axis can toggle them per row. overridden reports
+// whether any override landed — when false the caller leaves SimConfig.Net
+// as its zero value, exactly like a hand-written config with no topology.
+func scenarioNet(n int, topo *scenario.Topology, shared bool) (net netsim.DumbbellConfig, overridden bool) {
+	net = netsim.DefaultDumbbellConfig(n)
+	if topo == nil {
+		return net, false
+	}
+	if topo.HostLinkGbps > 0 {
+		net.HostLinkBps = int64(topo.HostLinkGbps * float64(netsim.Gbps))
+		overridden = true
+	}
+	if topo.CoreLinkGbps > 0 {
+		net.CoreLinkBps = int64(topo.CoreLinkGbps * float64(netsim.Gbps))
+		overridden = true
+	}
+	if topo.QueuePackets > 0 {
+		net.QueueCapacityPackets = topo.QueuePackets
+		net.QueueCapacityBytes = topo.QueuePackets * netsim.MTU
+		overridden = true
+	}
+	if topo.ECNThresholdPackets > 0 {
+		net.ECNThresholdPackets = topo.ECNThresholdPackets
+		overridden = true
+	}
+	if shared && topo.SharedBufferBytes > 0 {
+		net.SharedBufferBytes = topo.SharedBufferBytes
+		net.SharedBufferAlpha = topo.SharedBufferAlpha
+		if net.SharedBufferAlpha == 0 {
+			net.SharedBufferAlpha = 1
+		}
+		overridden = true
+	}
+	return net, overridden
+}
+
+// scenarioAlg builds the spec's base congestion-control factory; nil means
+// the engine default (DCTCP with the paper's parameters).
+func scenarioAlg(c *scenario.CC, n int, topo *scenario.Topology) func(int) cc.Algorithm {
+	if c == nil {
+		return nil
+	}
+	name := c.Algorithm
+	if name == "" {
+		name = "dctcp"
+	}
+	return ccByName(name, c, n, topo)
+}
+
+// ccByName maps a scenario CC name to an algorithm factory. nil (for plain
+// DCTCP with no overrides) defers to the engine default, matching a
+// hand-written SimConfig that leaves Alg unset.
+func ccByName(name string, c *scenario.CC, n int, topo *scenario.Topology) func(int) cc.Algorithm {
+	var g float64
+	var iw int
+	if c != nil {
+		g = c.G
+		iw = c.InitialWindowPkts
+	}
+	switch name {
+	case "dctcp":
+		if g == 0 {
+			return nil
+		}
+		return func(int) cc.Algorithm {
+			dc := cc.DefaultDCTCPConfig()
+			dc.G = g
+			return cc.NewDCTCP(dc)
+		}
+	case "reno":
+		if iw == 0 {
+			iw = 10
+		}
+		window := iw * netsim.MSS
+		return func(int) cc.Algorithm { return cc.NewReno(window) }
+	case "d2tcp":
+		return func(int) cc.Algorithm { return cc.NewD2TCP(cc.DefaultD2TCPConfig()) }
+	case "d2tcp-tight":
+		return func(int) cc.Algorithm {
+			dcfg := cc.DefaultD2TCPConfig()
+			dcfg.D = 2
+			return cc.NewD2TCP(dcfg)
+		}
+	case "swift":
+		net, _ := scenarioNet(n, topo, true)
+		rtt := net.BaseRTT()
+		return func(int) cc.Algorithm { return cc.NewSwift(cc.DefaultSwiftConfig(rtt)) }
+	}
+	// Unreachable after Validate; fail loudly rather than silently fall
+	// back to the default algorithm.
+	panic(fmt.Sprintf("core: unknown congestion-control name %q", name))
+}
+
+// guardrailAlg builds the Section 5.1 predicted-degree clamp for an incast
+// of n flows. The predictor learns the service's incast degree from
+// observed bursts (Section 3.3 stability makes this meaningful); here it
+// observes the true degree with sampling noise. The predictor's RNG draws
+// happen at compile time, before the fan-out, so the degree each row sees
+// does not depend on worker interleaving.
+func guardrailAlg(opt Options, n int, topo *scenario.Topology) func(int) cc.Algorithm {
+	net, _ := scenarioNet(n, topo, true)
+	bdp := net.BDPBytes()
+	kBytes := net.ECNThresholdPackets * netsim.MTU
+	pr := predict.New(predict.DefaultConfig())
+	rng := sim.NewRand(opt.seed())
+	for i := 0; i < 64; i++ {
+		pr.Observe(n - 3 + rng.IntN(7))
+	}
+	degree := pr.PredictedDegree()
+	return func(int) cc.Algorithm {
+		g := cc.NewGuardrail(cc.NewDCTCP(cc.DefaultDCTCPConfig()), bdp, kBytes)
+		g.Predict(degree)
+		return g
+	}
+}
+
+// msTime converts fractional milliseconds to simulation time, falling back
+// to def when the spec omits the field.
+func msTime(ms, def float64) sim.Time {
+	if ms <= 0 {
+		ms = def
+	}
+	return sim.Time(ms * float64(sim.Millisecond))
+}
+
+// ackEvery applies the delayed-ACK coalescing default.
+func ackEvery(n int) int {
+	if n <= 0 {
+		return 2
+	}
+	return n
+}
+
+// scenarioBursts picks the burst count by Quick mode, honoring the spec's
+// overrides.
+func scenarioBursts(opt Options, w scenario.Workload) int {
+	if opt.Quick {
+		if w.QuickBursts > 0 {
+			return w.QuickBursts
+		}
+		return 4
+	}
+	if w.Bursts > 0 {
+		return w.Bursts
+	}
+	return 11
+}
+
+// RunScenario compiles and runs a declarative scenario: one packet-level
+// simulation per sweep row, rendered into the shared metric table (queue
+// occupancy, spike, burst completion time, timeouts, drops, mark rate).
+func RunScenario(opt Options, spec scenario.Spec) (*TableResult, error) {
+	header, labels, cfgs, err := CompileScenario(opt, spec)
+	if err != nil {
+		return nil, err
+	}
+	t := &trace.Table{Header: append(append([]string{}, header...), ablationHeader...)}
+	for i, m := range opt.runSims(spec.Name, cfgs) {
+		t.AddRow(append(append([]string{}, labels[i]...), ablationRow(m)...)...)
+	}
+	title := spec.Title
+	if title == "" {
+		title = "Scenario: " + spec.Name
+	}
+	var b strings.Builder
+	b.WriteString(section(title))
+	b.WriteString(t.Text())
+	if spec.Notes != "" {
+		b.WriteString(spec.Notes)
+		b.WriteString("\n")
+	}
+	return &TableResult{
+		ExpName:     spec.Name,
+		Artifacts:   []Artifact{{File: spec.Name + ".csv", Table: t}},
+		SummaryText: b.String(),
+	}, nil
+}
+
+// mustScenario runs a built-in spec. The built-ins are covered by the
+// registry contract tests, so a compile failure here is a programming
+// error, not an input error.
+func mustScenario(opt Options, spec scenario.Spec) *TableResult {
+	r, err := RunScenario(opt, spec)
+	if err != nil {
+		panic(fmt.Sprintf("core: built-in scenario %q: %v", spec.Name, err))
+	}
+	return r
+}

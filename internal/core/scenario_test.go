@@ -1,0 +1,271 @@
+package core
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"incastlab/internal/netsim"
+	"incastlab/internal/scenario"
+	"incastlab/internal/sim"
+	"incastlab/internal/trace"
+)
+
+// TestAblationSpecsContract: the ten built-in ablations are valid scenario
+// specs, registered under their own names as ablations, and survive a JSON
+// round trip unchanged (they are data, so they must be expressible as the
+// files cmd/incastsim -scenario accepts).
+func TestAblationSpecsContract(t *testing.T) {
+	specs := AblationSpecs()
+	if len(specs) != 10 {
+		t.Fatalf("AblationSpecs returned %d specs, want 10", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+			continue
+		}
+		e, ok := LookupExperiment(s.Name)
+		if !ok {
+			t.Errorf("spec %q is not a registered experiment", s.Name)
+			continue
+		}
+		if e.Kind != KindAblation {
+			t.Errorf("%s: registered as %q, want %q", s.Name, e.Kind, KindAblation)
+		}
+		first, err := json.Marshal(s)
+		if err != nil {
+			t.Errorf("%s: marshal: %v", s.Name, err)
+			continue
+		}
+		parsed, err := scenario.Parse(first)
+		if err != nil {
+			t.Errorf("%s: parse own JSON: %v", s.Name, err)
+			continue
+		}
+		second, err := json.Marshal(parsed)
+		if err != nil {
+			t.Errorf("%s: re-marshal: %v", s.Name, err)
+			continue
+		}
+		if string(first) != string(second) {
+			t.Errorf("%s: JSON round trip is lossy:\n%s\n%s", s.Name, first, second)
+		}
+	}
+}
+
+// TestCompileAblationG pins the g-sweep lowering: fixed 80-flow incast, one
+// config per gain, default labels rendered like the result table renders
+// floats, quick/full burst counts.
+func TestCompileAblationG(t *testing.T) {
+	spec := AblationSpecs()[0]
+	if spec.Name != "ablation_g" {
+		t.Fatalf("AblationSpecs()[0] = %q, want ablation_g", spec.Name)
+	}
+	header, labels, cfgs, err := CompileScenario(Options{Seed: 1, Quick: true}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) != 1 || header[0] != "g" {
+		t.Errorf("header = %v, want [g]", header)
+	}
+	if len(cfgs) != 4 {
+		t.Fatalf("%d configs, want 4", len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		if cfg.Flows != 80 {
+			t.Errorf("row %d: Flows = %d, want 80", i, cfg.Flows)
+		}
+		if cfg.Bursts != 4 {
+			t.Errorf("row %d: quick Bursts = %d, want 4", i, cfg.Bursts)
+		}
+		if cfg.BurstDuration != 15*sim.Millisecond {
+			t.Errorf("row %d: BurstDuration = %v, want 15ms", i, cfg.BurstDuration)
+		}
+		if cfg.Net != (netsim.DumbbellConfig{}) {
+			t.Errorf("row %d: Net overridden without a topology in the spec", i)
+		}
+		if cfg.Alg == nil {
+			t.Errorf("row %d: g sweep must override the algorithm factory", i)
+		}
+		g, _ := spec.Sweep.Values[i].Number()
+		if want := trace.Float(g); labels[i][0] != want {
+			t.Errorf("row %d: label %q, want %q", i, labels[i][0], want)
+		}
+	}
+	_, _, full, err := CompileScenario(Options{Seed: 1}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full[0].Bursts != 11 {
+		t.Errorf("full Bursts = %d, want 11", full[0].Bursts)
+	}
+}
+
+// TestCompileSharedBufferAxis pins the one axis that gates the topology per
+// row: the dedicated row keeps the zero-value Net (engine defaults) and no
+// external contention; the shared row gets the pooled buffer plus the
+// spec's contention bytes.
+func TestCompileSharedBufferAxis(t *testing.T) {
+	var spec scenario.Spec
+	for _, s := range AblationSpecs() {
+		if s.Name == "ablation_shared_buffer" {
+			spec = s
+		}
+	}
+	header, labels, cfgs, err := CompileScenario(Options{Seed: 1}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if header[0] != "buffer" {
+		t.Errorf("header = %v, want [buffer]", header)
+	}
+	if len(cfgs) != 2 {
+		t.Fatalf("%d configs, want 2", len(cfgs))
+	}
+	if labels[0][0] != "dedicated_2MB" || labels[1][0] != "shared_2MB_contended" {
+		t.Errorf("labels = %v", labels)
+	}
+	if cfgs[0].Net != (netsim.DumbbellConfig{}) || cfgs[0].ExternalBufferBytes != 0 {
+		t.Errorf("dedicated row: Net/contention leaked in: %+v", cfgs[0].Net)
+	}
+	if cfgs[1].Net.SharedBufferBytes != 2_000_000 || cfgs[1].Net.SharedBufferAlpha != 1 {
+		t.Errorf("shared row: buffer = %d bytes alpha %v, want 2000000/1",
+			cfgs[1].Net.SharedBufferBytes, cfgs[1].Net.SharedBufferAlpha)
+	}
+	if cfgs[1].ExternalBufferBytes != 700_000 {
+		t.Errorf("shared row: ExternalBufferBytes = %d, want 700000", cfgs[1].ExternalBufferBytes)
+	}
+}
+
+// TestCompileCrossedSweep pins the flows-crossed enumeration used by the
+// guardrail and receiver-window ablations: degrees outermost, one row per
+// (degree, value), a leading flows column.
+func TestCompileCrossedSweep(t *testing.T) {
+	var spec scenario.Spec
+	for _, s := range AblationSpecs() {
+		if s.Name == "ablation_guardrail" {
+			spec = s
+		}
+	}
+	header, labels, cfgs, err := CompileScenario(Options{Seed: 1}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) != 2 || header[0] != "flows" || header[1] != "scheme" {
+		t.Errorf("header = %v, want [flows scheme]", header)
+	}
+	wantFlows := []int{80, 80, 80, 500, 500, 500}
+	if len(cfgs) != len(wantFlows) {
+		t.Fatalf("%d configs, want %d", len(cfgs), len(wantFlows))
+	}
+	for i, cfg := range cfgs {
+		if cfg.Flows != wantFlows[i] {
+			t.Errorf("row %d: Flows = %d, want %d", i, cfg.Flows, wantFlows[i])
+		}
+	}
+	// Row layout per degree: plain dctcp, guardrail, wave64.
+	for base := 0; base < 6; base += 3 {
+		if cfgs[base].Alg != nil || cfgs[base].Admitter != nil {
+			t.Errorf("row %d (dctcp): want engine defaults", base)
+		}
+		if cfgs[base+1].Alg == nil {
+			t.Errorf("row %d (guardrail): want a clamped algorithm factory", base+1)
+		}
+		if cfgs[base+2].Admitter == nil {
+			t.Errorf("row %d (wave64): want a wave admitter", base+2)
+		}
+	}
+	if labels[0][1] != "dctcp" || labels[1][1] != "dctcp+guardrail" || labels[2][1] != "dctcp+wave64" {
+		t.Errorf("scheme labels = %v", labels)
+	}
+}
+
+// TestCompileTransportAxes pins the delayed-ACK and min-RTO lowerings.
+func TestCompileTransportAxes(t *testing.T) {
+	byName := map[string]scenario.Spec{}
+	for _, s := range AblationSpecs() {
+		byName[s.Name] = s
+	}
+
+	_, _, acks, err := CompileScenario(Options{Seed: 1}, byName["ablation_delayed_acks"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acks[0].Receiver.DelayedAcks {
+		t.Error("immediate row: DelayedAcks set")
+	}
+	if !acks[1].Receiver.DelayedAcks || acks[1].Receiver.AckEvery != 2 {
+		t.Errorf("delayed row: DelayedAcks=%v AckEvery=%d, want true/2",
+			acks[1].Receiver.DelayedAcks, acks[1].Receiver.AckEvery)
+	}
+
+	_, _, rto, err := CompileScenario(Options{Seed: 1}, byName["ablation_min_rto"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Time{10 * sim.Millisecond, 50 * sim.Millisecond, 200 * sim.Millisecond}
+	for i, cfg := range rto {
+		if cfg.Sender.MinRTO != want[i] {
+			t.Errorf("row %d: MinRTO = %v, want %v", i, cfg.Sender.MinRTO, want[i])
+		}
+		if cfg.Flows != 1400 {
+			t.Errorf("row %d: Flows = %d, want 1400", i, cfg.Flows)
+		}
+	}
+}
+
+// TestExampleScenarios loads every shipped spec file, compiles it, and runs
+// the cheapest one end to end — the same path `incastsim -scenario` takes.
+func TestExampleScenarios(t *testing.T) {
+	files, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatalf("found %d example specs under examples/scenarios, want at least 2", len(files))
+	}
+	for _, f := range files {
+		spec, err := scenario.Load(f)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		header, labels, cfgs, err := CompileScenario(Options{Seed: 1, Quick: true}, spec)
+		if err != nil {
+			t.Errorf("%s: compile: %v", f, err)
+			continue
+		}
+		if len(cfgs) == 0 || len(labels) != len(cfgs) || len(header) == 0 {
+			t.Errorf("%s: compiled to %d configs, %d labels", f, len(cfgs), len(labels))
+		}
+	}
+
+	spec, err := scenario.Load("../../examples/scenarios/ml_periodic_bursts.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(Options{Seed: 1, Quick: true}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name() != "ml_periodic_bursts" {
+		t.Errorf("result name = %q", res.Name())
+	}
+	tab := res.Table()
+	if len(tab.Rows) != 3 {
+		t.Errorf("ml_periodic_bursts: %d rows, want 3 (one per worker count)", len(tab.Rows))
+	}
+	if tab.Header[0] != "flows" {
+		t.Errorf("ml_periodic_bursts: first column %q, want flows", tab.Header[0])
+	}
+}
+
+// TestRunScenarioRejectsInvalid: the runner surfaces validation errors
+// instead of panicking, so front ends can exit cleanly.
+func TestRunScenarioRejectsInvalid(t *testing.T) {
+	_, err := RunScenario(Options{}, scenario.Spec{Name: "bad"})
+	if err == nil {
+		t.Fatal("want an error for a spec with no sweep")
+	}
+}

@@ -2,13 +2,27 @@ package core
 
 import (
 	"fmt"
-	"path/filepath"
 	"strings"
 
 	"incastlab/internal/sim"
 	"incastlab/internal/stats"
 	"incastlab/internal/trace"
 )
+
+func init() {
+	register(50, Experiment{
+		Name: "fig5", Kind: KindFigure, PaperRef: "Figure 5",
+		Run: func(o Options) Result { return Fig5Modes(o) },
+	})
+	register(60, Experiment{
+		Name: "fig6", Kind: KindFigure, PaperRef: "Figure 6",
+		Run: func(o Options) Result { return Fig6ShortBursts(o) },
+	})
+	register(70, Experiment{
+		Name: "fig7", Kind: KindFigure, PaperRef: "Figure 7",
+		Run: func(o Options) Result { return Fig7InFlight(o) },
+	})
+}
 
 // Fig5Result reproduces Figure 5: the three DCTCP operating modes, as ToR
 // queue length over time (averaged over the measured bursts).
@@ -24,6 +38,7 @@ import (
 // EXPERIMENTS.md discusses the shift. We therefore run the paper's
 // labeled flow counts plus the two boundary-adjusted ones.
 type Fig5Result struct {
+	TableResult
 	Modes []*SimResult
 }
 
@@ -46,11 +61,22 @@ func Fig5Modes(opt Options) *Fig5Result {
 			Audit:         opt.Audit,
 		}))
 	})
+
+	summary := r.modesTable()
+	artifacts := []Artifact{{File: "fig5_modes.csv", Table: summary}}
+	for _, m := range r.Modes {
+		artifacts = append(artifacts, Artifact{
+			File:  fmt.Sprintf("fig5_queue_%dflows.csv", m.Flows),
+			Table: queueCSV(m),
+		})
+	}
+	r.TableResult = TableResult{
+		ExpName:     "fig5",
+		Artifacts:   artifacts,
+		SummaryText: r.renderSummary(summary),
+	}
 	return r
 }
-
-// Name implements Result.
-func (r *Fig5Result) Name() string { return "fig5" }
 
 // Mode classifies a run by the paper's taxonomy: timeouts mark Mode 3;
 // otherwise a queue that regularly dips below the marking threshold is
@@ -82,8 +108,8 @@ func avgBusyQueue(s *SimResult) float64 {
 	return sum / float64(n)
 }
 
-// table renders the per-mode summary rows shared by Summary and CSV.
-func (r *Fig5Result) table() *trace.Table {
+// modesTable renders the per-mode summary rows shared by Summary and CSV.
+func (r *Fig5Result) modesTable() *trace.Table {
 	t := trace.NewTable("flows", "mode", "queue_busy_avg_pkts", "queue_max_pkts",
 		"spike_pkts", "mean_bct_ms", "max_bct_ms", "timeouts", "drops", "retx_pkts")
 	for _, m := range r.Modes {
@@ -97,20 +123,6 @@ func (r *Fig5Result) table() *trace.Table {
 	return t
 }
 
-// WriteFiles implements Result: one summary CSV plus a queue-vs-time CSV
-// per flow count.
-func (r *Fig5Result) WriteFiles(dir string) error {
-	if err := r.table().SaveCSV(filepath.Join(dir, "fig5_modes.csv")); err != nil {
-		return err
-	}
-	for _, m := range r.Modes {
-		if err := queueCSV(m).SaveCSV(filepath.Join(dir, fmt.Sprintf("fig5_queue_%dflows.csv", m.Flows))); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // queueCSV renders a run's averaged queue trace.
 func queueCSV(m *SimResult) *trace.Table {
 	t := trace.NewTable("time_ms", "queue_pkts")
@@ -120,11 +132,10 @@ func queueCSV(m *SimResult) *trace.Table {
 	return t
 }
 
-// Summary implements Result.
-func (r *Fig5Result) Summary() string {
+func (r *Fig5Result) renderSummary(t *trace.Table) string {
 	var b strings.Builder
 	b.WriteString(section("Figure 5: DCTCP operating modes (15 ms bursts, avg of measured bursts)"))
-	b.WriteString(r.table().Text())
+	b.WriteString(t.Text())
 	for _, m := range r.Modes {
 		b.WriteString("\n")
 		b.WriteString(queuePlot(m, fmt.Sprintf("Queue depth, %d flows (K=%d, capacity=%d)",
@@ -151,6 +162,7 @@ func queuePlot(m *SimResult, title string) string {
 // Fig6Result reproduces Figure 6: queue behavior during 2 ms bursts, the
 // common case, at several incast degrees.
 type Fig6Result struct {
+	TableResult
 	Runs []*SimResult
 }
 
@@ -174,13 +186,35 @@ func Fig6ShortBursts(opt Options) *Fig6Result {
 			Audit:          opt.Audit,
 		}))
 	})
+
+	summary := r.runsTable()
+	// One wide CSV with a queue column per flow count.
+	header := []string{"time_ms"}
+	for _, m := range r.Runs {
+		header = append(header, fmt.Sprintf("queue_pkts_%dflows", m.Flows))
+	}
+	wide := &trace.Table{Header: header}
+	n := len(r.Runs[0].AvgQueue.Values)
+	for i := 0; i < n; i++ {
+		row := []string{trace.Float(float64(r.Runs[0].AvgQueue.TimeAt(i)) / 1e6)}
+		for _, m := range r.Runs {
+			row = append(row, trace.Float(m.AvgQueue.Values[i]))
+		}
+		wide.AddRow(row...)
+	}
+	r.TableResult = TableResult{
+		ExpName: "fig6",
+		Artifacts: []Artifact{
+			{File: "fig6_short_bursts.csv", Table: summary},
+			{File: "fig6_queue_traces.csv", Table: wide},
+		},
+		SummaryText: section("Figure 6: 2 ms incast bursts (the common case)") + summary.Text() +
+			"\nShort bursts are dominated by the initial window spike; there is no time\nfor the oscillatory steady state of 15 ms bursts to develop.\n",
+	}
 	return r
 }
 
-// Name implements Result.
-func (r *Fig6Result) Name() string { return "fig6" }
-
-func (r *Fig6Result) table() *trace.Table {
+func (r *Fig6Result) runsTable() *trace.Table {
 	t := trace.NewTable("flows", "queue_max_pkts", "spike_pkts", "queue_busy_avg_pkts",
 		"mean_bct_ms", "timeouts", "drops")
 	for _, m := range r.Runs {
@@ -191,41 +225,11 @@ func (r *Fig6Result) table() *trace.Table {
 	return t
 }
 
-// WriteFiles implements Result.
-func (r *Fig6Result) WriteFiles(dir string) error {
-	if err := r.table().SaveCSV(filepath.Join(dir, "fig6_short_bursts.csv")); err != nil {
-		return err
-	}
-	// One wide CSV with a queue column per flow count.
-	header := []string{"time_ms"}
-	for _, m := range r.Runs {
-		header = append(header, fmt.Sprintf("queue_pkts_%dflows", m.Flows))
-	}
-	t := &trace.Table{Header: header}
-	n := len(r.Runs[0].AvgQueue.Values)
-	for i := 0; i < n; i++ {
-		row := []string{trace.Float(float64(r.Runs[0].AvgQueue.TimeAt(i)) / 1e6)}
-		for _, m := range r.Runs {
-			row = append(row, trace.Float(m.AvgQueue.Values[i]))
-		}
-		t.AddRow(row...)
-	}
-	return t.SaveCSV(filepath.Join(dir, "fig6_queue_traces.csv"))
-}
-
-// Summary implements Result.
-func (r *Fig6Result) Summary() string {
-	var b strings.Builder
-	b.WriteString(section("Figure 6: 2 ms incast bursts (the common case)"))
-	b.WriteString(r.table().Text())
-	b.WriteString("\nShort bursts are dominated by the initial window spike; there is no time\nfor the oscillatory steady state of 15 ms bursts to develop.\n")
-	return b.String()
-}
-
 // Fig7Result reproduces Figure 7: the per-flow in-flight distribution over
 // a 15 ms burst in the healthy mode, exposing straggler skew and the
 // end-of-burst ramp-up.
 type Fig7Result struct {
+	TableResult
 	Run *SimResult
 	// RampRatio compares the mean in-flight over the last quarter of the
 	// burst to the mid-burst mean: > 1 means stragglers ramp at the end.
@@ -268,25 +272,22 @@ func Fig7InFlight(opt Options) *Fig7Result {
 	if len(fullP50s) > 0 && len(tailMeans) > 0 {
 		r.RampRatio = stats.Mean(tailMeans) / stats.Quantile(fullP50s, 0.5)
 	}
-	return r
-}
 
-// Name implements Result.
-func (r *Fig7Result) Name() string { return "fig7" }
-
-// WriteFiles implements Result: the full per-sample distribution.
-func (r *Fig7Result) WriteFiles(dir string) error {
 	t := trace.NewTable("time_ms", "active_flows", "mean_bytes", "p25", "p50", "p75", "p95", "max")
-	start := r.Run.InFlight.Samples[0].At
-	for _, s := range r.Run.InFlight.Samples {
+	start := run.InFlight.Samples[0].At
+	for _, s := range run.InFlight.Samples {
 		t.AddFloats((s.At - start).Milliseconds(), float64(s.Active),
 			s.Mean, s.P25, s.P50, s.P75, s.P95, s.Max)
 	}
-	return t.SaveCSV(filepath.Join(dir, "fig7_inflight.csv"))
+	r.TableResult = TableResult{
+		ExpName:     "fig7",
+		Artifacts:   []Artifact{{File: "fig7_inflight.csv", Table: t}},
+		SummaryText: r.renderSummary(),
+	}
+	return r
 }
 
-// Summary implements Result.
-func (r *Fig7Result) Summary() string {
+func (r *Fig7Result) renderSummary() string {
 	var b strings.Builder
 	b.WriteString(section("Figure 7: per-flow in-flight data during a healthy-mode incast"))
 	fmt.Fprintf(&b, "flows=%d  max/median skew=%.1fx  late-burst ramp=%.2fx mid-burst\n",

@@ -1,0 +1,529 @@
+// Package scenario is incastlab's declarative experiment layer: a
+// JSON-encodable Spec describes a complete incast study — topology,
+// workload shape, congestion-control algorithm and parameters, transport
+// tuning, and a sweep axis with its values — and internal/core compiles
+// it into packet-level simulation configs and runs it to CSV. Scenarios
+// are data, not code: the ten ablation experiments are specs compiled by
+// one generic runner, and `incastsim -scenario file.json` runs a
+// user-defined study end to end with no Go changes.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec is one declarative scenario: a named sweep of packet-level incast
+// simulations sharing a workload, topology, and transport setup, varying
+// one axis.
+type Spec struct {
+	// Name identifies the scenario. It becomes the CSV file stem, the
+	// metrics "experiment" label, and — for registered ablations — the
+	// registry name.
+	Name string `json:"name"`
+	// Title overrides the summary heading; empty means "Scenario: <name>".
+	Title string `json:"title,omitempty"`
+	// Notes is free-form commentary appended to the text summary.
+	Notes string `json:"notes,omitempty"`
+	// Topology overrides the paper's dumbbell parameters; nil keeps the
+	// per-flow-count defaults.
+	Topology *Topology `json:"topology,omitempty"`
+	// Workload shapes the repeated-burst incast.
+	Workload Workload `json:"workload"`
+	// CC selects the congestion-control algorithm; nil means DCTCP with
+	// the paper's parameters.
+	CC *CC `json:"cc,omitempty"`
+	// Transport tunes the TCP sender/receiver; nil keeps the paper
+	// defaults (200 ms min RTO, immediate ACKs, persistent windows).
+	Transport *Transport `json:"transport,omitempty"`
+	// Sweep names the varied axis and its values; every value is one row
+	// of the result table.
+	Sweep Sweep `json:"sweep"`
+}
+
+// Topology overrides the paper's dumbbell configuration. Zero fields keep
+// the defaults (10/100 Gbps, 1333-packet queues, K=65).
+type Topology struct {
+	// HostLinkGbps and CoreLinkGbps set the line rates.
+	HostLinkGbps float64 `json:"host_link_gbps,omitempty"`
+	CoreLinkGbps float64 `json:"core_link_gbps,omitempty"`
+	// QueuePackets bounds every switch port queue (bytes scale with MTU).
+	QueuePackets int `json:"queue_packets,omitempty"`
+	// ECNThresholdPackets is the marking threshold K.
+	ECNThresholdPackets int `json:"ecn_threshold_pkts,omitempty"`
+	// SharedBufferBytes pools the receiver-side port queues into a shared
+	// switch memory with dynamic-threshold factor SharedBufferAlpha.
+	SharedBufferBytes int     `json:"shared_buffer_bytes,omitempty"`
+	SharedBufferAlpha float64 `json:"shared_buffer_alpha,omitempty"`
+	// ContendBytes models rack-level contention: bytes consumed in the
+	// shared buffer by bursts to other hosts.
+	ContendBytes int `json:"contend_bytes,omitempty"`
+}
+
+// Workload shapes the repeated-burst incast the scenario simulates.
+type Workload struct {
+	// Flows is the incast degree N. It may be omitted when the sweep
+	// supplies the degrees (axis "flows" or Sweep.Flows).
+	Flows int `json:"flows,omitempty"`
+	// BurstMS is the target burst duration in milliseconds (default 15).
+	BurstMS float64 `json:"burst_ms,omitempty"`
+	// IntervalMS is the burst start-to-start spacing in milliseconds
+	// (default 250; keep it above the minimum RTO so one burst's timeout
+	// recovery does not bleed into the next).
+	IntervalMS float64 `json:"interval_ms,omitempty"`
+	// Bursts is the burst count in full runs (default 11; the first burst
+	// is always discarded as a slow-start transient). QuickBursts is the
+	// count under quick mode (default 4).
+	Bursts      int `json:"bursts,omitempty"`
+	QuickBursts int `json:"quick_bursts,omitempty"`
+}
+
+// CC selects and parameterizes the congestion-control algorithm.
+type CC struct {
+	// Algorithm is one of CCNames; empty means "dctcp".
+	Algorithm string `json:"algorithm,omitempty"`
+	// G overrides DCTCP's alpha gain (0 keeps the paper's 1/16).
+	G float64 `json:"g,omitempty"`
+	// InitialWindowPkts overrides Reno's initial window in packets
+	// (0 keeps the default 10).
+	InitialWindowPkts int `json:"initial_window_pkts,omitempty"`
+}
+
+// Transport tunes the TCP sender and receiver.
+type Transport struct {
+	// MinRTOMS sets the minimum retransmission timeout in milliseconds.
+	MinRTOMS float64 `json:"min_rto_ms,omitempty"`
+	// DelayedAcks coalesces ACKs (AckEvery segments per ACK, default 2).
+	DelayedAcks bool `json:"delayed_acks,omitempty"`
+	AckEvery    int  `json:"ack_every,omitempty"`
+	// IdleRestart applies RFC 2861-style congestion window validation.
+	IdleRestart bool `json:"idle_restart,omitempty"`
+	// ICTCP manages receive windows with a receiver-side ICTCP controller.
+	ICTCP bool `json:"ictcp,omitempty"`
+}
+
+// Sweep is the scenario's varied axis.
+type Sweep struct {
+	// Axis names the swept parameter; see Axes for the vocabulary.
+	Axis string `json:"axis"`
+	// Values are the axis values, one simulation (table row) each. Their
+	// JSON kind must match the axis: numbers for number axes, booleans
+	// for flag axes, strings for name axes.
+	Values []Value `json:"values"`
+	// Labels overrides how each value renders in the axis column; when
+	// present its length must equal len(Values).
+	Labels []string `json:"labels,omitempty"`
+	// Column overrides the axis column's header (default: the axis name).
+	Column string `json:"column,omitempty"`
+	// Flows crosses the axis with several incast degrees, adding a
+	// leading "flows" column (rows iterate degrees outermost). It is
+	// mutually exclusive with axis "flows" and with Workload.Flows.
+	Flows []int `json:"flows,omitempty"`
+}
+
+// ValueKind is the JSON value kind a sweep axis expects.
+type ValueKind int
+
+// The three axis value kinds.
+const (
+	Number ValueKind = iota
+	Flag
+	Name
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case Number:
+		return "number"
+	case Flag:
+		return "boolean"
+	case Name:
+		return "string"
+	}
+	return "unknown"
+}
+
+// Axes is the sweep-axis vocabulary: axis name to expected value kind.
+//
+//	flows               incast degree N
+//	g                   DCTCP alpha gain
+//	ecn_threshold_pkts  switch marking threshold K
+//	min_rto_ms          minimum retransmission timeout
+//	marking_ewma        RED-style EWMA marking weight (0 = instantaneous)
+//	delayed_acks        immediate vs coalesced ACKs
+//	idle_restart        persistent windows vs RFC 2861 restarts
+//	shared_buffer       dedicated queues vs the spec's shared buffer
+//	ictcp               receiver-side ICTCP window management on/off
+//	cc                  congestion-control algorithm by name
+//	scheme              Section 5 schemes: dctcp, dctcp+guardrail, dctcp+wave<N>
+var Axes = map[string]ValueKind{
+	"flows":              Number,
+	"g":                  Number,
+	"ecn_threshold_pkts": Number,
+	"min_rto_ms":         Number,
+	"marking_ewma":       Number,
+	"delayed_acks":       Flag,
+	"idle_restart":       Flag,
+	"shared_buffer":      Flag,
+	"ictcp":              Flag,
+	"cc":                 Name,
+	"scheme":             Name,
+}
+
+// CCNames lists the congestion-control algorithms a spec may name, for
+// CC.Algorithm and for axis "cc" values. "d2tcp-tight" is D2TCP with a
+// tight deadline factor (D=2), the CCA ablation's configuration.
+var CCNames = []string{"dctcp", "reno", "swift", "d2tcp", "d2tcp-tight"}
+
+// KnownCC reports whether name is a recognized congestion-control name.
+func KnownCC(name string) bool {
+	for _, n := range CCNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// schemePattern matches the Section 5 scheme names: plain DCTCP, the
+// guardrail clamp, and wave scheduling with an explicit concurrency.
+var schemePattern = regexp.MustCompile(`^dctcp(\+guardrail|\+wave[1-9][0-9]*)?$`)
+
+// KnownScheme reports whether name is a recognized scheme axis value.
+func KnownScheme(name string) bool { return schemePattern.MatchString(name) }
+
+// WaveSize extracts the concurrency from a "dctcp+wave<N>" scheme name,
+// returning 0 for other schemes.
+func WaveSize(scheme string) int {
+	const prefix = "dctcp+wave"
+	if !strings.HasPrefix(scheme, prefix) {
+		return 0
+	}
+	n, err := strconv.Atoi(scheme[len(prefix):])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// namePattern bounds scenario names to safe CSV/metric identifiers.
+var namePattern = regexp.MustCompile(`^[a-z0-9][a-z0-9_.-]*$`)
+
+// Value is one sweep-axis value: a JSON number, string, or boolean. It
+// preserves the exact JSON text, so specs round-trip losslessly.
+type Value struct {
+	raw string
+}
+
+// Num builds a number value.
+func Num(v float64) Value { return Value{raw: strconv.FormatFloat(v, 'g', -1, 64)} }
+
+// Nums builds a number value list.
+func Nums(vs ...float64) []Value {
+	out := make([]Value, len(vs))
+	for i, v := range vs {
+		out[i] = Num(v)
+	}
+	return out
+}
+
+// Str builds a string (name) value.
+func Str(s string) Value {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Strings always marshal.
+		panic(err)
+	}
+	return Value{raw: string(b)}
+}
+
+// Strs builds a string value list.
+func Strs(ss ...string) []Value {
+	out := make([]Value, len(ss))
+	for i, s := range ss {
+		out[i] = Str(s)
+	}
+	return out
+}
+
+// Flg builds a boolean value.
+func Flg(b bool) Value { return Value{raw: strconv.FormatBool(b)} }
+
+// Flags builds a boolean value list.
+func Flags(bs ...bool) []Value {
+	out := make([]Value, len(bs))
+	for i, b := range bs {
+		out[i] = Flg(b)
+	}
+	return out
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) {
+	if v.raw == "" {
+		return nil, fmt.Errorf("scenario: marshaling a zero Value")
+	}
+	return []byte(v.raw), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler: scalars only.
+func (v *Value) UnmarshalJSON(b []byte) error {
+	s := strings.TrimSpace(string(b))
+	if s == "" || s == "null" || strings.HasPrefix(s, "{") || strings.HasPrefix(s, "[") {
+		return fmt.Errorf("scenario: sweep value %s must be a number, string, or boolean", s)
+	}
+	v.raw = s
+	return nil
+}
+
+// Kind returns the value's JSON kind.
+func (v Value) Kind() ValueKind {
+	switch {
+	case strings.HasPrefix(v.raw, `"`):
+		return Name
+	case v.raw == "true" || v.raw == "false":
+		return Flag
+	default:
+		return Number
+	}
+}
+
+// Number returns the numeric value; ok is false for non-numbers.
+func (v Value) Number() (f float64, ok bool) {
+	if v.Kind() != Number {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(v.raw, 64)
+	return f, err == nil
+}
+
+// Bool returns the boolean value; ok is false for non-booleans.
+func (v Value) Bool() (b, ok bool) {
+	if v.Kind() != Flag {
+		return false, false
+	}
+	return v.raw == "true", true
+}
+
+// Str returns the string value; ok is false for non-strings.
+func (v Value) Str() (s string, ok bool) {
+	if v.Kind() != Name {
+		return "", false
+	}
+	if err := json.Unmarshal([]byte(v.raw), &s); err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// String renders the value for error messages and default labels.
+func (v Value) String() string {
+	if s, ok := v.Str(); ok {
+		return s
+	}
+	return v.raw
+}
+
+// Validate rejects malformed specs with actionable errors. A valid spec
+// is guaranteed to compile.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name (it becomes the CSV file stem)")
+	}
+	if !namePattern.MatchString(s.Name) {
+		return fmt.Errorf("scenario %q: name must match %s (lowercase letters, digits, '_', '.', '-')", s.Name, namePattern)
+	}
+	if err := s.Workload.validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if s.Topology != nil {
+		if err := s.Topology.validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	if s.CC != nil {
+		if err := s.CC.validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	if s.Transport != nil {
+		if err := s.Transport.validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	if err := s.Sweep.validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+
+	// Cross-field rules: the incast degree must come from exactly one
+	// place, and every run needs one.
+	sweepsFlows := s.Sweep.Axis == "flows"
+	if sweepsFlows && len(s.Sweep.Flows) > 0 {
+		return fmt.Errorf("scenario %q: axis \"flows\" and sweep.flows are mutually exclusive", s.Name)
+	}
+	if (sweepsFlows || len(s.Sweep.Flows) > 0) && s.Workload.Flows != 0 {
+		return fmt.Errorf("scenario %q: workload.flows conflicts with the sweep's flow degrees; set one or the other", s.Name)
+	}
+	if !sweepsFlows && len(s.Sweep.Flows) == 0 && s.Workload.Flows <= 0 {
+		return fmt.Errorf("scenario %q: workload.flows must be a positive incast degree (or sweep flows via the axis)", s.Name)
+	}
+	if s.Topology == nil && s.Sweep.Axis == "shared_buffer" {
+		return fmt.Errorf("scenario %q: axis \"shared_buffer\" needs a topology with shared_buffer_bytes to toggle", s.Name)
+	}
+	return nil
+}
+
+func (w Workload) validate() error {
+	if w.Flows < 0 {
+		return fmt.Errorf("workload.flows = %d: an incast degree cannot be negative", w.Flows)
+	}
+	if w.BurstMS < 0 || math.IsNaN(w.BurstMS) || math.IsInf(w.BurstMS, 0) {
+		return fmt.Errorf("workload.burst_ms = %v: want a positive duration (or omit for the 15 ms default)", w.BurstMS)
+	}
+	if w.IntervalMS < 0 || math.IsNaN(w.IntervalMS) || math.IsInf(w.IntervalMS, 0) {
+		return fmt.Errorf("workload.interval_ms = %v: want a positive spacing (or omit for the 250 ms default)", w.IntervalMS)
+	}
+	if w.Bursts < 0 || w.QuickBursts < 0 {
+		return fmt.Errorf("workload bursts (%d) and quick_bursts (%d) cannot be negative", w.Bursts, w.QuickBursts)
+	}
+	return nil
+}
+
+func (t Topology) validate() error {
+	if t.HostLinkGbps < 0 || t.CoreLinkGbps < 0 {
+		return fmt.Errorf("topology link rates cannot be negative")
+	}
+	if t.QueuePackets < 0 || t.ECNThresholdPackets < 0 {
+		return fmt.Errorf("topology queue_packets and ecn_threshold_pkts cannot be negative")
+	}
+	if t.SharedBufferBytes < 0 || t.SharedBufferAlpha < 0 {
+		return fmt.Errorf("topology shared buffer parameters cannot be negative")
+	}
+	if t.ContendBytes < 0 {
+		return fmt.Errorf("topology contend_bytes cannot be negative")
+	}
+	if t.ContendBytes > 0 && t.SharedBufferBytes == 0 {
+		return fmt.Errorf("topology contend_bytes requires shared_buffer_bytes (contention lives in the shared memory)")
+	}
+	return nil
+}
+
+func (c CC) validate() error {
+	if c.Algorithm != "" && !KnownCC(c.Algorithm) {
+		return fmt.Errorf("cc.algorithm %q is not one of %s", c.Algorithm, strings.Join(CCNames, ", "))
+	}
+	if c.G < 0 || c.G > 1 {
+		return fmt.Errorf("cc.g = %v: DCTCP's gain must be in (0, 1]", c.G)
+	}
+	if c.InitialWindowPkts < 0 {
+		return fmt.Errorf("cc.initial_window_pkts cannot be negative")
+	}
+	return nil
+}
+
+func (t Transport) validate() error {
+	if t.MinRTOMS < 0 || math.IsNaN(t.MinRTOMS) || math.IsInf(t.MinRTOMS, 0) {
+		return fmt.Errorf("transport.min_rto_ms = %v: want a positive timeout", t.MinRTOMS)
+	}
+	if t.AckEvery < 0 {
+		return fmt.Errorf("transport.ack_every cannot be negative")
+	}
+	return nil
+}
+
+func (sw Sweep) validate() error {
+	kind, ok := Axes[sw.Axis]
+	if !ok {
+		names := make([]string, 0, len(Axes))
+		for n := range Axes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("sweep.axis %q is not a known axis; choose one of %s", sw.Axis, strings.Join(names, ", "))
+	}
+	if len(sw.Values) == 0 {
+		return fmt.Errorf("sweep.values is empty: a sweep needs at least one %s value for axis %q", kind, sw.Axis)
+	}
+	if len(sw.Labels) > 0 && len(sw.Labels) != len(sw.Values) {
+		return fmt.Errorf("sweep.labels has %d entries for %d values", len(sw.Labels), len(sw.Values))
+	}
+	for i, v := range sw.Values {
+		if v.Kind() != kind {
+			return fmt.Errorf("sweep.values[%d] = %s: axis %q takes %s values", i, v.raw, sw.Axis, kind)
+		}
+		switch sw.Axis {
+		case "flows":
+			n, _ := v.Number()
+			if n <= 0 || n != math.Trunc(n) {
+				return fmt.Errorf("sweep.values[%d] = %v: incast degrees are positive integers", i, n)
+			}
+		case "g":
+			g, _ := v.Number()
+			if g <= 0 || g > 1 {
+				return fmt.Errorf("sweep.values[%d] = %v: DCTCP's gain must be in (0, 1]", i, g)
+			}
+		case "ecn_threshold_pkts":
+			k, _ := v.Number()
+			if k <= 0 || k != math.Trunc(k) {
+				return fmt.Errorf("sweep.values[%d] = %v: marking thresholds are positive packet counts", i, k)
+			}
+		case "min_rto_ms":
+			rto, _ := v.Number()
+			if rto <= 0 {
+				return fmt.Errorf("sweep.values[%d] = %v: min RTO must be positive milliseconds", i, rto)
+			}
+		case "marking_ewma":
+			w, _ := v.Number()
+			if w < 0 || w >= 1 {
+				return fmt.Errorf("sweep.values[%d] = %v: EWMA weights live in [0, 1)", i, w)
+			}
+		case "cc":
+			name, _ := v.Str()
+			if !KnownCC(name) {
+				return fmt.Errorf("sweep.values[%d] = %q: not a congestion-control name (%s)", i, name, strings.Join(CCNames, ", "))
+			}
+		case "scheme":
+			name, _ := v.Str()
+			if !KnownScheme(name) {
+				return fmt.Errorf("sweep.values[%d] = %q: schemes are dctcp, dctcp+guardrail, or dctcp+wave<N>", i, name)
+			}
+		}
+	}
+	for i, n := range sw.Flows {
+		if n <= 0 {
+			return fmt.Errorf("sweep.flows[%d] = %d: incast degrees are positive", i, n)
+		}
+	}
+	return nil
+}
+
+// Load reads and validates a spec file. Unknown fields are rejected, so a
+// typo'd key fails loudly instead of silently doing nothing.
+func Load(path string) (Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(b)
+}
+
+// Parse decodes and validates a spec from JSON bytes.
+func Parse(b []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

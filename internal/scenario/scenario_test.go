@@ -1,0 +1,184 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fullSpec exercises every Spec field, so the round-trip test covers the
+// whole surface.
+func fullSpec() Spec {
+	return Spec{
+		Name:  "kitchen-sink_1.0",
+		Title: "Scenario: everything at once",
+		Notes: "multi\nline notes",
+		Topology: &Topology{
+			HostLinkGbps:        10,
+			CoreLinkGbps:        100,
+			QueuePackets:        1333,
+			ECNThresholdPackets: 65,
+			SharedBufferBytes:   2_000_000,
+			SharedBufferAlpha:   1,
+			ContendBytes:        700_000,
+		},
+		Workload:  Workload{BurstMS: 2, IntervalMS: 100, Bursts: 12, QuickBursts: 3},
+		CC:        &CC{Algorithm: "dctcp", G: 1.0 / 64, InitialWindowPkts: 10},
+		Transport: &Transport{MinRTOMS: 10, DelayedAcks: true, AckEvery: 2, IdleRestart: true, ICTCP: true},
+		Sweep: Sweep{
+			Axis:   "g",
+			Values: Nums(0.5, 0.0625, 0.002),
+			Labels: []string{"half", "paper", "tiny"},
+			Column: "gain",
+			Flows:  []int{80, 500},
+		},
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := fullSpec()
+	first, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	parsed, err := Parse(first)
+	if err != nil {
+		t.Fatalf("parse own marshal output: %v", err)
+	}
+	second, err := json.MarshalIndent(parsed, "", "  ")
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("round trip is lossy:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+func TestValuePreservesJSONText(t *testing.T) {
+	// The raw JSON text must survive unmarshal -> marshal, including
+	// number spellings Go would otherwise normalize.
+	for _, raw := range []string{`0.002`, `1e-3`, `65`, `true`, `false`, `"dctcp+wave64"`} {
+		var v Value
+		if err := json.Unmarshal([]byte(raw), &v); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		out, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", raw, err)
+		}
+		if string(out) != raw {
+			t.Errorf("value %s round-tripped to %s", raw, out)
+		}
+	}
+}
+
+func TestValueRejectsNonScalars(t *testing.T) {
+	for _, raw := range []string{`{}`, `[1]`, `null`} {
+		var v Value
+		if err := json.Unmarshal([]byte(raw), &v); err == nil {
+			t.Errorf("unmarshal %s: want error, got %q", raw, v.String())
+		}
+	}
+	if _, err := json.Marshal(Value{}); err == nil {
+		t.Error("marshaling a zero Value: want error")
+	}
+}
+
+func TestValueKinds(t *testing.T) {
+	if k := Num(3).Kind(); k != Number {
+		t.Errorf("Num kind = %v", k)
+	}
+	if k := Flg(true).Kind(); k != Flag {
+		t.Errorf("Flg kind = %v", k)
+	}
+	if k := Str("reno").Kind(); k != Name {
+		t.Errorf("Str kind = %v", k)
+	}
+	if s, ok := Str("reno").Str(); !ok || s != "reno" {
+		t.Errorf("Str(\"reno\").Str() = %q, %v", s, ok)
+	}
+	if f, ok := Num(0.25).Number(); !ok || f != 0.25 {
+		t.Errorf("Num(0.25).Number() = %v, %v", f, ok)
+	}
+	if b, ok := Flg(true).Bool(); !ok || !b {
+		t.Errorf("Flg(true).Bool() = %v, %v", b, ok)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"name": "x", "workload": {"flows": 10}, "sweeep": {}, "sweep": {"axis": "g", "values": [0.5]}}`))
+	if err == nil || !strings.Contains(err.Error(), "sweeep") {
+		t.Errorf("typo'd key: want a parse error naming the field, got %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	valid := func() Spec {
+		return Spec{
+			Name:     "ok",
+			Workload: Workload{Flows: 100},
+			Sweep:    Sweep{Axis: "g", Values: Nums(0.5)},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string // substring of the actionable error
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "needs a name"},
+		{"bad name", func(s *Spec) { s.Name = "No Spaces!" }, "name must match"},
+		{"negative flows", func(s *Spec) { s.Workload.Flows = -3 }, "cannot be negative"},
+		{"no flows anywhere", func(s *Spec) { s.Workload.Flows = 0 }, "workload.flows must be a positive incast degree"},
+		{"flows twice", func(s *Spec) { s.Sweep.Flows = []int{10} }, "conflicts with the sweep's flow degrees"},
+		{"flows axis twice", func(s *Spec) {
+			s.Workload.Flows = 0
+			s.Sweep = Sweep{Axis: "flows", Values: Nums(10), Flows: []int{10}}
+		}, "mutually exclusive"},
+		{"unknown axis", func(s *Spec) { s.Sweep.Axis = "mtu" }, "not a known axis"},
+		{"empty sweep", func(s *Spec) { s.Sweep.Values = nil }, "sweep.values is empty"},
+		{"kind mismatch", func(s *Spec) { s.Sweep.Values = Strs("big") }, "takes number values"},
+		{"label arity", func(s *Spec) { s.Sweep.Labels = []string{"a", "b"} }, "2 entries for 1 values"},
+		{"gain range", func(s *Spec) { s.Sweep.Values = Nums(1.5) }, "must be in (0, 1]"},
+		{"fractional degree", func(s *Spec) { s.Sweep = Sweep{Axis: "flows", Values: Nums(2.5)}; s.Workload.Flows = 0 }, "positive integers"},
+		{"unknown cc", func(s *Spec) { s.Sweep = Sweep{Axis: "cc", Values: Strs("cubic")} }, "not a congestion-control name"},
+		{"unknown scheme", func(s *Spec) { s.Sweep = Sweep{Axis: "scheme", Values: Strs("dctcp+wave0")} }, "schemes are dctcp"},
+		{"cc algorithm", func(s *Spec) { s.CC = &CC{Algorithm: "bbr"} }, "not one of"},
+		{"shared buffer without topology", func(s *Spec) {
+			s.Sweep = Sweep{Axis: "shared_buffer", Values: Flags(false, true)}
+		}, "needs a topology"},
+		{"contend without shared", func(s *Spec) { s.Topology = &Topology{ContendBytes: 1} }, "requires shared_buffer_bytes"},
+		{"negative rto", func(s *Spec) { s.Transport = &Transport{MinRTOMS: -1} }, "want a positive timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := valid()
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("base spec invalid: %v", err)
+			}
+			tc.mut(&spec)
+			err := spec.Validate()
+			if err == nil {
+				t.Fatal("want a validation error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWaveSize(t *testing.T) {
+	for scheme, want := range map[string]int{
+		"dctcp":           0,
+		"dctcp+guardrail": 0,
+		"dctcp+wave64":    64,
+		"dctcp+wave8":     8,
+	} {
+		if got := WaveSize(scheme); got != want {
+			t.Errorf("WaveSize(%q) = %d, want %d", scheme, got, want)
+		}
+		if !KnownScheme(scheme) {
+			t.Errorf("KnownScheme(%q) = false", scheme)
+		}
+	}
+}
