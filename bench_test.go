@@ -179,17 +179,21 @@ func BenchmarkExtModeBoundary(b *testing.B) {
 
 // BenchmarkSimulatorPacketRate measures the packet-level simulator's
 // throughput: one 100-flow, 1 ms burst end to end. Reported as ns/op for
-// ~3.4k delivered packets (data + ACKs).
+// ~3.4k delivered packets (data + ACKs), plus engine events dispatched per
+// wall-clock second.
 func BenchmarkSimulatorPacketRate(b *testing.B) {
 	b.ReportAllocs()
+	var events uint64
 	for i := 0; i < b.N; i++ {
-		incastlab.RunIncastSim(incastlab.SimConfig{
+		res := incastlab.RunIncastSim(incastlab.SimConfig{
 			Flows:         100,
 			BurstDuration: incastlab.Millisecond,
 			Bursts:        2,
 			Interval:      5 * incastlab.Millisecond,
 		})
+		events += res.Events
 	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkMillisamplerAnalyze measures the measurement pipeline: generate

@@ -19,12 +19,18 @@
 #                        their deterministic subsets must be byte-equal
 #   7. registry gate     `figures -list` must match the checked-in golden
 #                        name list, an unknown -only name must exit
-#                        non-zero, and the quick fig5 + ablation_g CSVs
-#                        must be byte-identical to the checked-in goldens
-#                        (the scenario refactor is behavior-preserving)
+#                        non-zero, and the quick fig5 + fig6 + ablation_g
+#                        CSVs must be byte-identical to the checked-in
+#                        goldens (scheduler and pooling changes are
+#                        behavior-preserving)
 #   8. scenario gate     one example spec runs end to end through
 #                        `incastsim -scenario` and produces its CSV; a
 #                        bogus spec path must exit non-zero
+#   9. bench gate        the substrate micro-benchmarks smoke-run at one
+#                        iteration each (they must at least execute); with
+#                        CI_BENCH=1 the macro + micro benchmarks run for
+#                        real and refresh the "current" section of
+#                        BENCH_PR5.json via internal/bench/benchjson
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -74,7 +80,7 @@ if go run ./cmd/figures -only bogus -out "$OBS_TMP/bogus" 2>/dev/null; then
   echo "figures -only bogus should have exited non-zero" >&2
   exit 1
 fi
-go run ./cmd/figures -quick -only fig5,ablation_g -out "$OBS_TMP/golden"
+go run ./cmd/figures -quick -only fig5,fig6,ablation_g -out "$OBS_TMP/golden"
 for f in internal/core/testdata/quick/*.csv; do
   cmp "$f" "$OBS_TMP/golden/$(basename "$f")"
 done
@@ -85,6 +91,24 @@ test -s "$OBS_TMP/scenario/ml_periodic_bursts.csv"
 if go run ./cmd/incastsim -scenario "$OBS_TMP/no_such_spec.json" 2>/dev/null; then
   echo "incastsim -scenario with a missing file should have exited non-zero" >&2
   exit 1
+fi
+
+echo "==> bench gate: substrate micro-benchmarks smoke-run"
+go test -run '^$' \
+  -bench '^(BenchmarkSimulatorPacketRate|BenchmarkMillisamplerAnalyze|BenchmarkPredictorObserve)$' \
+  -benchtime=1x -benchmem . >"$OBS_TMP/bench_smoke.txt"
+grep -q '^BenchmarkSimulatorPacketRate' "$OBS_TMP/bench_smoke.txt"
+if [ "${CI_BENCH:-0}" = "1" ]; then
+  echo "==> bench gate: full run refreshing BENCH_PR5.json (CI_BENCH=1)"
+  go test -run '^$' \
+    -bench '^(BenchmarkFig5DCTCPModes|BenchmarkExtModeBoundary|BenchmarkSimulatorPacketRate)$' \
+    -benchtime=3x -benchmem . >"$OBS_TMP/bench_full.txt"
+  go test -run '^$' \
+    -bench '^(BenchmarkMillisamplerAnalyze|BenchmarkPredictorObserve)$' \
+    -benchtime=1s -benchmem . >>"$OBS_TMP/bench_full.txt"
+  go run ./internal/bench/benchjson -label current \
+    -commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -out BENCH_PR5.json <"$OBS_TMP/bench_full.txt"
 fi
 
 echo "==> ci.sh: all checks passed"

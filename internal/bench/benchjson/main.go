@@ -1,0 +1,155 @@
+// Command benchjson converts `go test -bench` output into a structured
+// JSON artifact, for use in CI:
+//
+//	go test -bench ... -benchmem . | benchjson -label current -out BENCH_PR5.json
+//
+// The output file holds one section per label (typically "baseline" and
+// "current"); an existing file is merged so the two sections can be written
+// by separate runs — the baseline before a change, the current numbers
+// after. Within a section each benchmark records ns/op, B/op, allocs/op,
+// and any extra ReportMetric units (e.g. events/s).
+//
+// Exit code 0 means output was written; anything else is a failure with a
+// diagnostic on stderr.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's measurements.
+type result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"b_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// section is one labeled measurement campaign.
+type section struct {
+	Commit     string            `json:"commit,omitempty"`
+	Go         string            `json:"go,omitempty"`
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-P  N  value unit [value unit ...]`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+(\S.*)$`)
+
+func main() {
+	label := flag.String("label", "current", "section to write (e.g. baseline, current)")
+	out := flag.String("out", "", "JSON file to create or merge into (required)")
+	commit := flag.String("commit", "", "commit hash to record in the section")
+	note := flag.String("note", "", "free-form note to record in the section")
+	flag.Parse()
+
+	if err := run(*label, *out, *commit, *note, os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(label, out, commit, note string, in io.Reader) error {
+	if out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	benches, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+
+	doc := map[string]*section{}
+	if prev, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(prev, &doc); err != nil {
+			return fmt.Errorf("%s: %w", out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	sec := doc[label]
+	if sec == nil {
+		sec = &section{Benchmarks: map[string]result{}}
+		doc[label] = sec
+	} else if sec.Benchmarks == nil {
+		sec.Benchmarks = map[string]result{}
+	}
+	sec.Go = runtime.Version()
+	if commit != "" {
+		sec.Commit = commit
+	}
+	if note != "" {
+		sec.Note = note
+	}
+	for name, r := range benches {
+		sec.Benchmarks[name] = r
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: wrote %d benchmarks into section %q\n", out, len(benches), label)
+	return nil
+}
+
+// parse extracts benchmark result lines from go test output, ignoring
+// everything else (experiment summaries, PASS/ok trailers).
+func parse(in io.Reader) (map[string]result, error) {
+	benches := map[string]result{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Iterations: iters}
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", m[1], fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = v
+			}
+		}
+		// Repeated runs of one benchmark (-count>1) keep the fastest, the
+		// usual best-of reading that discounts scheduler noise.
+		if prev, ok := benches[m[1]]; !ok || r.NsPerOp < prev.NsPerOp {
+			benches[m[1]] = r
+		}
+	}
+	return benches, sc.Err()
+}

@@ -124,6 +124,14 @@ func harvestEngine(c *obs.Collector, eng *sim.Engine) {
 	c.Counter("sim_freelist_hits").Add(int64(hits))
 	c.Counter("sim_freelist_misses").Add(int64(misses))
 	c.Counter("sim_time_ns").Add(int64(eng.Now()))
+	// Calendar-queue internals. These counters are functions of the virtual
+	// schedule alone (bucket loads and walk lengths), so they are as
+	// deterministic as the event order itself. Instrumented runs always use
+	// fresh engines (see simpool.go), so no state leaks in from pooling.
+	st := eng.SchedulerStats()
+	c.Counter("sim_sched_resizes").Add(int64(st.Resizes))
+	c.Counter("sim_sched_overflow_migrations").Add(int64(st.OverflowMigrations))
+	c.Counter("sim_sched_now_fastpath").Add(int64(st.NowFastPath))
 }
 
 // harvestQueue records one port's lifetime queue statistics.

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sync"
+
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+// simResources bundles the per-run substrate a simulation re-grows from
+// scratch when built cold: the engine (with its event free list and
+// calendar-queue bucket array) and the packet pool's free list. Sweep
+// runners burn most of their allocation budget here, and consecutive sweep
+// points (the ten ablation specs, ModeBoundary's degree sweep, Fig 5's
+// flow sweep) need exactly the same substrate — so RunIncastSim recycles
+// it through a process-wide sync.Pool.
+//
+// Correctness: results are independent of pool warmth. Reuse changes only
+// where event and packet structs are allocated from, never the (time, seq)
+// event order or any simulated quantity; the registry gate (byte-identical
+// quick CSVs) holds with the pool on. Each acquired bundle is owned by
+// exactly one goroutine until released, preserving the engines-are-
+// single-goroutine design under parallel sweeps.
+//
+// Instrumented runs (cfg.Metrics != nil) bypass the pool: the obs layer
+// reports free-list and packet-pool hit rates, which are part of the
+// deterministic snapshot subset the CI obs gate compares across serial and
+// parallel runs — warm-start counters would differ run to run. A fresh
+// engine keeps those metrics deterministic.
+type simResources struct {
+	eng  *sim.Engine
+	pool *netsim.PacketPool
+}
+
+var simResourcePool = sync.Pool{
+	New: func() any {
+		return &simResources{eng: sim.NewEngine(), pool: netsim.NewPacketPool()}
+	},
+}
+
+// acquireSimResources returns an engine and packet pool for one run. When
+// reuse is false (instrumented runs), both are fresh and releaseSimResources
+// will discard them.
+func acquireSimResources(reuse bool) *simResources {
+	if !reuse {
+		return &simResources{eng: sim.NewEngine(), pool: netsim.NewPacketPool()}
+	}
+	return simResourcePool.Get().(*simResources)
+}
+
+// releaseSimResources resets the bundle and returns it to the pool. Only
+// call it after a fully drained, non-panicked run: Reset assumes no
+// packets are outstanding and no callbacks will fire later.
+func releaseSimResources(r *simResources, reuse bool) {
+	if !reuse {
+		return
+	}
+	r.eng.Reset()
+	r.pool.Reset()
+	simResourcePool.Put(r)
+}

@@ -134,6 +134,12 @@ type SimResult struct {
 	// requested).
 	InFlight *workload.InFlightTrace
 
+	// Events is the number of simulator events the run executed and SimNow
+	// is the virtual time it reached — together they give benchmarks an
+	// events/sec figure. Neither is rendered into CSV artifacts.
+	Events uint64
+	SimNow sim.Time
+
 	// QueueCapacity and ECNThreshold echo the topology, for rendering.
 	QueueCapacity, ECNThreshold int
 }
@@ -148,7 +154,11 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 	if cfg.Metrics != nil {
 		wallStart = time.Now()
 	}
-	eng := sim.NewEngine()
+	// Reuse a pooled engine + packet pool unless the run is instrumented
+	// (see simpool.go for why metrics force a cold start).
+	reuse := cfg.Metrics == nil
+	res0 := acquireSimResources(reuse)
+	eng := res0.eng
 
 	wl := workload.IncastConfig{
 		Flows:          cfg.Flows,
@@ -161,7 +171,7 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 		ReceiverConfig: cfg.Receiver,
 		Admitter:       cfg.Admitter,
 	}
-	in := workload.NewIncast(eng, cfg.Net, wl, cfg.Alg)
+	in := workload.NewIncastWithPool(eng, cfg.Net, wl, cfg.Alg, res0.pool)
 	if cfg.EnableICTCP {
 		ctrl := tcp.NewICTCP(eng, tcp.DefaultICTCPConfig(cfg.Net.HostLinkBps, cfg.Net.BaseRTT()))
 		for _, r := range in.Receivers() {
@@ -289,5 +299,9 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 	res.Marks = st.MarkedPackets - baseMarks
 
 	harvestIncastMetrics(&cfg, eng, in, wallStart)
+	// Read the engine counters before release: Reset zeroes them.
+	res.Events = eng.Executed()
+	res.SimNow = eng.Now()
+	releaseSimResources(res0, reuse)
 	return res
 }

@@ -12,9 +12,16 @@ func SamplePeriodically(eng *sim.Engine, start, interval sim.Time, n int, fn fun
 	if interval <= 0 {
 		panic("netsim: sampling interval must be positive")
 	}
+	// One closure serves every sample: the events fire in scheduling order
+	// (strictly increasing timestamps), so a running counter recovers the
+	// sample index without capturing it n times.
+	next := 0
+	body := func() {
+		fn(next)
+		next++
+	}
 	for i := 0; i < n; i++ {
-		i := i
-		eng.Schedule(start+sim.Time(i)*interval, func() { fn(i) })
+		eng.Schedule(start+sim.Time(i)*interval, body)
 	}
 }
 
@@ -36,13 +43,16 @@ func QueueDepthSeries(eng *sim.Engine, q *Queue, start, interval sim.Time, n int
 func QueueWatermarkSeries(eng *sim.Engine, q *Queue, start, interval sim.Time, n int) *stats.Series {
 	s := stats.NewSeries(int64(start), int64(interval), n)
 	// Reset the watermark at the window start, then harvest at each
-	// interval end.
+	// interval end. As in SamplePeriodically, one closure plus a counter
+	// replaces a capture per sample.
 	eng.Schedule(start, func() { q.TakeWatermark() })
+	next := 0
+	harvest := func() {
+		s.Values[next] = float64(q.TakeWatermark())
+		next++
+	}
 	for i := 0; i < n; i++ {
-		i := i
-		eng.Schedule(start+sim.Time(i+1)*interval, func() {
-			s.Values[i] = float64(q.TakeWatermark())
-		})
+		eng.Schedule(start+sim.Time(i+1)*interval, harvest)
 	}
 	return s
 }

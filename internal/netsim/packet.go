@@ -103,6 +103,19 @@ func NewPacketPool() *PacketPool { return &PacketPool{} }
 // SetObserver installs a lifecycle observer (nil to remove).
 func (pp *PacketPool) SetObserver(o PoolObserver) { pp.observer = o }
 
+// Reset prepares the pool for reuse by a new simulation: lifecycle
+// counters return to zero and any observer is removed, while the free list
+// — the expensive part — stays warm. Reset must only be called when no
+// pool-owned packet is still in flight (Outstanding() == 0), i.e. after a
+// drained run.
+func (pp *PacketPool) Reset() {
+	if pp.gets != pp.puts {
+		panic("netsim: PacketPool.Reset with packets still outstanding")
+	}
+	pp.gets, pp.puts, pp.hits = 0, 0, 0
+	pp.observer = nil
+}
+
 // Outstanding returns the number of packets taken from the pool and not yet
 // returned — the pool-owned packets currently traversing the network.
 func (pp *PacketPool) Outstanding() int64 { return pp.gets - pp.puts }

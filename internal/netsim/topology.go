@@ -111,10 +111,21 @@ func (d *Dumbbell) AllLinks() []*Link { return d.links }
 // Node IDs: receiver = 0, senders = 1..N, sender ToR = N+1,
 // receiver ToR = N+2.
 func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
+	return NewDumbbellWithPool(eng, cfg, nil)
+}
+
+// NewDumbbellWithPool is NewDumbbell with an injected packet pool, so
+// sweep runners can carry a warm free list across consecutive runs. A nil
+// pool gets a fresh one. The pool must belong to the same goroutine as eng
+// (pools, like engines, are single-goroutine by design).
+func NewDumbbellWithPool(eng *sim.Engine, cfg DumbbellConfig, pool *PacketPool) *Dumbbell {
 	if cfg.Senders <= 0 {
 		panic("netsim: dumbbell needs at least one sender")
 	}
-	d := &Dumbbell{Config: cfg, Eng: eng, Pool: NewPacketPool()}
+	if pool == nil {
+		pool = NewPacketPool()
+	}
+	d := &Dumbbell{Config: cfg, Eng: eng, Pool: pool}
 
 	d.Receiver = NewHost(eng, 0, "receiver")
 	d.Receiver.SetPool(d.Pool)

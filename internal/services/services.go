@@ -18,11 +18,36 @@ package services
 import (
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"incastlab/internal/millisampler"
 	"incastlab/internal/rackmodel"
 	"incastlab/internal/sim"
 )
+
+// genBuffers holds the per-host scratch slices Generate fills for every
+// trace (offered load, flow counts, contention fractions). They are
+// recycled through a sync.Pool across Generate calls — traces for a full
+// figure cover thousands of host-hours, and a fresh slice per host is the
+// dominant allocation otherwise. Every slice is fully overwritten before
+// use, so no zeroing is needed on reuse; rackmodel.Run only reads its
+// inputs, so the buffers are free again as soon as Generate returns.
+type genBuffers struct {
+	offered []float64
+	flows   []int
+	fracs   []float64
+}
+
+// grow returns s resized to n elements, reallocating only when the
+// capacity is short. Contents are unspecified; callers overwrite fully.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+var genBufferPool = sync.Pool{New: func() any { return new(genBuffers) }}
 
 // Profile describes one service's traffic behavior.
 type Profile struct {
@@ -303,8 +328,12 @@ func (p Profile) Generate(gc GenConfig) *millisampler.Trace {
 	intervalNS := int64(sim.Millisecond)
 	capacityPerMS := float64(p.NICLineRateBps) / 8 / 1000
 
-	offered := make([]float64, n)
-	flows := make([]int, n)
+	buf := genBufferPool.Get().(*genBuffers)
+	defer genBufferPool.Put(buf)
+	buf.offered = grow(buf.offered, n)
+	buf.flows = grow(buf.flows, n)
+	offered := buf.offered
+	flows := buf.flows
 
 	// Background load and flows.
 	for i := 0; i < n; i++ {
@@ -359,7 +388,8 @@ func (p Profile) Generate(gc GenConfig) *millisampler.Trace {
 	// Rack-level shared-buffer contention windows.
 	rackCfg := p.Rack
 	if p.ContentionPerSec > 0 {
-		fr := make([]float64, n)
+		buf.fracs = grow(buf.fracs, n)
+		fr := buf.fracs
 		for i := range fr {
 			fr[i] = 1
 		}

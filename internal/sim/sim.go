@@ -73,11 +73,16 @@ func (t Time) String() string {
 // the struct onto a free list and bumps gen. Timers remember the gen they
 // were issued against, so a handle to a fired (and possibly reused) event
 // degrades into a safe no-op instead of touching the new occupant.
+//
+// loc records which scheduler structure currently holds the event (see
+// calqueue.go) and index its position there, so cancellation can unlink it
+// eagerly wherever it lives.
 type event struct {
 	at    Time
 	seq   uint64
 	fn    func()
-	index int // heap index, maintained by eventHeap; -1 when not queued
+	index int // position within the structure named by loc; -1 when not queued
+	loc   int8
 	gen   uint64
 }
 
@@ -117,6 +122,14 @@ func (h *eventHeap) Pop() any {
 
 // Engine is a discrete-event scheduler. The zero value is ready to use.
 //
+// Events live in a bucketed calendar queue (see calqueue.go): O(1) appends
+// into time buckets, a small heap over the bucket being drained, an
+// overflow heap for far-future timers, and a FIFO fast path for events
+// scheduled at exactly the current time. Execution order is identical to
+// the classic binary heap's (time, seq) order; the heap survives as an
+// internal reference implementation (refMode) that the differential tests
+// run against the calendar queue.
+//
 // The engine keeps a free list of event structs: firing or stopping an event
 // returns it to the list, so steady-state scheduling performs no heap
 // allocation. Generation counters keep stale Timer handles safe across
@@ -124,9 +137,15 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	cq      calQueue
 	stopped bool
 	free    []*event
+
+	// refMode routes all queue operations through events, the retained
+	// binary-heap scheduler, instead of the calendar queue. Only the
+	// differential and property tests construct refMode engines.
+	refMode bool
+	events  eventHeap
 
 	// executed counts events that have run, for diagnostics and benchmarks.
 	executed uint64
@@ -146,11 +165,21 @@ type Engine struct {
 // NewEngine returns an empty engine whose clock starts at zero.
 func NewEngine() *Engine { return &Engine{} }
 
+// newHeapEngine returns an engine running the reference binary-heap
+// scheduler. It exists for the differential tests that prove the calendar
+// queue executes identical (time, seq) orders.
+func newHeapEngine() *Engine { return &Engine{refMode: true} }
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of scheduled, not-yet-executed events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int {
+	if e.refMode {
+		return len(e.events)
+	}
+	return e.cq.n
+}
 
 // Executed returns the number of events that have been run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
@@ -194,6 +223,7 @@ func (e *Engine) newEvent(at Time, fn func()) *event {
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.index = -1
+	ev.loc = locFree
 	ev.gen++
 	e.free = append(e.free, ev)
 }
@@ -212,15 +242,33 @@ type Timer struct {
 // Stop cancels the timer if it has not fired. It reports whether the call
 // prevented the event from firing. Calling Stop on a fired, already-stopped,
 // nil, or zero timer returns false.
+//
+// Stop clears the handle completely, including its engine reference, so a
+// stopped Timer never pins an engine across Engine.Reset or pooled reuse.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.gen != t.gen {
+	if t == nil {
+		return false
+	}
+	if t.ev == nil || t.ev.gen != t.gen {
+		t.ev = nil
+		t.engine = nil
 		return false
 	}
 	e := t.engine
-	heap.Remove(&e.events, t.ev.index)
+	e.unlink(t.ev)
 	e.recycle(t.ev)
 	t.ev = nil
+	t.engine = nil
 	return true
+}
+
+// unlink removes a live event from whichever scheduler structure holds it.
+func (e *Engine) unlink(ev *event) {
+	if e.refMode {
+		heap.Remove(&e.events, ev.index)
+		return
+	}
+	e.cq.remove(ev)
 }
 
 // Active reports whether the timer is still scheduled to fire.
@@ -249,7 +297,12 @@ func (e *Engine) schedule(at Time, fn func()) *event {
 		panic("sim: nil event function")
 	}
 	ev := e.newEvent(at, fn)
-	heap.Push(&e.events, ev)
+	if e.refMode {
+		ev.loc = locRef
+		heap.Push(&e.events, ev)
+	} else {
+		e.cq.add(ev, e.now)
+	}
 	return ev
 }
 
@@ -304,15 +357,27 @@ func (e *Engine) ResetAfter(t *Timer, delay Time, fn func()) {
 // remain queued; a subsequent Run or RunUntil resumes them.
 func (e *Engine) Stop() { e.stopped = true }
 
+// popEvent removes and returns the earliest live event, or nil when the
+// queue is empty.
+func (e *Engine) popEvent() *event {
+	if e.refMode {
+		if len(e.events) == 0 {
+			return nil
+		}
+		return heap.Pop(&e.events).(*event)
+	}
+	return e.cq.pop(e.now)
+}
+
 // step pops and executes the earliest event. It reports false when the queue
 // is empty. The event is recycled before its closure runs, so a callback that
 // stops or re-arms its own timer sees a stale (inert) handle rather than the
 // queued event.
 func (e *Engine) step() bool {
-	if len(e.events) == 0 {
+	ev := e.popEvent()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
 	e.now = ev.at
 	e.executed++
 	fn := ev.fn
@@ -339,14 +404,8 @@ func (e *Engine) Run() Time {
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.events) == 0 {
-			break
-		}
 		next := e.peek()
-		if next == nil {
-			break
-		}
-		if next.at > deadline {
+		if next == nil || next.at > deadline {
 			break
 		}
 		e.step()
@@ -357,14 +416,17 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
-// peek returns the earliest pending event without removing it. Stopped
-// events are removed from the heap eagerly, so the top of the heap is always
-// live.
+// peek returns the earliest pending event without removing it, or nil when
+// the queue is empty. Stopped events are unlinked eagerly, so the head is
+// always live.
 func (e *Engine) peek() *event {
-	if len(e.events) == 0 {
-		return nil
+	if e.refMode {
+		if len(e.events) == 0 {
+			return nil
+		}
+		return e.events[0]
 	}
-	return e.events[0]
+	return e.cq.head(e.now)
 }
 
 // NextEventAt returns the time of the next pending event, or MaxTime if the
@@ -375,4 +437,55 @@ func (e *Engine) NextEventAt() Time {
 		return MaxTime
 	}
 	return ev.at
+}
+
+// Reset returns the engine to the state of a fresh engine while keeping its
+// allocations warm: pending events are canceled and recycled, the clock and
+// all counters return to zero, and any onEvent observer is removed — but
+// the event free list, the calendar-queue bucket array, its learned bucket
+// width, and slice capacities are retained. Timer handles issued before the
+// Reset degrade into inert no-ops through their generation guard, exactly
+// as handles to fired events do.
+//
+// Reset is the engine half of pooled reuse: sweep runners recycle one
+// engine across consecutive simulation runs instead of re-growing the free
+// list from nothing each time. Results are independent of pool warmth —
+// reuse affects only where event structs come from, never event order.
+func (e *Engine) Reset() {
+	if e.refMode {
+		for _, ev := range e.events {
+			e.recycle(ev)
+		}
+		for i := range e.events {
+			e.events[i] = nil
+		}
+		e.events = e.events[:0]
+	} else {
+		cq := &e.cq
+		for _, ev := range cq.cur {
+			e.recycle(ev)
+		}
+		for _, ev := range cq.nowq[cq.nowqHead:] {
+			if ev != nil {
+				e.recycle(ev)
+			}
+		}
+		if cq.ringN > 0 {
+			for i := range cq.buckets {
+				for _, ev := range cq.buckets[i] {
+					e.recycle(ev)
+				}
+			}
+		}
+		for _, ev := range cq.overflow {
+			e.recycle(ev)
+		}
+		cq.reset()
+	}
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.executed = 0
+	e.freeHits, e.freeMisses = 0, 0
+	e.onEvent = nil
 }

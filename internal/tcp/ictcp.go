@@ -54,6 +54,10 @@ type ICTCP struct {
 	eng   *sim.Engine
 	cfg   ICTCPConfig
 	conns []*ictcpConn
+
+	// slotFn is the control-slot callback, bound once at construction so
+	// the periodic rescheduling allocates no closure per slot.
+	slotFn func()
 }
 
 type ictcpConn struct {
@@ -85,6 +89,10 @@ func NewICTCP(eng *sim.Engine, cfg ICTCPConfig) *ICTCP {
 		cfg.DecreaseAfter = 3
 	}
 	c := &ICTCP{eng: eng, cfg: cfg}
+	c.slotFn = func() {
+		c.adjust()
+		c.scheduleSlot()
+	}
 	c.scheduleSlot()
 	return c
 }
@@ -105,10 +113,7 @@ func (c *ICTCP) Window(i int) int64 { return c.conns[i].wnd }
 func (c *ICTCP) slot() sim.Time { return 2 * c.cfg.BaseRTT }
 
 func (c *ICTCP) scheduleSlot() {
-	c.eng.ScheduleAfter(c.slot(), func() {
-		c.adjust()
-		c.scheduleSlot()
-	})
+	c.eng.ScheduleAfter(c.slot(), c.slotFn)
 }
 
 // adjust runs one control slot: measure per-connection goodput, compute

@@ -121,6 +121,13 @@ type Incast struct {
 // flow.
 func NewIncast(eng *sim.Engine, netCfg netsim.DumbbellConfig, cfg IncastConfig,
 	algFactory func(flow int) cc.Algorithm) *Incast {
+	return NewIncastWithPool(eng, netCfg, cfg, algFactory, nil)
+}
+
+// NewIncastWithPool is NewIncast with an injected packet pool (nil for a
+// fresh one), letting sweep runners reuse a warm pool across runs.
+func NewIncastWithPool(eng *sim.Engine, netCfg netsim.DumbbellConfig, cfg IncastConfig,
+	algFactory func(flow int) cc.Algorithm, pool *netsim.PacketPool) *Incast {
 	if cfg.Flows <= 0 {
 		panic("workload: incast needs at least one flow")
 	}
@@ -131,7 +138,7 @@ func NewIncast(eng *sim.Engine, netCfg netsim.DumbbellConfig, cfg IncastConfig,
 
 	in := &Incast{
 		cfg: cfg,
-		net: netsim.NewDumbbell(eng, netCfg),
+		net: netsim.NewDumbbellWithPool(eng, netCfg, pool),
 	}
 
 	recvHub := tcp.NewHub(in.net.Receiver)
