@@ -216,3 +216,16 @@ func BenchmarkPredictorObserve(b *testing.B) {
 		pr.Observe(100 + i%50)
 	}
 }
+
+// BenchmarkFlowsimFig5 regenerates the Fig-5 mode table through the
+// flow-level fluid fast path (Options.Fidelity = FidelityFlow) instead of
+// the packet simulator. Compared against BenchmarkFig5DCTCPModes it records
+// the fast path's speedup on the same sweep (BENCH_PR6.json); the
+// three-way differential gate (internal/audit) pins the two backends'
+// agreement, so this benchmark is purely about wall clock.
+func BenchmarkFlowsimFig5(b *testing.B) {
+	runExperiment(b, "fig5_flow", func(o incastlab.Options) incastlab.Result {
+		o.Fidelity = incastlab.FidelityFlow
+		return incastlab.Fig5Modes(o)
+	})
+}

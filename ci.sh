@@ -9,9 +9,12 @@
 #                        detector (worker pool + experiment fan-out)
 #   5. audit gate        quick Fig-5/Fig-8 experiments re-run in checked
 #                        mode (every simulation invariant enforced, zero
-#                        violations tolerated) plus the rackmodel<->netsim
-#                        differential cross-check at the documented
-#                        tolerances (see EXPERIMENTS.md)
+#                        violations tolerated) plus the three-way
+#                        rackmodel<->flowsim<->netsim differential
+#                        cross-check on the canonical trace and the
+#                        closed-loop packet<->flow incast gate (mode
+#                        classification exact, BCT/peak-queue within the
+#                        documented tolerances; see EXPERIMENTS.md)
 #   6. obs gate          quick Fig-5 run three ways (no metrics; metrics
 #                        serial; metrics parallel): CSV artifacts must be
 #                        bit-identical across all three, both snapshots
@@ -23,14 +26,19 @@
 #                        CSVs must be byte-identical to the checked-in
 #                        goldens (scheduler and pooling changes are
 #                        behavior-preserving)
-#   8. scenario gate     one example spec runs end to end through
-#                        `incastsim -scenario` and produces its CSV; a
-#                        bogus spec path must exit non-zero
-#   9. bench gate        the substrate micro-benchmarks smoke-run at one
-#                        iteration each (they must at least execute); with
-#                        CI_BENCH=1 the macro + micro benchmarks run for
-#                        real and refresh the "current" section of
-#                        BENCH_PR5.json via internal/bench/benchjson
+#   8. scenario gate     example specs run end to end through
+#                        `incastsim -scenario` and produce their CSVs —
+#                        one packet-level, one at flow fidelity (a
+#                        10,000-flow sweep only the fluid backend can
+#                        turn around); a bogus spec path must exit
+#                        non-zero
+#   9. bench gate        the substrate micro-benchmarks and the flow-level
+#                        Fig-5 sweep smoke-run at one iteration each (they
+#                        must at least execute); with CI_BENCH=1 the macro
+#                        + micro benchmarks run for real and refresh the
+#                        "current" sections of BENCH_PR5.json and
+#                        BENCH_PR6.json (packet vs flow fidelity on the
+#                        same Fig-5 sweep) via internal/bench/benchjson
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -85,19 +93,22 @@ for f in internal/core/testdata/quick/*.csv; do
   cmp "$f" "$OBS_TMP/golden/$(basename "$f")"
 done
 
-echo "==> scenario gate: example spec end to end; bad spec path rejected"
+echo "==> scenario gate: example specs end to end; bad spec path rejected"
 go run ./cmd/incastsim -scenario examples/scenarios/ml_periodic_bursts.json -quick -out "$OBS_TMP/scenario" >/dev/null
 test -s "$OBS_TMP/scenario/ml_periodic_bursts.csv"
+go run ./cmd/incastsim -scenario examples/scenarios/fanin_scaling_flow.json -quick -out "$OBS_TMP/scenario" >/dev/null
+test -s "$OBS_TMP/scenario/fanin_scaling_flow.csv"
 if go run ./cmd/incastsim -scenario "$OBS_TMP/no_such_spec.json" 2>/dev/null; then
   echo "incastsim -scenario with a missing file should have exited non-zero" >&2
   exit 1
 fi
 
-echo "==> bench gate: substrate micro-benchmarks smoke-run"
+echo "==> bench gate: substrate micro-benchmarks + flow fast path smoke-run"
 go test -run '^$' \
-  -bench '^(BenchmarkSimulatorPacketRate|BenchmarkMillisamplerAnalyze|BenchmarkPredictorObserve)$' \
+  -bench '^(BenchmarkSimulatorPacketRate|BenchmarkMillisamplerAnalyze|BenchmarkPredictorObserve|BenchmarkFlowsimFig5)$' \
   -benchtime=1x -benchmem . >"$OBS_TMP/bench_smoke.txt"
 grep -q '^BenchmarkSimulatorPacketRate' "$OBS_TMP/bench_smoke.txt"
+grep -q '^BenchmarkFlowsimFig5' "$OBS_TMP/bench_smoke.txt"
 if [ "${CI_BENCH:-0}" = "1" ]; then
   echo "==> bench gate: full run refreshing BENCH_PR5.json (CI_BENCH=1)"
   go test -run '^$' \
@@ -109,6 +120,19 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
   go run ./internal/bench/benchjson -label current \
     -commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -out BENCH_PR5.json <"$OBS_TMP/bench_full.txt"
+  echo "==> bench gate: packet vs flow Fig-5 sweep refreshing BENCH_PR6.json (CI_BENCH=1)"
+  go test -run '^$' -bench '^BenchmarkFig5DCTCPModes$' \
+    -benchtime=3x -benchmem . >"$OBS_TMP/bench_pr6_base.txt"
+  go test -run '^$' -bench '^BenchmarkFlowsimFig5$' \
+    -benchtime=3x -benchmem . >"$OBS_TMP/bench_pr6_cur.txt"
+  go run ./internal/bench/benchjson -label baseline \
+    -commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -note "packet-level netsim reference: quick Fig-5 DCTCP sweep (n=80/500/1400, 4 bursts)" \
+    -out BENCH_PR6.json <"$OBS_TMP/bench_pr6_base.txt"
+  go run ./internal/bench/benchjson -label current \
+    -commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -note "flow-level fluid engine: same sweep at fidelity=flow; mode classification pinned by TestIncastDifferentialGate" \
+    -out BENCH_PR6.json <"$OBS_TMP/bench_pr6_cur.txt"
 fi
 
 echo "==> ci.sh: all checks passed"

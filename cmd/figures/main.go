@@ -62,11 +62,12 @@ func main() {
 	defer common.Close()
 
 	opt := incastlab.Options{
-		Seed:    *seed,
-		Quick:   *quick,
-		Workers: common.Workers,
-		Audit:   common.Audit,
-		Metrics: common.Metrics(),
+		Seed:     *seed,
+		Quick:    *quick,
+		Workers:  common.Workers,
+		Audit:    common.Audit,
+		Metrics:  common.Metrics(),
+		Fidelity: common.Fidelity,
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -88,6 +88,7 @@ func main() {
 			Seed:                *seed,
 			Metrics:             metrics,
 			Experiment:          "incastsim",
+			Fidelity:            common.Fidelity,
 		}
 		switch *cca {
 		case "dctcp":
@@ -140,6 +141,13 @@ func main() {
 	cfgs := make([]incastlab.SimConfig, len(degrees))
 	for i, n := range degrees {
 		cfgs[i] = buildCfg(n)
+		// An explicit -fidelity flow request fails up front with the
+		// feature that blocks it, not deep inside the run.
+		if common.Fidelity == incastlab.FidelityFlow {
+			if err := cfgs[i].FlowCompatible(); err != nil {
+				log.Fatalf("-fidelity flow: %v", err)
+			}
+		}
 	}
 
 	started := time.Now()
@@ -151,9 +159,13 @@ func main() {
 			fmt.Println()
 		}
 		net := cfgs[i].Net
-		fmt.Printf("incast: %d flows x %.3gms bursts, %s, topology %dG/%dG, K=%d, queue=%d pkts\n",
+		backend := ""
+		if res.Fidelity == incastlab.FidelityFlow {
+			backend = ", flow-level backend"
+		}
+		fmt.Printf("incast: %d flows x %.3gms bursts, %s, topology %dG/%dG, K=%d, queue=%d pkts%s\n",
 			res.Flows, *durationMS, res.AlgName,
-			net.HostLinkBps/1e9, net.CoreLinkBps/1e9, net.ECNThresholdPackets, net.QueueCapacityPackets)
+			net.HostLinkBps/1e9, net.CoreLinkBps/1e9, net.ECNThresholdPackets, net.QueueCapacityPackets, backend)
 		fmt.Printf("  mean BCT        %v (max %v; optimal %.3gms)\n", res.MeanBCT, res.MaxBCT, *durationMS)
 		fmt.Printf("  queue           busy-avg %.0f pkts, max %.0f, burst-start spike %.0f, %.0f%% of busy samples below K\n",
 			busyAvg(res), res.MaxQueue, res.SpikePackets, 100*res.FracBelowK)
@@ -188,11 +200,12 @@ func runScenario(common *cli.Common, path, out string, seed uint64, quick bool) 
 		log.Fatalf("-scenario: %v", err)
 	}
 	opt := incastlab.Options{
-		Seed:    seed,
-		Quick:   quick,
-		Workers: common.Workers,
-		Audit:   common.Audit,
-		Metrics: common.Metrics(),
+		Seed:     seed,
+		Quick:    quick,
+		Workers:  common.Workers,
+		Audit:    common.Audit,
+		Metrics:  common.Metrics(),
+		Fidelity: common.Fidelity,
 	}
 	started := time.Now()
 	res, err := incastlab.RunScenario(opt, spec)

@@ -62,6 +62,14 @@ const (
 	Second      = sim.Second
 )
 
+// Simulation backends for SimConfig.Fidelity / Options.Fidelity: the
+// packet-level discrete-event simulator (the default) or the flow-level
+// fluid fast path.
+const (
+	FidelityPacket = core.FidelityPacket
+	FidelityFlow   = core.FidelityFlow
+)
+
 // Experiment API --------------------------------------------------------
 
 // Options configures the experiment runners (seed, quick mode).

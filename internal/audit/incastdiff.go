@@ -1,0 +1,291 @@
+package audit
+
+import (
+	"fmt"
+	"math"
+
+	"incastlab/internal/cc"
+	"incastlab/internal/flowsim"
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+	"incastlab/internal/stats"
+	"incastlab/internal/workload"
+)
+
+// IncastDiffConfig parameterizes the closed-loop differential gate: the
+// same repeated-burst DCTCP incast run through the packet-level simulator
+// (workload + netsim, the reference) and through the flow-level fluid
+// engine (internal/flowsim), point by point across the incast degrees.
+//
+// Tolerance contract, per operating point:
+//
+//   - Mode classification (flowsim.Classify over timeouts and the
+//     below-threshold busy fraction) must match EXACTLY — the fast path
+//     exists to answer "which mode is this configuration in" at scale, so
+//     a mode flip is a hard failure, not a tolerance question.
+//   - Mean BCT agrees within MeanBCTTol relative (default 0.35). The
+//     fluid engine has no per-packet serialization jitter, so completion
+//     times drift a few tens of percent in timeout-dominated runs where a
+//     single RTO boundary moves whole-burst totals.
+//   - Max BCT agrees within MaxBCTTol relative (default 0.50) — the
+//     noisiest statistic, set by the single worst retry wave.
+//   - Peak queue agrees within PeakQueueTol of capacity (default 0.15
+//     absolute): both backends must agree whether the queue grazes K,
+//     rides near capacity, or overflows.
+type IncastDiffConfig struct {
+	// Flows lists the incast degrees to gate (defaults to the quick Fig-5
+	// operating points: 80, 500, 1400 — one per paper mode).
+	Flows []int
+	// BurstDuration, Bursts, Interval shape the workload (defaults 15 ms,
+	// 4 bursts with the first discarded, 250 ms spacing).
+	BurstDuration sim.Time
+	Bursts        int
+	Interval      sim.Time
+	// Seed drives start jitter on both sides.
+	Seed uint64
+
+	// MeanBCTTol and MaxBCTTol are relative tolerances on burst completion
+	// times; PeakQueueTol is an absolute tolerance on the peak queue as a
+	// fraction of capacity. Zero values take the documented defaults.
+	MeanBCTTol   float64
+	MaxBCTTol    float64
+	PeakQueueTol float64
+
+	// Audit additionally runs both sides in checked mode (the packet
+	// auditor and flowsim's per-step conservation checks).
+	Audit bool
+}
+
+func (c *IncastDiffConfig) fill() {
+	if len(c.Flows) == 0 {
+		c.Flows = []int{80, 500, 1400}
+	}
+	if c.BurstDuration <= 0 {
+		c.BurstDuration = 15 * sim.Millisecond
+	}
+	if c.Bursts <= 0 {
+		c.Bursts = 4
+	}
+	if c.Interval <= 0 {
+		c.Interval = 250 * sim.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MeanBCTTol <= 0 {
+		c.MeanBCTTol = 0.35
+	}
+	if c.MaxBCTTol <= 0 {
+		c.MaxBCTTol = 0.50
+	}
+	if c.PeakQueueTol <= 0 {
+		c.PeakQueueTol = 0.15
+	}
+}
+
+// IncastDiffPoint carries one operating point's two-sided outcome.
+type IncastDiffPoint struct {
+	Flows int
+
+	// Modes under flowsim.Classify.
+	PacketMode, FlowMode string
+
+	// Headline statistics from each side.
+	PacketMeanBCT, FlowMeanBCT sim.Time
+	PacketMaxBCT, FlowMaxBCT   sim.Time
+	// Peak queue as a fraction of capacity.
+	PacketPeakQueue, FlowPeakQueue float64
+	PacketTimeouts, FlowTimeouts   int64
+}
+
+// IncastDiffResult aggregates the gate across all operating points.
+type IncastDiffResult struct {
+	Points []IncastDiffPoint
+	// Breaches lists every tolerance violation, empty on agreement.
+	Breaches []string
+}
+
+// RunIncastDiff runs the closed-loop differential gate. The returned error
+// is non-nil when any point breaches the tolerance contract; the result
+// always carries every point for reporting.
+func RunIncastDiff(cfg IncastDiffConfig) (*IncastDiffResult, error) {
+	cfg.fill()
+	res := &IncastDiffResult{}
+	breach := func(format string, args ...any) {
+		res.Breaches = append(res.Breaches, fmt.Sprintf(format, args...))
+	}
+
+	for _, n := range cfg.Flows {
+		pkt, err := runPacketIncast(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("audit: packet side at %d flows: %w", n, err)
+		}
+		flow, err := flowsim.Run(flowsim.Config{
+			Flows:           n,
+			SegmentsPerFlow: workload.BytesPerFlowFor(10*netsim.Gbps, cfg.BurstDuration, n) / netsim.MSS,
+			Bursts:          cfg.Bursts,
+			Interval:        cfg.Interval,
+			Seed:            cfg.Seed,
+			Check:           cfg.Audit,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("audit: flow side at %d flows: %w", n, err)
+		}
+
+		capPkts := float64(flow.QueueCapacity)
+		p := IncastDiffPoint{
+			Flows:           n,
+			PacketMode:      flowsim.Classify(pkt.timeouts, pkt.fracBelowK),
+			FlowMode:        flowsim.Classify(flow.Timeouts, flow.FracBelowK),
+			PacketMeanBCT:   pkt.meanBCT,
+			FlowMeanBCT:     flow.MeanBCT,
+			PacketMaxBCT:    pkt.maxBCT,
+			FlowMaxBCT:      flow.MaxBCT,
+			PacketPeakQueue: pkt.maxQueue / capPkts,
+			FlowPeakQueue:   flow.MaxQueue / capPkts,
+			PacketTimeouts:  pkt.timeouts,
+			FlowTimeouts:    flow.Timeouts,
+		}
+		res.Points = append(res.Points, p)
+
+		if p.PacketMode != p.FlowMode {
+			breach("n=%d: mode classification diverges: packet %q vs flow %q (timeouts %d/%d, fracBelowK %.3f/%.3f)",
+				n, p.PacketMode, p.FlowMode, p.PacketTimeouts, p.FlowTimeouts, pkt.fracBelowK, flow.FracBelowK)
+		}
+		if rel := relDiff(float64(p.FlowMeanBCT), float64(p.PacketMeanBCT)); rel > cfg.MeanBCTTol {
+			breach("n=%d: mean BCT: packet %v vs flow %v (rel diff %.3f > tol %.3f)",
+				n, p.PacketMeanBCT, p.FlowMeanBCT, rel, cfg.MeanBCTTol)
+		}
+		if rel := relDiff(float64(p.FlowMaxBCT), float64(p.PacketMaxBCT)); rel > cfg.MaxBCTTol {
+			breach("n=%d: max BCT: packet %v vs flow %v (rel diff %.3f > tol %.3f)",
+				n, p.PacketMaxBCT, p.FlowMaxBCT, rel, cfg.MaxBCTTol)
+		}
+		if d := math.Abs(p.PacketPeakQueue - p.FlowPeakQueue); d > cfg.PeakQueueTol {
+			breach("n=%d: peak queue: packet %.3f vs flow %.3f of capacity (diff %.3f > tol %.3f)",
+				n, p.PacketPeakQueue, p.FlowPeakQueue, d, cfg.PeakQueueTol)
+		}
+	}
+
+	if len(res.Breaches) > 0 {
+		msg := fmt.Sprintf("audit: flowsim/netsim closed-loop differential check failed with %d breach(es)", len(res.Breaches))
+		for _, b := range res.Breaches {
+			msg += "\n  " + b
+		}
+		return res, fmt.Errorf("%s", msg)
+	}
+	return res, nil
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a-b) / b
+}
+
+// packetIncastOutcome is the packet side's headline statistics, measured
+// the same way internal/core measures them (first burst discarded,
+// per-burst queue sampling at 100 us).
+type packetIncastOutcome struct {
+	meanBCT, maxBCT sim.Time
+	maxQueue        float64
+	fracBelowK      float64
+	timeouts        int64
+}
+
+// runPacketIncast runs the reference DCTCP incast directly on workload +
+// netsim. It intentionally does not go through internal/core (core imports
+// audit), but measures identically: discarded first burst, 100 us queue
+// samples over burst duration + 5 ms, counters diffed from the measured
+// window's start.
+func runPacketIncast(cfg IncastDiffConfig, n int) (*packetIncastOutcome, error) {
+	eng := sim.NewEngine()
+	net := netsim.DefaultDumbbellConfig(n)
+	wl := workload.IncastConfig{
+		Flows:        n,
+		BytesPerFlow: workload.BytesPerFlowFor(net.HostLinkBps, cfg.BurstDuration, n),
+		Bursts:       cfg.Bursts,
+		Interval:     cfg.Interval,
+		JitterMax:    100 * sim.Microsecond,
+		Seed:         cfg.Seed,
+	}
+	in := workload.NewIncast(eng, net, wl, func(int) cc.Algorithm {
+		return cc.NewDCTCP(cc.DefaultDCTCPConfig())
+	})
+
+	var auditor *Auditor
+	if cfg.Audit {
+		auditor = New(eng, Config{RequireDrained: true})
+		auditor.WatchDumbbell(in.Network())
+		for _, s := range in.Senders() {
+			auditor.WatchSender(s)
+		}
+		auditor.Start()
+	}
+
+	q := in.Network().BottleneckQueue()
+	sampleInterval := 100 * sim.Microsecond
+	samples := int((cfg.BurstDuration + 5*sim.Millisecond) / sampleInterval)
+	first := 1
+	if cfg.Bursts == 1 {
+		first = 0
+	}
+	var burstSeries []*stats.Series
+	for b := first; b < cfg.Bursts; b++ {
+		start := sim.Time(b) * cfg.Interval
+		burstSeries = append(burstSeries,
+			netsim.QueueDepthSeries(eng, q, start, sampleInterval, samples))
+	}
+
+	var baseTimeouts int64
+	eng.Schedule(sim.Time(first)*cfg.Interval, func() {
+		baseTimeouts = in.AggregateSenderStats().Timeouts
+	})
+
+	deadline := sim.Time(cfg.Bursts)*cfg.Interval + 10*sim.Second
+	eng.RunUntil(deadline)
+	if !in.Done() {
+		return nil, fmt.Errorf("incast with %d flows did not complete by %v", n, deadline)
+	}
+	if auditor != nil {
+		auditor.Finish()
+		if err := auditor.Err(); err != nil {
+			return nil, fmt.Errorf("invariant audit: %w", err)
+		}
+	}
+
+	out := &packetIncastOutcome{}
+	var busy, belowK int
+	for _, bs := range burstSeries {
+		for _, v := range bs.Values {
+			if v > out.maxQueue {
+				out.maxQueue = v
+			}
+			if v > 0 {
+				busy++
+				if v < float64(net.ECNThresholdPackets) {
+					belowK++
+				}
+			}
+		}
+	}
+	if busy > 0 {
+		out.fracBelowK = float64(belowK) / float64(busy)
+	}
+
+	var bctSum sim.Time
+	measured := 0
+	for _, b := range in.Bursts()[first:] {
+		bctSum += b.BCT
+		if b.BCT > out.maxBCT {
+			out.maxBCT = b.BCT
+		}
+		measured++
+	}
+	out.meanBCT = bctSum / sim.Time(measured)
+	out.timeouts = in.AggregateSenderStats().Timeouts - baseTimeouts
+	return out, nil
+}

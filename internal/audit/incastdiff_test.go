@@ -1,0 +1,52 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestIncastDifferentialGate is the standing closed-loop cross-validation
+// gate ci.sh runs: the quick Fig-5 operating points (one per paper mode)
+// run through both the packet simulator and the flow-level fluid engine,
+// with mode classification required to match exactly and completion
+// times/peak queues within the documented tolerance contract. Both sides
+// run fully checked (invariant auditor / per-step conservation).
+func TestIncastDifferentialGate(t *testing.T) {
+	res, err := RunIncastDiff(IncastDiffConfig{Audit: true})
+	for _, p := range res.Points {
+		t.Logf("n=%d: packet[%s meanBCT=%v peakQ=%.3f] flow[%s meanBCT=%v peakQ=%.3f]",
+			p.Flows, p.PacketMode, p.PacketMeanBCT, p.PacketPeakQueue,
+			p.FlowMode, p.FlowMeanBCT, p.FlowPeakQueue)
+	}
+	if err != nil {
+		t.Fatalf("closed-loop differential check failed:\n%v", err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("expected 3 operating points, got %d", len(res.Points))
+	}
+	// The gate must actually exercise all three modes.
+	wantModes := []string{"1 (healthy)", "2 (degenerate)", "3 (timeouts)"}
+	for i, p := range res.Points {
+		if p.PacketMode != wantModes[i] {
+			t.Errorf("point %d (n=%d): packet mode %q, want %q — the gate no longer spans the taxonomy",
+				i, p.Flows, p.PacketMode, wantModes[i])
+		}
+	}
+}
+
+// TestIncastDiffDetectsDivergence sanity-checks the closed-loop comparator:
+// impossibly tight tolerances must breach, proving the gate can fail.
+func TestIncastDiffDetectsDivergence(t *testing.T) {
+	_, err := RunIncastDiff(IncastDiffConfig{
+		Flows:        []int{80},
+		MeanBCTTol:   1e-12,
+		MaxBCTTol:    1e-12,
+		PeakQueueTol: 1e-12,
+	})
+	if err == nil {
+		t.Fatal("near-zero tolerances should breach; the comparator cannot fail")
+	}
+	if !strings.Contains(err.Error(), "BCT") {
+		t.Errorf("breach message does not name the offending metric: %v", err)
+	}
+}

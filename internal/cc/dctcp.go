@@ -85,6 +85,11 @@ func NewDCTCP(cfg DCTCPConfig) *DCTCP {
 // Name implements Algorithm.
 func (d *DCTCP) Name() string { return "dctcp" }
 
+// Config returns the configuration the instance runs with (after default
+// filling), so other layers — e.g. internal/flowsim's reduced-form lowering
+// — can mirror its parameters.
+func (d *DCTCP) Config() DCTCPConfig { return d.cfg }
+
 // Alpha returns the current congestion estimate, for instrumentation.
 func (d *DCTCP) Alpha() float64 { return d.alpha }
 

@@ -78,6 +78,11 @@ func NewSwift(cfg SwiftConfig) *Swift {
 // Name implements Algorithm.
 func (s *Swift) Name() string { return "swift" }
 
+// Config returns the configuration the instance runs with (after default
+// filling), so other layers — e.g. internal/flowsim's reduced-form lowering
+// — can mirror its parameters.
+func (s *Swift) Config() SwiftConfig { return s.cfg }
+
 // FractionalWindow returns the internal window in bytes, which may be less
 // than one MSS.
 func (s *Swift) FractionalWindow() float64 { return s.wnd }

@@ -25,6 +25,9 @@ type Common struct {
 	MetricsPath string
 	// PprofAddr serves net/http/pprof when non-empty.
 	PprofAddr string
+	// Fidelity selects the simulation backend ("packet" or "flow"; empty
+	// means packet-level).
+	Fidelity string
 
 	metrics *obs.Registry
 	prof    *obs.Profiler
@@ -38,6 +41,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.BoolVar(&c.Audit, "audit", false, "run simulations in checked mode: enforce invariants (conservation, queue bounds, cc protocol bounds) on every packet-level run")
 	fs.StringVar(&c.MetricsPath, "metrics", "", "write a JSON metrics snapshot of all runs to this file (\"-\" for stdout)")
 	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) and sample memory statistics")
+	fs.StringVar(&c.Fidelity, "fidelity", "", "simulation backend: \"packet\" (default, discrete-event) or \"flow\" (fluid fast path; rejects packet-level-only features)")
 	return c
 }
 
@@ -47,6 +51,10 @@ func Register(fs *flag.FlagSet) *Common {
 func (c *Common) Setup() error {
 	if err := core.ValidateWorkers(c.Workers); err != nil {
 		return fmt.Errorf("-workers: %w", err)
+	}
+	if !core.KnownFidelity(c.Fidelity) {
+		return fmt.Errorf("-fidelity: unknown backend %q (valid: %q, %q)",
+			c.Fidelity, core.FidelityPacket, core.FidelityFlow)
 	}
 	if c.MetricsPath != "" || c.PprofAddr != "" {
 		c.metrics = obs.NewRegistry()

@@ -52,11 +52,21 @@ type Options struct {
 	// the registry's merge is commutative, so snapshots are identical
 	// across serial and parallel schedules.
 	Metrics *obs.Registry
+	// Fidelity, when set to FidelityFlow, runs each simulation the
+	// experiment spawns on the flow-level fluid backend where the
+	// configuration supports it; runs that need packet-level-only features
+	// (ICTCP, shared buffers, admission waves, ...) keep the packet
+	// backend. Empty or FidelityPacket means packet-level everywhere.
+	Fidelity string
 }
 
 // Validate rejects option values that would otherwise fail deep inside an
 // experiment run.
 func (o Options) Validate() error {
+	if !KnownFidelity(o.Fidelity) {
+		return fmt.Errorf("core: unknown fidelity %q (valid: %q, %q)",
+			o.Fidelity, FidelityPacket, FidelityFlow)
+	}
 	return ValidateWorkers(o.Workers)
 }
 

@@ -25,13 +25,30 @@ var (
 	bctBuckets = obs.ExpBuckets(1, 2, 14)
 )
 
-// instrument stamps the options' metrics registry and the experiment name
-// into a simulation config, so runners can thread observability through
-// with one call.
+// instrument stamps the options' metrics registry, the experiment name,
+// and (best-effort) the requested fidelity into a simulation config, so
+// runners can thread observability through with one call.
 func (o Options) instrument(experiment string, cfg SimConfig) SimConfig {
 	cfg.Metrics = o.Metrics
 	cfg.Experiment = experiment
+	o.applyFidelity(&cfg)
 	return cfg
+}
+
+// applyFidelity lowers a run to the flow-level backend when the options ask
+// for it and the configuration supports it. Options.Fidelity is
+// best-effort — experiments mix runs that the fluid model covers with runs
+// that need packet-level machinery (ICTCP, shared buffers, waves), so
+// incompatible configs silently keep the packet backend. Explicit per-run
+// requests (cfg.Fidelity already set) are never overridden; those fail
+// loudly inside RunIncastSim if unsupported.
+func (o Options) applyFidelity(cfg *SimConfig) {
+	if o.Fidelity != FidelityFlow || cfg.Fidelity != "" {
+		return
+	}
+	if cfg.FlowCompatible() == nil {
+		cfg.Fidelity = FidelityFlow
+	}
 }
 
 // runSims stamps the options' observability into every config and fans the
@@ -41,6 +58,7 @@ func (o Options) runSims(experiment string, cfgs []SimConfig) []*SimResult {
 	for i := range cfgs {
 		cfgs[i].Metrics = o.Metrics
 		cfgs[i].Experiment = experiment
+		o.applyFidelity(&cfgs[i])
 	}
 	return RunIncastSims(o.Workers, cfgs)
 }

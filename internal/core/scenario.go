@@ -58,6 +58,17 @@ func CompileScenario(opt Options, spec scenario.Spec) (header []string, labels [
 			labels = append(labels, []string{axisLabel(spec.Sweep, i, v)})
 		}
 	}
+
+	// An explicit flow-level request must hold for every compiled row —
+	// fail at compile time with the offending row named, not mid-sweep.
+	if spec.Fidelity == FidelityFlow {
+		for i, cfg := range cfgs {
+			if err := cfg.FlowCompatible(); err != nil {
+				return nil, nil, nil, fmt.Errorf("scenario %q row %d (%s): %w",
+					spec.Name, i, strings.Join(labels[i], "/"), err)
+			}
+		}
+	}
 	return header, labels, cfgs, nil
 }
 
@@ -82,6 +93,7 @@ func compileRow(opt Options, spec scenario.Spec, n int, v scenario.Value) SimCon
 		Bursts:        scenarioBursts(opt, spec.Workload),
 		Seed:          opt.seed(),
 		Audit:         opt.Audit,
+		Fidelity:      spec.Fidelity,
 	}
 	if spec.Workload.IntervalMS > 0 {
 		cfg.Interval = msTime(spec.Workload.IntervalMS, 0)

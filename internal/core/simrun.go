@@ -70,6 +70,12 @@ type SimConfig struct {
 	// Experiment labels the harvested metrics with the experiment that
 	// spawned the run; empty means "adhoc".
 	Experiment string
+	// Fidelity selects the simulation backend: FidelityPacket (the
+	// default, also selected by "") runs the discrete-event packet
+	// simulator; FidelityFlow runs the fluid fast path in
+	// internal/flowsim. Flow-level runs reject packet-level-only features;
+	// see FlowCompatible.
+	Fidelity string
 }
 
 // fill applies the paper defaults.
@@ -108,6 +114,9 @@ func (c *SimConfig) fill() {
 type SimResult struct {
 	Flows   int
 	AlgName string
+	// Fidelity records which backend produced the result (FidelityPacket
+	// or FidelityFlow).
+	Fidelity string
 
 	// AvgQueue is the queue depth in packets, averaged element-wise across
 	// measured bursts; time is relative to burst start.
@@ -148,6 +157,15 @@ type SimResult struct {
 // queue trace and counters.
 func RunIncastSim(cfg SimConfig) *SimResult {
 	cfg.fill()
+	switch cfg.Fidelity {
+	case "", FidelityPacket:
+		// The packet-level discrete-event path below.
+	case FidelityFlow:
+		return runFlowIncastSim(cfg)
+	default:
+		panic(fmt.Sprintf("core: unknown fidelity %q (valid: %q, %q)",
+			cfg.Fidelity, FidelityPacket, FidelityFlow))
+	}
 	// Wall time is only measured when it will be reported; the simulation
 	// itself never reads it.
 	var wallStart time.Time
@@ -198,6 +216,7 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 	res := &SimResult{
 		Flows:         cfg.Flows,
 		AlgName:       in.Senders()[0].Algorithm().Name(),
+		Fidelity:      FidelityPacket,
 		QueueCapacity: cfg.Net.QueueCapacityPackets,
 		ECNThreshold:  cfg.Net.ECNThresholdPackets,
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"incastlab/internal/flowsim"
 	"incastlab/internal/sim"
 	"incastlab/internal/stats"
 	"incastlab/internal/trace"
@@ -80,16 +81,10 @@ func Fig5Modes(opt Options) *Fig5Result {
 
 // Mode classifies a run by the paper's taxonomy: timeouts mark Mode 3;
 // otherwise a queue that regularly dips below the marking threshold is
-// healthy (Mode 1), and one pinned above it is degenerate (Mode 2).
+// healthy (Mode 1), and one pinned above it is degenerate (Mode 2). The
+// rule lives in internal/flowsim so both fidelities share one taxonomy.
 func mode(s *SimResult) string {
-	switch {
-	case s.Timeouts > 0:
-		return "3 (timeouts)"
-	case s.FracBelowK < 0.10:
-		return "2 (degenerate)"
-	default:
-		return "1 (healthy)"
-	}
+	return flowsim.Classify(s.Timeouts, s.FracBelowK)
 }
 
 // avgBusyQueue averages the queue depth over samples where it is non-zero.

@@ -1,0 +1,147 @@
+package flowsim
+
+import (
+	"fmt"
+
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+// TraceConfig drives the fluid queue open-loop for the differential
+// harness: a per-interval offered-packet trace evolves the bottleneck in
+// fixed sub-steps using the same serve/mark/overflow arithmetic as the
+// closed-loop engine, producing the per-interval curves that
+// internal/audit compares against rackmodel and netsim.
+type TraceConfig struct {
+	// OfferedPackets is the number of MTU packets offered per interval,
+	// arriving uniformly within it.
+	OfferedPackets []int
+	// Interval is the trace interval width (default 1 ms).
+	Interval sim.Time
+	// LineRateBps is the bottleneck line rate (default 10 Gbps); drains
+	// apply the x1500/1538 effective-rate contract.
+	LineRateBps int64
+	// QueueCapacityPackets and ECNThresholdPackets describe the port
+	// (defaults 1333 and 65).
+	QueueCapacityPackets int
+	ECNThresholdPackets  int
+	// SubSteps is the number of fluid sub-steps per interval (default 20,
+	// i.e. 50 us at the millisampler granularity).
+	SubSteps int
+}
+
+// TraceResult carries per-interval curves in the units the differential
+// harness compares: IP bytes for volumes, fractions of capacity for
+// watermarks.
+type TraceResult struct {
+	// Delivered and ECNBytes are per-interval delivered and marked volumes
+	// in IP bytes.
+	Delivered []float64
+	ECNBytes  []float64
+	// Watermark is the within-interval queue peak as a fraction of
+	// capacity; PeakWatermark is its maximum over the trace.
+	Watermark     []float64
+	PeakWatermark float64
+	// DroppedBytes is the whole-trace overflow volume in IP bytes.
+	DroppedBytes float64
+}
+
+// RunTrace evolves the queue over the offered trace. Dropped volume is not
+// re-offered (matching the open-loop packet harness, which has no
+// transport to retransmit).
+func RunTrace(cfg TraceConfig) (*TraceResult, error) {
+	if len(cfg.OfferedPackets) == 0 {
+		return nil, fmt.Errorf("flowsim: trace needs at least one interval")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = sim.Millisecond
+	}
+	if cfg.LineRateBps <= 0 {
+		cfg.LineRateBps = 10 * netsim.Gbps
+	}
+	if cfg.QueueCapacityPackets <= 0 {
+		cfg.QueueCapacityPackets = netsim.DefaultDumbbellConfig(1).QueueCapacityPackets
+	}
+	if cfg.ECNThresholdPackets <= 0 {
+		cfg.ECNThresholdPackets = netsim.DefaultDumbbellConfig(1).ECNThresholdPackets
+	}
+	if cfg.SubSteps <= 0 {
+		cfg.SubSteps = 20
+	}
+
+	n := len(cfg.OfferedPackets)
+	res := &TraceResult{
+		Delivered: make([]float64, n),
+		ECNBytes:  make([]float64, n),
+		Watermark: make([]float64, n),
+	}
+	capPkts := float64(cfg.QueueCapacityPackets)
+	kPkts := float64(cfg.ECNThresholdPackets)
+	subSec := float64(cfg.Interval) / float64(sim.Second) / float64(cfg.SubSteps)
+	drainPerSub := EffectivePacketRate(cfg.LineRateBps) * subSec
+
+	var q float64
+	for i, pkts := range cfg.OfferedPackets {
+		if pkts < 0 {
+			return nil, fmt.Errorf("flowsim: offered packets must be non-negative (interval %d has %d)", i, pkts)
+		}
+		arrPerSub := float64(pkts) / float64(cfg.SubSteps)
+		peak := q
+		var delivered, marked, dropped float64
+		for s := 0; s < cfg.SubSteps; s++ {
+			served, drop, mark, q1 := stepQueue(q, arrPerSub, drainPerSub, capPkts, kPkts)
+			delivered += served
+			marked += served * mark
+			dropped += drop
+			if q1 > peak {
+				peak = q1
+			}
+			q = q1
+		}
+		res.Delivered[i] = delivered * float64(netsim.MTU)
+		res.ECNBytes[i] = marked * float64(netsim.MTU)
+		res.Watermark[i] = peak / capPkts
+		if res.Watermark[i] > res.PeakWatermark {
+			res.PeakWatermark = res.Watermark[i]
+		}
+		res.DroppedBytes += dropped * float64(netsim.MTU)
+	}
+	return res, nil
+}
+
+// stepQueue advances the bottleneck queue one fluid step: serve up to the
+// drain allowance, admit arrivals up to capacity (tail-dropping the
+// excess), and report the threshold-crossing mark fraction for the step's
+// deliveries. Shared by the open-loop trace and mirrored by the
+// closed-loop engine.
+func stepQueue(q, arrive, drainCap, capPkts, kPkts float64) (served, dropped, markFrac, qEnd float64) {
+	served = drainCap
+	if served > q+arrive {
+		served = q + arrive
+	}
+	markFrac = markFraction(q, q+arrive-drainCap, kPkts)
+	qEnd = q + arrive - served
+	if qEnd > capPkts {
+		dropped = qEnd - capPkts
+		qEnd = capPkts
+	}
+	return served, dropped, markFrac, qEnd
+}
+
+// markFraction returns the fraction of a step during which a linearly
+// evolving queue (from q0 along the uncapped slope to q1) exceeds thresh,
+// mirroring internal/rackmodel's crossing arithmetic.
+func markFraction(q0, q1, thresh float64) float64 {
+	lo, hi := q0, q1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	switch {
+	case hi <= thresh:
+		return 0
+	case lo >= thresh:
+		return 1
+	default:
+		return (hi - thresh) / (hi - lo)
+	}
+}

@@ -46,6 +46,12 @@ type Spec struct {
 	// Sweep names the varied axis and its values; every value is one row
 	// of the result table.
 	Sweep Sweep `json:"sweep"`
+	// Fidelity selects the simulation backend: "packet" (the default,
+	// also selected by omission) runs the discrete-event simulator;
+	// "flow" runs the fluid fast-path engine, which is orders of
+	// magnitude faster but rejects packet-level-only features (shared
+	// buffers, delayed ACKs, ICTCP, idle restart).
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // Topology overrides the paper's dumbbell configuration. Zero fields keep
@@ -181,6 +187,19 @@ var Axes = map[string]ValueKind{
 // CC.Algorithm and for axis "cc" values. "d2tcp-tight" is D2TCP with a
 // tight deadline factor (D=2), the CCA ablation's configuration.
 var CCNames = []string{"dctcp", "reno", "swift", "d2tcp", "d2tcp-tight"}
+
+// Fidelities lists the simulation backends a spec may name.
+var Fidelities = []string{"packet", "flow"}
+
+// KnownFidelity reports whether name selects a backend ("" means packet).
+func KnownFidelity(name string) bool {
+	for _, f := range Fidelities {
+		if name == f {
+			return true
+		}
+	}
+	return name == ""
+}
 
 // KnownCC reports whether name is a recognized congestion-control name.
 func KnownCC(name string) bool {
@@ -376,6 +395,10 @@ func (s Spec) Validate() error {
 	}
 	if s.Topology == nil && s.Sweep.Axis == "shared_buffer" {
 		return fmt.Errorf("scenario %q: axis \"shared_buffer\" needs a topology with shared_buffer_bytes to toggle", s.Name)
+	}
+	if !KnownFidelity(s.Fidelity) {
+		return fmt.Errorf("scenario %q: fidelity %q is not one of %s (or omit for packet-level)",
+			s.Name, s.Fidelity, strings.Join(Fidelities, ", "))
 	}
 	return nil
 }

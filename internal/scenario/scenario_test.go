@@ -32,6 +32,7 @@ func fullSpec() Spec {
 			Column: "gain",
 			Flows:  []int{80, 500},
 		},
+		Fidelity: "packet",
 	}
 }
 
@@ -148,6 +149,7 @@ func TestValidateRejections(t *testing.T) {
 		}, "needs a topology"},
 		{"contend without shared", func(s *Spec) { s.Topology = &Topology{ContendBytes: 1} }, "requires shared_buffer_bytes"},
 		{"negative rto", func(s *Spec) { s.Transport = &Transport{MinRTOMS: -1} }, "want a positive timeout"},
+		{"unknown fidelity", func(s *Spec) { s.Fidelity = "warp" }, "not one of packet, flow"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
