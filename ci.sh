@@ -26,13 +26,21 @@
 #                        CSVs must be byte-identical to the checked-in
 #                        goldens (scheduler and pooling changes are
 #                        behavior-preserving)
-#   8. scenario gate     example specs run end to end through
+#   8. sweep-cache gate  the Clos cross-rack example sweep runs cold,
+#                        sharded across two worker processes against a
+#                        shared content-addressed cache, then again as a
+#                        warm resume: the resume must be all cache hits
+#                        and its CSV byte-identical to the cold run; the
+#                        1,000-point flow-fidelity RTO grid then shards
+#                        across four processes and warm-assembles the
+#                        same way (resumable 1k-point studies work)
+#   9. scenario gate     example specs run end to end through
 #                        `incastsim -scenario` and produce their CSVs —
 #                        one packet-level, one at flow fidelity (a
 #                        10,000-flow sweep only the fluid backend can
 #                        turn around); a bogus spec path must exit
 #                        non-zero
-#   9. bench gate        the substrate micro-benchmarks and the flow-level
+#  10. bench gate        the substrate micro-benchmarks and the flow-level
 #                        Fig-5 sweep smoke-run at one iteration each (they
 #                        must at least execute); with CI_BENCH=1 the macro
 #                        + micro benchmarks run for real and refresh the
@@ -88,10 +96,26 @@ if go run ./cmd/figures -only bogus -out "$OBS_TMP/bogus" 2>/dev/null; then
   echo "figures -only bogus should have exited non-zero" >&2
   exit 1
 fi
-go run ./cmd/figures -quick -only fig5,fig6,ablation_g -out "$OBS_TMP/golden"
+go run ./cmd/figures -quick -only fig5,fig6,ablation_g,ext_clos_crossrack -out "$OBS_TMP/golden"
 for f in internal/core/testdata/quick/*.csv; do
   cmp "$f" "$OBS_TMP/golden/$(basename "$f")"
 done
+
+echo "==> sweep-cache gate: sharded cold run, then warm resume, byte-identical"
+go build -o "$OBS_TMP/incastsim" ./cmd/incastsim
+"$OBS_TMP/incastsim" -scenario examples/scenarios/clos_crossrack.json -quick \
+  -cache "$OBS_TMP/sweep.cache" -shard-procs 2 -out "$OBS_TMP/sweep_cold" >"$OBS_TMP/sweep_cold.log"
+grep -q '^cache: 4 rows, 4 hits, 0 computed, 0 skipped$' "$OBS_TMP/sweep_cold.log"
+"$OBS_TMP/incastsim" -scenario examples/scenarios/clos_crossrack.json -quick \
+  -cache "$OBS_TMP/sweep.cache" -out "$OBS_TMP/sweep_warm" >"$OBS_TMP/sweep_warm.log"
+grep -q '^cache: 4 rows, 4 hits, 0 computed, 0 skipped$' "$OBS_TMP/sweep_warm.log"
+cmp "$OBS_TMP/sweep_cold/clos_crossrack.csv" "$OBS_TMP/sweep_warm/clos_crossrack.csv"
+"$OBS_TMP/incastsim" -scenario examples/scenarios/fanin_rto_grid_flow.json -quick \
+  -cache "$OBS_TMP/grid.cache" -shard-procs 4 -out "$OBS_TMP/grid_cold" >"$OBS_TMP/grid_cold.log"
+grep -q '^cache: 1000 rows, 1000 hits, 0 computed, 0 skipped$' "$OBS_TMP/grid_cold.log"
+"$OBS_TMP/incastsim" -scenario examples/scenarios/fanin_rto_grid_flow.json -quick \
+  -cache "$OBS_TMP/grid.cache" -out "$OBS_TMP/grid_warm" >"$OBS_TMP/grid_warm.log"
+cmp "$OBS_TMP/grid_cold/fanin_rto_grid_flow.csv" "$OBS_TMP/grid_warm/fanin_rto_grid_flow.csv"
 
 echo "==> scenario gate: example specs end to end; bad spec path rejected"
 go run ./cmd/incastsim -scenario examples/scenarios/ml_periodic_bursts.json -quick -out "$OBS_TMP/scenario" >/dev/null

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 	"time"
@@ -49,6 +50,9 @@ func main() {
 	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec (JSON file) instead of the flag-built simulation")
 	out := flag.String("out", "out", "output directory for the -scenario CSV artifact")
 	quick := flag.Bool("quick", false, "with -scenario: reduced burst counts")
+	cacheDir := flag.String("cache", "", "with -scenario: content-addressed row cache directory (sweeps resume incrementally; warm reruns are byte-identical)")
+	shardSpec := flag.String("shard", "", "with -scenario -cache: compute only rows K/N of the sweep, e.g. 0/4 (other rows are read from cache or skipped)")
+	shardProcs := flag.Int("shard-procs", 0, "with -scenario -cache: fan the sweep out over this many worker processes, then assemble from cache")
 	common := cli.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -58,11 +62,23 @@ func main() {
 	defer common.Close()
 
 	if *scenarioPath != "" {
-		runScenario(common, *scenarioPath, *out, *seed, *quick)
+		sc := scenarioInvocation{
+			path:       *scenarioPath,
+			out:        *out,
+			seed:       *seed,
+			quick:      *quick,
+			cacheDir:   *cacheDir,
+			shardSpec:  *shardSpec,
+			shardProcs: *shardProcs,
+		}
+		sc.run(common)
 		if err := common.WriteMetrics(true); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *cacheDir != "" || *shardSpec != "" || *shardProcs > 0 {
+		log.Fatal("-cache, -shard, and -shard-procs only apply to -scenario runs")
 	}
 
 	metrics := common.Metrics()
@@ -191,36 +207,144 @@ func main() {
 	}
 }
 
-// runScenario loads the JSON spec at path, runs it, writes its CSV
-// artifact under out, and prints the rendered summary. Any resolution or
-// validation failure exits non-zero with the underlying error.
-func runScenario(common *cli.Common, path, out string, seed uint64, quick bool) {
-	spec, err := incastlab.LoadScenario(path)
+// scenarioInvocation carries one -scenario run's flags: the spec, the
+// output directory, and the optional sweep-cache/sharding setup.
+type scenarioInvocation struct {
+	path, out  string
+	seed       uint64
+	quick      bool
+	cacheDir   string
+	shardSpec  string
+	shardProcs int
+}
+
+// run loads the JSON spec, runs it (directly, or through the sweep cache
+// when -cache is set), writes its CSV artifact under out, and prints the
+// rendered summary. Any resolution or validation failure exits non-zero
+// with the underlying error.
+func (sc scenarioInvocation) run(common *cli.Common) {
+	spec, err := incastlab.LoadScenario(sc.path)
 	if err != nil {
 		log.Fatalf("-scenario: %v", err)
 	}
 	opt := incastlab.Options{
-		Seed:     seed,
-		Quick:    quick,
+		Seed:     sc.seed,
+		Quick:    sc.quick,
 		Workers:  common.Workers,
 		Audit:    common.Audit,
 		Metrics:  common.Metrics(),
 		Fidelity: common.Fidelity,
 	}
 	started := time.Now()
-	res, err := incastlab.RunScenario(opt, spec)
-	if err != nil {
-		log.Fatalf("-scenario %s: %v", path, err)
+
+	var res *incastlab.TableResult
+	switch {
+	case sc.cacheDir == "" && (sc.shardSpec != "" || sc.shardProcs > 0):
+		log.Fatal("-shard and -shard-procs need -cache: shards meet in the shared row cache")
+	case sc.cacheDir == "":
+		res, err = incastlab.RunScenario(opt, spec)
+		if err != nil {
+			log.Fatalf("-scenario %s: %v", sc.path, err)
+		}
+	default:
+		if sc.shardProcs > 0 {
+			sc.fanOut(common)
+		}
+		cache, err := incastlab.OpenSweepCache(sc.cacheDir)
+		if err != nil {
+			log.Fatalf("-cache: %v", err)
+		}
+		shard, err := parseShard(sc.shardSpec)
+		if err != nil {
+			log.Fatalf("-shard: %v", err)
+		}
+		var stats incastlab.SweepCacheStats
+		res, stats, err = incastlab.RunScenarioCached(opt, spec, cache, shard)
+		if err != nil {
+			log.Fatalf("-scenario %s: %v", sc.path, err)
+		}
+		fmt.Printf("cache: %s\n", stats)
+		if res == nil {
+			fmt.Printf("[%s shard %s incomplete after %v: rows owned by other shards are not cached yet; rerun to resume]\n",
+				spec.Name, sc.shardSpec, time.Since(started).Round(time.Millisecond))
+			return
+		}
 	}
-	if err := os.MkdirAll(out, 0o755); err != nil {
+
+	if err := os.MkdirAll(sc.out, 0o755); err != nil {
 		log.Fatalf("create output dir: %v", err)
 	}
-	if err := res.WriteFiles(out); err != nil {
+	if err := res.WriteFiles(sc.out); err != nil {
 		log.Fatalf("%s: write artifacts: %v", res.Name(), err)
 	}
 	fmt.Print(res.Summary())
 	fmt.Printf("\n[%s completed in %v; CSVs under %s]\n",
-		res.Name(), time.Since(started).Round(time.Millisecond), out)
+		res.Name(), time.Since(started).Round(time.Millisecond), sc.out)
+}
+
+// fanOut re-executes this binary once per shard with -shard k/N, waits for
+// all workers, and returns with the cache fully populated (the caller then
+// assembles the table from it). Worker failures are fatal: a missing shard
+// would leave the sweep incomplete anyway.
+func (sc scenarioInvocation) fanOut(common *cli.Common) {
+	if sc.shardSpec != "" {
+		log.Fatal("-shard and -shard-procs are mutually exclusive: -shard-procs spawns the shards itself")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatalf("-shard-procs: resolve executable: %v", err)
+	}
+	procs := make([]*exec.Cmd, sc.shardProcs)
+	for k := 0; k < sc.shardProcs; k++ {
+		args := []string{
+			"-scenario", sc.path,
+			"-cache", sc.cacheDir,
+			"-shard", fmt.Sprintf("%d/%d", k, sc.shardProcs),
+			"-seed", strconv.FormatUint(sc.seed, 10),
+			"-out", sc.out,
+			"-workers", strconv.Itoa(common.Workers),
+		}
+		if sc.quick {
+			args = append(args, "-quick")
+		}
+		if common.Audit {
+			args = append(args, "-audit")
+		}
+		if common.Fidelity != "" {
+			args = append(args, "-fidelity", common.Fidelity)
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatalf("-shard-procs: start shard %d: %v", k, err)
+		}
+		procs[k] = cmd
+	}
+	for k, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			log.Fatalf("-shard-procs: shard %d/%d failed: %v", k, sc.shardProcs, err)
+		}
+	}
+}
+
+// parseShard parses "K/N" into a shard selector; "" selects the whole
+// sweep.
+func parseShard(s string) (incastlab.SweepShard, error) {
+	if s == "" {
+		return incastlab.SweepShard{}, nil
+	}
+	idx, cnt, ok := strings.Cut(s, "/")
+	if !ok {
+		return incastlab.SweepShard{}, fmt.Errorf("want K/N, e.g. 0/4 (got %q)", s)
+	}
+	k, err1 := strconv.Atoi(strings.TrimSpace(idx))
+	n, err2 := strconv.Atoi(strings.TrimSpace(cnt))
+	if err1 != nil || err2 != nil {
+		return incastlab.SweepShard{}, fmt.Errorf("want integers K/N, e.g. 0/4 (got %q)", s)
+	}
+	sh := incastlab.SweepShard{Index: k, Count: n}
+	return sh, sh.Validate()
 }
 
 func busyAvg(res *incastlab.SimResult) float64 {

@@ -47,6 +47,7 @@ import (
 	"incastlab/internal/services"
 	"incastlab/internal/sim"
 	"incastlab/internal/stats"
+	"incastlab/internal/sweep"
 	"incastlab/internal/tcp"
 	"incastlab/internal/workload"
 )
@@ -156,6 +157,35 @@ func CompileScenario(opt Options, spec Scenario) ([]string, [][]string, []SimCon
 // into a single-CSV TableResult.
 func RunScenario(opt Options, spec Scenario) (*TableResult, error) {
 	return core.RunScenario(opt, spec)
+}
+
+// ScenarioClos is the multi-rack leaf/spine block of a scenario topology.
+type ScenarioClos = scenario.Clos
+
+// Sweep-cache API: shard a scenario's rows across processes and memoize
+// each row's rendered cells under a content address, so large studies
+// resume incrementally and warm reruns are byte-identical to cold runs.
+type (
+	// SweepCache is the content-addressed row store (a directory).
+	SweepCache = sweep.Cache
+	// SweepShard selects the rows a process owns (row i iff i%Count==Index).
+	SweepShard = core.Shard
+	// SweepCacheStats reports hits/computed/skipped after a cached pass.
+	SweepCacheStats = core.CacheStats
+)
+
+// OpenSweepCache creates (if needed) and opens the row cache rooted at dir.
+var OpenSweepCache = sweep.Open
+
+// SimCodeVersion is baked into every sweep-cache key; bumping it
+// invalidates all cached rows.
+const SimCodeVersion = core.SimCodeVersion
+
+// RunScenarioCached is RunScenario backed by a sweep cache and an optional
+// shard selector. The table is nil while rows owned by other shards are
+// still missing; stats report progress either way.
+func RunScenarioCached(opt Options, spec Scenario, cache *SweepCache, shard SweepShard) (*TableResult, SweepCacheStats, error) {
+	return core.RunScenarioCached(opt, spec, cache, shard)
 }
 
 // Table1 returns the five-services registry (paper Table 1).
@@ -305,6 +335,22 @@ type DumbbellConfig = netsim.DumbbellConfig
 
 // DefaultDumbbellConfig returns the paper's topology for n senders.
 func DefaultDumbbellConfig(n int) DumbbellConfig { return netsim.DefaultDumbbellConfig(n) }
+
+// ClosConfig describes a multi-rack leaf/spine fabric with seeded ECMP;
+// set SimConfig.Clos to run the incast over it instead of the dumbbell.
+type ClosConfig = netsim.ClosConfig
+
+// DefaultClosConfig returns a fabric with the paper's per-port parameters
+// for the given shape (two spines, 10/100 Gbps, K=65).
+func DefaultClosConfig(racks, hostsPerRack int) ClosConfig {
+	return netsim.DefaultClosConfig(racks, hostsPerRack)
+}
+
+// Worker placement policies for SimConfig.Placement on a Clos fabric.
+const (
+	PlacementCrossRack = workload.PlacementCrossRack
+	PlacementSameRack  = workload.PlacementSameRack
+)
 
 // IncastConfig and Admitter expose the burst workload driver for custom
 // experiments beyond the canned runners.

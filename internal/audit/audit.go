@@ -260,6 +260,21 @@ func (a *Auditor) WatchRack(r *netsim.Rack) {
 	a.SetClosedWorld(true)
 }
 
+// WatchClos registers the whole leaf/spine fabric — every link of every
+// switch tier, every host, and the packet pool — and declares the world
+// closed, so conservation holds per-switch across the fabric, not just at
+// one bottleneck.
+func (a *Auditor) WatchClos(c *netsim.Clos) {
+	for _, l := range c.AllLinks() {
+		a.WatchLink(l)
+	}
+	for _, h := range c.Hosts {
+		a.WatchHost(h)
+	}
+	a.WatchPool(c.Pool)
+	a.SetClosedWorld(true)
+}
+
 // OnGet implements netsim.PoolObserver: a packet leaving the pool must not
 // still be live somewhere.
 func (a *Auditor) OnGet(p *netsim.Packet) {

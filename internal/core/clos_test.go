@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"incastlab/internal/scenario"
+)
+
+// TestSharedBufferPoolReuse is the pooled-reuse regression for shared
+// buffers: the shared-buffer ablation must produce byte-identical CSVs on
+// a cold process and again after the engine/packet-pool bundles have been
+// recycled through other sweeps. SharedBuffer DT state (usedBytes,
+// externalBytes, registered queues) lives in per-run objects built fresh
+// by each topology constructor — only the engine and packet free lists are
+// pooled — so occupancy cannot carry over; this test pins that invariant
+// so a future "optimize: pool the topology too" change cannot silently
+// leak occupancy across sweep points.
+func TestSharedBufferPoolReuse(t *testing.T) {
+	opt := Options{Seed: 1, Quick: true, Workers: 1}
+	first := tableCSV(t, AblationSharedBuffer(opt))
+
+	// Dirty the pool: interleave other sweeps (different topology sizes,
+	// shared buffers on and off) so recycled bundles saw foreign runs.
+	AblationG(opt)
+	mustScenario(opt, closTestSpec())
+
+	second := tableCSV(t, AblationSharedBuffer(opt))
+	if first != second {
+		t.Errorf("shared-buffer sweep is not reproducible across pooled engine reuse:\n%s\nvs\n%s",
+			first, second)
+	}
+}
+
+// TestParallelClosDeterministic: the Clos cross-rack sweep — ECMP path
+// hashing included — must be byte-identical between the serial runner and
+// the full worker pool, and across repeated runs. Runs under -race in
+// ci.sh; together with TestParallelShardedCacheResume this pins "same
+// seed + spec => identical path assignments serial vs parallel and across
+// cache hits".
+func TestParallelClosDeterministic(t *testing.T) {
+	spec := closTestSpec()
+	serial := tableCSV(t, mustScenario(Options{Seed: 1, Quick: true, Workers: 1}, spec))
+	parallel := tableCSV(t, mustScenario(Options{Seed: 1, Quick: true, Workers: runtime.GOMAXPROCS(0)}, spec))
+	if serial != parallel {
+		t.Error("Clos sweep differs between serial and parallel runners")
+	}
+	again := tableCSV(t, mustScenario(Options{Seed: 1, Quick: true, Workers: runtime.GOMAXPROCS(0)}, spec))
+	if parallel != again {
+		t.Error("repeated parallel Clos runs differ for the same seed")
+	}
+}
+
+// TestClosECMPSeedChangesResults: a different ecmp_seed reshuffles
+// cross-rack flow placement, which must show up in the sweep output
+// (collision pattern, hence queue/BCT cells). Same-rack rows never cross
+// the spines, so only the cross-rack rows may move.
+func TestClosECMPSeedChangesResults(t *testing.T) {
+	opt := Options{Seed: 1, Quick: true, Workers: 1}
+	a := closTestSpec()
+	a.Topology.Clos.ECMPSeed = 1
+	b := closTestSpec()
+	b.Topology.Clos.ECMPSeed = 99
+
+	ca := tableCSV(t, mustScenario(opt, a))
+	cb := tableCSV(t, mustScenario(opt, b))
+	if ca == cb {
+		t.Error("changing topology.clos.ecmp_seed left every sweep cell unchanged")
+	}
+}
+
+// TestClosCrossRackSpecContract: the registered experiment's spec is
+// valid, registered as an extension, and expressible as the JSON the
+// -scenario CLI accepts (round-trips losslessly), like the ablation specs.
+func TestClosCrossRackSpecContract(t *testing.T) {
+	s := closCrossRackSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := LookupExperiment(s.Name)
+	if !ok {
+		t.Fatalf("%q is not a registered experiment", s.Name)
+	}
+	if e.Kind != KindExtension {
+		t.Errorf("%s registered as %q, want %q", s.Name, e.Kind, KindExtension)
+	}
+	roundTripSpec(t, s)
+}
+
+func roundTripSpec(t *testing.T, s scenario.Spec) {
+	t.Helper()
+	first, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", s.Name, err)
+	}
+	parsed, err := scenario.Parse(first)
+	if err != nil {
+		t.Fatalf("%s: parse own JSON: %v", s.Name, err)
+	}
+	second, err := json.Marshal(parsed)
+	if err != nil {
+		t.Fatalf("%s: re-marshal: %v", s.Name, err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("%s: JSON round trip is lossy:\n%s\n%s", s.Name, first, second)
+	}
+}

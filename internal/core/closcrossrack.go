@@ -1,0 +1,49 @@
+package core
+
+import (
+	"incastlab/internal/scenario"
+)
+
+func init() {
+	register(220, Experiment{
+		Name: "ext_clos_crossrack", Kind: KindExtension,
+		PaperRef: "Sections 2 & 4.2 (aggregators and workers span racks; mode boundaries)",
+		Run:      func(o Options) Result { return ClosCrossRack(o) },
+	})
+}
+
+// closCrossRackSpec compares same-rack and cross-rack worker placement on
+// a leaf/spine fabric at two Fig-5 operating points: N=80 (the
+// healthy/degenerate boundary region) and N=500 (deep in Mode 2). The
+// paper measures production services whose aggregators and workers span
+// racks (Section 2); the dumbbell collapses that fabric into one link.
+// Here the same incast runs both ways: workers packed under the
+// aggregator's own ToR (no spine crossing, the dumbbell-like control) vs
+// spread over the other racks with responses ECMP-hashed across two
+// spines. The rack is sized so both placements fit the largest degree
+// (501 hosts per rack: the aggregator plus 500 same-rack worker slots).
+func closCrossRackSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:  "ext_clos_crossrack",
+		Title: "Extension: same-rack vs cross-rack incast on a Clos fabric",
+		Topology: &scenario.Topology{
+			Clos: &scenario.Clos{
+				Racks:         8,
+				HostsPerRack:  501,
+				Spines:        2,
+				SpineLinkGbps: 100,
+			},
+		},
+		Sweep: scenario.Sweep{
+			Axis:   "placement",
+			Values: scenario.Strs("same-rack", "cross-rack"),
+			Flows:  []int{80, 500},
+		},
+		Notes: "Both placements share the 10G aggregator downlink as the terminal bottleneck, so the Fig-5 mode signatures (busy-average queue, mark rate, timeouts) should land close together; the cross-rack rows additionally traverse two ECMP-hashed spine hops, which shows up as a longer base RTT and any collision-induced spread.\n",
+	}
+}
+
+// ClosCrossRack runs the fabric placement comparison.
+func ClosCrossRack(opt Options) *TableResult {
+	return mustScenario(opt, closCrossRackSpec())
+}

@@ -40,6 +40,11 @@ func (c SimConfig) FlowCompatible() error {
 	cfg.fill()
 	var feature string
 	switch {
+	case cfg.Clos != nil:
+		// A fabric has many potential bottlenecks (leaf downlinks, spine
+		// ports, ECMP collisions); the fluid model solves exactly one queue
+		// and would silently reduce the fabric to it.
+		feature = "multi-rack Clos topology (multiple bottlenecks)"
 	case cfg.Admitter != nil:
 		feature = "wave/admission scheduling"
 	case cfg.EnableICTCP:

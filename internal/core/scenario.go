@@ -179,8 +179,67 @@ func compileRow(opt Options, spec scenario.Spec, n int, v scenario.Value) SimCon
 		case scenario.WaveSize(name) > 0:
 			cfg.Admitter = schedule.NewWave(scenario.WaveSize(name))
 		}
+	case "placement":
+		name, _ := v.Str()
+		cfg.Placement = name
+	}
+
+	// A clos block lifts the row onto the fabric. This happens after the
+	// axis switch so per-row dumbbell mutations (ECN threshold, EWMA
+	// weight, shared-buffer toggles) carry over into the fabric's ports.
+	if spec.Topology != nil && spec.Topology.Clos != nil {
+		scenarioClos(opt, spec, n, v, &cfg)
 	}
 	return cfg
+}
+
+// scenarioClos converts a row's compiled dumbbell parameters plus the
+// spec's clos block into a fabric config on cfg. The dumbbell fields act
+// as the "per-port" source of truth — host rate, queue bounds, marking,
+// per-leaf shared buffer — and the clos block supplies the fabric shape.
+func scenarioClos(opt Options, spec scenario.Spec, n int, v scenario.Value, cfg *SimConfig) {
+	cb := spec.Topology.Clos
+	net := cfg.Net
+	if net.Senders == 0 {
+		// No axis or override touched the dumbbell; materialize the row's
+		// effective parameters (shared-buffer gating included).
+		shared := true
+		if spec.Sweep.Axis == "shared_buffer" {
+			shared, _ = v.Bool()
+		}
+		net, _ = scenarioNet(n, spec.Topology, shared)
+	}
+
+	cc := netsim.DefaultClosConfig(cb.Racks, cb.HostsPerRack)
+	cc.HostLinkBps = net.HostLinkBps
+	cc.QueueCapacityPackets = net.QueueCapacityPackets
+	cc.QueueCapacityBytes = net.QueueCapacityBytes
+	cc.ECNThresholdPackets = net.ECNThresholdPackets
+	cc.ECNAverageWeight = net.ECNAverageWeight
+	cc.SharedBufferBytes = net.SharedBufferBytes
+	cc.SharedBufferAlpha = net.SharedBufferAlpha
+	if cb.Spines > 0 {
+		cc.Spines = cb.Spines
+	}
+	switch {
+	case cb.SpineLinkGbps > 0:
+		cc.SpineLinkBps = int64(cb.SpineLinkGbps * float64(netsim.Gbps))
+	case cb.Oversubscription > 0:
+		// offered / (spines * uplink) = F  =>  uplink = offered / (spines*F).
+		offered := float64(cb.HostsPerRack) * float64(cc.HostLinkBps)
+		cc.SpineLinkBps = int64(offered/(float64(cc.Spines)*cb.Oversubscription) + 0.5)
+	}
+	cc.ECMPSeed = cb.ECMPSeed
+	if cc.ECMPSeed == 0 {
+		// Tie ECMP placement to the run seed, so -seed reshuffles paths the
+		// way a production fabric rehash would.
+		cc.ECMPSeed = opt.seed()
+	}
+
+	cfg.Clos = &cc
+	if cfg.Placement == "" {
+		cfg.Placement = cb.Placement
+	}
 }
 
 // scenarioNet builds a row's dumbbell: the paper defaults for n senders

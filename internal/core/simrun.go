@@ -76,6 +76,15 @@ type SimConfig struct {
 	// internal/flowsim. Flow-level runs reject packet-level-only features;
 	// see FlowCompatible.
 	Fidelity string
+	// Clos, when non-nil, runs the incast over a leaf/spine fabric instead
+	// of the dumbbell: the aggregator in rack 0 and workers placed by
+	// Placement. Net is ignored; queue/buffer tuning comes from the Clos
+	// config itself. Only the packet fidelity models a fabric (see
+	// FlowCompatible).
+	Clos *netsim.ClosConfig
+	// Placement is where Clos workers sit relative to the aggregator:
+	// workload.PlacementCrossRack (default) or workload.PlacementSameRack.
+	Placement string
 }
 
 // fill applies the paper defaults.
@@ -166,6 +175,9 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 		panic(fmt.Sprintf("core: unknown fidelity %q (valid: %q, %q)",
 			cfg.Fidelity, FidelityPacket, FidelityFlow))
 	}
+	if cfg.Clos != nil {
+		return runClosIncastSim(cfg)
+	}
 	// Wall time is only measured when it will be reported; the simulation
 	// itself never reads it.
 	var wallStart time.Time
@@ -221,37 +233,12 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 		ECNThreshold:  cfg.Net.ECNThresholdPackets,
 	}
 
-	q := in.Network().BottleneckQueue()
-	samplesPerBurst := int(cfg.SampleWindow / cfg.SampleInterval)
-	measured := cfg.Bursts - 1
-	if measured < 1 {
-		measured = 1
-	}
-	burstSeries := make([]*stats.Series, 0, measured)
-	first := 1
-	if cfg.Bursts == 1 {
-		first = 0
-	}
-	for b := first; b < cfg.Bursts; b++ {
-		start := sim.Time(b) * cfg.Interval
-		burstSeries = append(burstSeries,
-			netsim.QueueDepthSeries(eng, q, start, cfg.SampleInterval, samplesPerBurst))
-	}
-
-	// Snapshot counters at the start of the measured window so the
-	// discarded first burst does not pollute them.
-	var base tcp.SenderStats
-	var baseDrops, baseMarks int64
-	eng.Schedule(sim.Time(first)*cfg.Interval, func() {
-		base = in.AggregateSenderStats()
-		st := q.Stats()
-		baseDrops, baseMarks = st.DroppedPackets, st.MarkedPackets
-	})
+	probe := newBurstProbe(&cfg, eng, in.Network().BottleneckQueue(),
+		in.AggregateSenderStats)
 
 	if cfg.TrackInFlight {
-		start := sim.Time(cfg.Bursts-1) * cfg.Interval
 		res.InFlight = workload.SampleInFlight(eng, in.Senders(),
-			start, cfg.SampleInterval, samplesPerBurst)
+			probe.lastBurstStart(), cfg.SampleInterval, probe.samplesPerBurst)
 	}
 
 	// Run until everything completes: the nominal end plus generous
@@ -268,54 +255,7 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 		}
 	}
 
-	// Average the per-burst queue traces.
-	avg := stats.NewSeries(0, int64(cfg.SampleInterval), samplesPerBurst)
-	var busy, belowK int
-	for _, s := range burstSeries {
-		for i, v := range s.Values {
-			avg.Values[i] += v
-			if v > res.MaxQueue {
-				res.MaxQueue = v
-			}
-			if v > 0 {
-				busy++
-				if v < float64(cfg.Net.ECNThresholdPackets) {
-					belowK++
-				}
-			}
-		}
-	}
-	if busy > 0 {
-		res.FracBelowK = float64(belowK) / float64(busy)
-	}
-	avg.Scale(1 / float64(len(burstSeries)))
-	res.AvgQueue = avg
-	spikeSamples := int(2 * sim.Millisecond / cfg.SampleInterval)
-	for i := 0; i < spikeSamples && i < len(avg.Values); i++ {
-		if avg.Values[i] > res.SpikePackets {
-			res.SpikePackets = avg.Values[i]
-		}
-	}
-
-	var bctSum sim.Time
-	n := 0
-	for _, b := range in.Bursts()[first:] {
-		bctSum += b.BCT
-		if b.BCT > res.MaxBCT {
-			res.MaxBCT = b.BCT
-		}
-		n++
-	}
-	res.MeanBCT = bctSum / sim.Time(n)
-
-	agg := in.AggregateSenderStats()
-	res.Timeouts = agg.Timeouts - base.Timeouts
-	res.FastRetransmits = agg.FastRetransmits - base.FastRetransmits
-	res.RetransmitPackets = agg.RetransmitPackets - base.RetransmitPackets
-	res.SentPackets = agg.SentPackets - base.SentPackets
-	st := q.Stats()
-	res.Drops = st.DroppedPackets - baseDrops
-	res.Marks = st.MarkedPackets - baseMarks
+	probe.finish(res, in.Bursts(), in.AggregateSenderStats())
 
 	harvestIncastMetrics(&cfg, eng, in, wallStart)
 	// Read the engine counters before release: Reset zeroes them.

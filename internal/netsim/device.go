@@ -119,11 +119,18 @@ func (h *Host) Receive(p *Packet) {
 }
 
 // Switch forwards packets to the output port (Link) chosen by a static
-// destination-based routing table.
+// destination-based routing table, with an optional ECMP fallback group
+// for destinations without a static route (leaf uplinks toward the spines
+// in a Clos fabric).
 type Switch struct {
 	id     NodeID
 	name   string
 	routes map[NodeID]*Link
+
+	// ecmp is the equal-cost fallback group: destinations without a static
+	// route hash over these links. Empty means no fallback.
+	ecmp     []*Link
+	ecmpSeed uint64
 
 	// pool, when set, recycles packets dropped for lack of a route.
 	pool *PacketPool
@@ -149,6 +156,21 @@ func (s *Switch) AddRoute(dst NodeID, l *Link) { s.routes[dst] = l }
 // Route returns the link used for dst, or nil.
 func (s *Switch) Route(dst NodeID) *Link { return s.routes[dst] }
 
+// SetECMPGroup installs the equal-cost fallback: any packet whose
+// destination has no static route is forwarded on links[ECMPIndex(seed,
+// flow, src, dst, len(links))]. The hash is a pure function of the seed and
+// the packet's flow key, so all packets of one flow (in one direction) take
+// the same path and a rerun with the same seed reproduces every path choice
+// exactly; changing the seed reshuffles flow placement like a rehashed
+// production fabric.
+func (s *Switch) SetECMPGroup(seed uint64, links []*Link) {
+	s.ecmpSeed = seed
+	s.ecmp = links
+}
+
+// ECMPGroup returns the installed fallback links (nil when unset).
+func (s *Switch) ECMPGroup() []*Link { return s.ecmp }
+
 // NoRouteDrops counts packets dropped for lack of a route.
 func (s *Switch) NoRouteDrops() int64 { return s.noRouteDrops }
 
@@ -156,13 +178,42 @@ func (s *Switch) NoRouteDrops() int64 { return s.noRouteDrops }
 // instead of leaking out of circulation.
 func (s *Switch) SetPool(pp *PacketPool) { s.pool = pp }
 
-// Receive implements Device: look up the output port and send.
+// Receive implements Device: look up the output port and send, falling
+// back to the ECMP group for destinations without a static route.
 func (s *Switch) Receive(p *Packet) {
 	l, ok := s.routes[p.Dst]
 	if !ok {
+		if len(s.ecmp) > 0 {
+			s.ecmp[ECMPIndex(s.ecmpSeed, p.Flow, p.Src, p.Dst, len(s.ecmp))].Send(p)
+			return
+		}
 		s.noRouteDrops++
 		s.pool.Put(p)
 		return
 	}
 	l.Send(p)
+}
+
+// ECMPIndex picks the equal-cost path for a flow: a deterministic
+// splitmix64-style hash of (seed, flow, src, dst) reduced modulo n. It is
+// exported so topologies and tests can predict path assignments without
+// sending packets.
+func ECMPIndex(seed uint64, flow FlowID, src, dst NodeID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := seed ^ (uint64(uint32(flow))<<32 | uint64(uint32(src)))
+	x = ecmpMix(x)
+	x = ecmpMix(x ^ uint64(uint32(dst)))
+	return int(x % uint64(n))
+}
+
+// ecmpMix is the splitmix64 finalizer: a cheap, well-distributed bijection.
+func ecmpMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }

@@ -204,3 +204,18 @@ func SerializationDelay(wireBytes int, bandwidthBps int64) sim.Time {
 	// realistic sizes (bytes*8e9 fits int64 for bytes < ~1e9).
 	return sim.Time(int64(wireBytes) * 8 * 1_000_000_000 / bandwidthBps)
 }
+
+// SerializationDelayNearest is SerializationDelay rounded to the nearest
+// nanosecond instead of truncated. Per-packet link timing keeps the
+// truncating form (it is pinned by goldens and the paper's 10/100 Gbps
+// rates divide evenly enough that the choice is invisible), but derived
+// constants — BaseRTT, BDP — use this form so that rates that do not
+// divide 1e9 (40 Gbps, 3 Gbps, oversubscribed Clos uplinks) do not bias
+// every derived threshold downward.
+func SerializationDelayNearest(wireBytes int, bandwidthBps int64) sim.Time {
+	if bandwidthBps <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	bits := int64(wireBytes) * 8 * 1_000_000_000
+	return sim.Time((bits + bandwidthBps/2) / bandwidthBps)
+}

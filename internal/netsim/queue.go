@@ -119,6 +119,10 @@ func (q *Queue) CapacityPackets() int { return q.capacityPackets }
 // CapacityBytes returns the IP-byte bound (0 = unlimited).
 func (q *Queue) CapacityBytes() int { return q.capacityBytes }
 
+// SharedBuffer returns the switch memory pool this queue draws from, or
+// nil for a dedicated-buffer port.
+func (q *Queue) SharedBuffer() *SharedBuffer { return q.shared }
+
 // SetOnChange installs an occupancy observer (nil to remove).
 func (q *Queue) SetOnChange(fn func(now sim.Time, packets, bytes int)) { q.onChange = fn }
 

@@ -1,0 +1,137 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// closSpec is a valid placement sweep on a small fabric, the base every
+// rejection case mutates.
+func closSpec() Spec {
+	return Spec{
+		Name: "clos_ok",
+		Topology: &Topology{
+			Clos: &Clos{Racks: 4, HostsPerRack: 16, Spines: 2, SpineLinkGbps: 100},
+		},
+		Sweep: Sweep{
+			Axis:   "placement",
+			Values: Strs("same-rack", "cross-rack"),
+			Flows:  []int{8},
+		},
+	}
+}
+
+// TestClosSpecRoundTrip: a clos spec must survive marshal -> Parse ->
+// marshal unchanged, so registered experiments are expressible as the
+// files `incastsim -scenario` accepts.
+func TestClosSpecRoundTrip(t *testing.T) {
+	spec := closSpec()
+	spec.Topology.Clos.ECMPSeed = 7
+	spec.Topology.Clos.Placement = "cross-rack"
+	spec.Sweep = Sweep{Axis: "flows", Values: Nums(8, 24)}
+	first, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	parsed, err := Parse(first)
+	if err != nil {
+		t.Fatalf("parse own marshal output: %v", err)
+	}
+	second, err := json.MarshalIndent(parsed, "", "  ")
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("round trip is lossy:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+// TestClosParseRejectsUnknownFields: typo'd keys inside the clos block
+// fail loudly like everywhere else in the spec.
+func TestClosParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"name": "x", "workload": {"flows": 4},
+		"topology": {"clos": {"racks": 2, "hosts_per_rack": 8, "spinez": 3}},
+		"sweep": {"axis": "flows", "values": [4]}}`))
+	if err == nil || !strings.Contains(err.Error(), "spinez") {
+		t.Errorf("typo'd clos key: want a parse error naming the field, got %v", err)
+	}
+}
+
+func TestClosValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string // substring of the actionable error
+	}{
+		{"one rack", func(s *Spec) { s.Topology.Clos.Racks = 1 }, "at least 2 racks"},
+		{"one host per rack", func(s *Spec) { s.Topology.Clos.HostsPerRack = 1 }, "at least 2 (the aggregator plus one worker slot)"},
+		{"negative spines", func(s *Spec) { s.Topology.Clos.Spines = -1 }, "cannot be negative"},
+		{"bad spine rate", func(s *Spec) { s.Topology.Clos.SpineLinkGbps = -40 }, "want a positive rate"},
+		{"bad oversubscription", func(s *Spec) {
+			s.Topology.Clos.SpineLinkGbps = 0
+			s.Topology.Clos.Oversubscription = -2
+		}, "want a positive factor"},
+		{"rate and oversubscription", func(s *Spec) { s.Topology.Clos.Oversubscription = 4 }, "they determine each other, pick one"},
+		{"unknown placement", func(s *Spec) { s.Topology.Clos.Placement = "same-host" }, "is not one of cross-rack, same-rack"},
+		{"core rate with clos", func(s *Spec) { s.Topology.CoreLinkGbps = 100 }, "set clos.spine_link_gbps instead"},
+		{"placement axis without clos", func(s *Spec) { s.Topology.Clos = nil }, "needs a topology.clos block"},
+		{"unknown placement value", func(s *Spec) { s.Sweep.Values = Strs("cross-rack", "same-row") }, "placements are cross-rack or same-rack"},
+		{"flow fidelity", func(s *Spec) { s.Fidelity = "flow" }, `fidelity "flow" cannot model topology.clos`},
+		{"same-rack overflow", func(s *Spec) { s.Sweep.Flows = []int{16} }, "free slots under the aggregator's leaf"},
+		{"cross-rack overflow", func(s *Spec) {
+			s.Sweep = Sweep{Axis: "flows", Values: Nums(50)}
+			s.Topology.Clos.Placement = "cross-rack"
+		}, "hosts outside the aggregator's rack"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := closSpec()
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("base spec invalid: %v", err)
+			}
+			tc.mut(&spec)
+			err := spec.Validate()
+			if err == nil {
+				t.Fatal("want a validation error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestClosFlowFidelityErrorNamesFields: the rejection must point at both
+// the fidelity knob and the clos block so a user knows which of the two to
+// change.
+func TestClosFlowFidelityErrorNamesFields(t *testing.T) {
+	spec := closSpec()
+	spec.Fidelity = "flow"
+	err := spec.Validate()
+	if err == nil {
+		t.Fatal("fidelity flow + clos validated")
+	}
+	for _, field := range []string{"fidelity", "topology.clos"} {
+		if !strings.Contains(err.Error(), field) {
+			t.Errorf("error %q does not name %s", err, field)
+		}
+	}
+}
+
+// TestClosCapacityAcceptsBoundary: degrees exactly at the slot limits are
+// legal for both placements.
+func TestClosCapacityAcceptsBoundary(t *testing.T) {
+	spec := closSpec()
+	// 16 hosts per rack: 15 same-rack slots, 48 cross-rack slots.
+	spec.Sweep.Flows = []int{15}
+	if err := spec.Validate(); err != nil {
+		t.Errorf("15 workers on a 16-host rack rejected: %v", err)
+	}
+	cross := closSpec()
+	cross.Sweep = Sweep{Axis: "flows", Values: Nums(48)}
+	cross.Topology.Clos.Placement = "cross-rack"
+	if err := cross.Validate(); err != nil {
+		t.Errorf("48 cross-rack workers on 3 remote racks rejected: %v", err)
+	}
+}

@@ -71,6 +71,39 @@ type Topology struct {
 	// ContendBytes models rack-level contention: bytes consumed in the
 	// shared buffer by bursts to other hosts.
 	ContendBytes int `json:"contend_bytes,omitempty"`
+	// Clos replaces the dumbbell with a multi-rack leaf/spine fabric. The
+	// scalar overrides above still apply (host link rate, queue bounds, ECN
+	// threshold, per-leaf shared buffer); CoreLinkGbps does not — the
+	// fabric's inter-switch rate is Clos.SpineLinkGbps.
+	Clos *Clos `json:"clos,omitempty"`
+}
+
+// Clos describes a two-tier leaf/spine fabric: Racks ToR switches with
+// HostsPerRack hosts each, every leaf uplinked to every spine, and
+// cross-rack flows hashed over the uplinks with deterministic seeded ECMP.
+// The incast aggregator sits at rack 0, slot 0; workers are placed by
+// Placement (or the "placement" sweep axis).
+type Clos struct {
+	// Racks is the leaf count (at least 2).
+	Racks int `json:"racks"`
+	// HostsPerRack is the host count under each leaf.
+	HostsPerRack int `json:"hosts_per_rack"`
+	// Spines is the spine count (default 2).
+	Spines int `json:"spines,omitempty"`
+	// SpineLinkGbps sets each leaf-spine uplink's rate directly (default
+	// 100). Mutually exclusive with Oversubscription.
+	SpineLinkGbps float64 `json:"spine_link_gbps,omitempty"`
+	// Oversubscription sets the uplink rate indirectly as the rack's
+	// oversubscription factor: offered host bandwidth over aggregate uplink
+	// bandwidth (e.g. 4 means hosts_per_rack*host_gbps = 4*spines*uplink).
+	Oversubscription float64 `json:"oversubscription,omitempty"`
+	// ECMPSeed seeds the flow-placement hash; 0 derives it from the run
+	// seed, so `-seed` reshuffles ECMP placement along with start jitter.
+	ECMPSeed uint64 `json:"ecmp_seed,omitempty"`
+	// Placement is where workers sit relative to the aggregator:
+	// "cross-rack" (default) or "same-rack". Ignored when the sweep axis is
+	// "placement".
+	Placement string `json:"placement,omitempty"`
 }
 
 // Workload shapes the repeated-burst incast the scenario simulates.
@@ -169,6 +202,7 @@ func (k ValueKind) String() string {
 //	ictcp               receiver-side ICTCP window management on/off
 //	cc                  congestion-control algorithm by name
 //	scheme              Section 5 schemes: dctcp, dctcp+guardrail, dctcp+wave<N>
+//	placement           Clos worker placement: same-rack vs cross-rack
 var Axes = map[string]ValueKind{
 	"flows":              Number,
 	"g":                  Number,
@@ -181,6 +215,22 @@ var Axes = map[string]ValueKind{
 	"ictcp":              Flag,
 	"cc":                 Name,
 	"scheme":             Name,
+	"placement":          Name,
+}
+
+// Placements lists the Clos worker placement policies, for Clos.Placement
+// and axis "placement" values.
+var Placements = []string{"cross-rack", "same-rack"}
+
+// KnownPlacement reports whether name is a placement policy ("" means
+// cross-rack).
+func KnownPlacement(name string) bool {
+	for _, p := range Placements {
+		if name == p {
+			return true
+		}
+	}
+	return name == ""
 }
 
 // CCNames lists the congestion-control algorithms a spec may name, for
@@ -400,6 +450,73 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario %q: fidelity %q is not one of %s (or omit for packet-level)",
 			s.Name, s.Fidelity, strings.Join(Fidelities, ", "))
 	}
+
+	// Clos cross-field rules.
+	var clos *Clos
+	if s.Topology != nil {
+		clos = s.Topology.Clos
+	}
+	if s.Sweep.Axis == "placement" && clos == nil {
+		return fmt.Errorf("scenario %q: axis \"placement\" places workers in a fabric; it needs a topology.clos block", s.Name)
+	}
+	if clos != nil {
+		// The fluid engine solves exactly one bottleneck queue; a fabric has
+		// many (leaf downlinks, spine ports, ECMP collisions). Reducing it
+		// to one would be silently wrong, so the combination is rejected
+		// here, before anything compiles.
+		if s.Fidelity == "flow" {
+			return fmt.Errorf("scenario %q: fidelity \"flow\" cannot model topology.clos (a multi-rack fabric has multiple bottlenecks; the fluid engine solves one queue) — use fidelity \"packet\" or drop the clos block", s.Name)
+		}
+		if err := s.validateClosCapacity(clos); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateClosCapacity checks that every incast degree the sweep reaches
+// fits the worker slots its placement offers, so compiled runs cannot
+// panic on an over-full rack.
+func (s Spec) validateClosCapacity(clos *Clos) error {
+	maxFlows := s.Workload.Flows
+	if s.Sweep.Axis == "flows" {
+		for _, v := range s.Sweep.Values {
+			if f, ok := v.Number(); ok && int(f) > maxFlows {
+				maxFlows = int(f)
+			}
+		}
+	}
+	for _, n := range s.Sweep.Flows {
+		if n > maxFlows {
+			maxFlows = n
+		}
+	}
+
+	placements := []string{clos.Placement}
+	if s.Sweep.Axis == "placement" {
+		placements = placements[:0]
+		for _, v := range s.Sweep.Values {
+			if p, ok := v.Str(); ok {
+				placements = append(placements, p)
+			}
+		}
+	}
+	for _, p := range placements {
+		var slots int
+		var where string
+		switch p {
+		case "same-rack":
+			slots = clos.HostsPerRack - 1
+			where = "free slots under the aggregator's leaf (topology.clos.hosts_per_rack - 1)"
+		default: // cross-rack
+			slots = (clos.Racks - 1) * clos.HostsPerRack
+			where = "hosts outside the aggregator's rack ((topology.clos.racks - 1) * topology.clos.hosts_per_rack)"
+		}
+		if maxFlows > slots {
+			return fmt.Errorf("scenario %q: %d workers exceed the %d %s for placement %q",
+				s.Name, maxFlows, slots, where, p)
+		}
+	}
 	return nil
 }
 
@@ -434,6 +551,40 @@ func (t Topology) validate() error {
 	}
 	if t.ContendBytes > 0 && t.SharedBufferBytes == 0 {
 		return fmt.Errorf("topology contend_bytes requires shared_buffer_bytes (contention lives in the shared memory)")
+	}
+	if t.Clos != nil {
+		if t.CoreLinkGbps > 0 {
+			return fmt.Errorf("topology.core_link_gbps is the dumbbell inter-ToR rate; with topology.clos set clos.spine_link_gbps instead")
+		}
+		if err := t.Clos.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c Clos) validate() error {
+	if c.Racks < 2 {
+		return fmt.Errorf("topology.clos.racks = %d: a fabric needs at least 2 racks (drop the clos block for a single-rack dumbbell)", c.Racks)
+	}
+	if c.HostsPerRack < 2 {
+		return fmt.Errorf("topology.clos.hosts_per_rack = %d: need at least 2 (the aggregator plus one worker slot)", c.HostsPerRack)
+	}
+	if c.Spines < 0 {
+		return fmt.Errorf("topology.clos.spines = %d: cannot be negative (omit for the 2-spine default)", c.Spines)
+	}
+	if c.SpineLinkGbps < 0 || math.IsNaN(c.SpineLinkGbps) || math.IsInf(c.SpineLinkGbps, 0) {
+		return fmt.Errorf("topology.clos.spine_link_gbps = %v: want a positive rate", c.SpineLinkGbps)
+	}
+	if c.Oversubscription < 0 || math.IsNaN(c.Oversubscription) || math.IsInf(c.Oversubscription, 0) {
+		return fmt.Errorf("topology.clos.oversubscription = %v: want a positive factor", c.Oversubscription)
+	}
+	if c.SpineLinkGbps > 0 && c.Oversubscription > 0 {
+		return fmt.Errorf("topology.clos.spine_link_gbps and topology.clos.oversubscription both set; they determine each other, pick one")
+	}
+	if !KnownPlacement(c.Placement) {
+		return fmt.Errorf("topology.clos.placement %q is not one of %s (or omit for cross-rack)",
+			c.Placement, strings.Join(Placements, ", "))
 	}
 	return nil
 }
@@ -516,6 +667,11 @@ func (sw Sweep) validate() error {
 			name, _ := v.Str()
 			if !KnownScheme(name) {
 				return fmt.Errorf("sweep.values[%d] = %q: schemes are dctcp, dctcp+guardrail, or dctcp+wave<N>", i, name)
+			}
+		case "placement":
+			name, _ := v.Str()
+			if name == "" || !KnownPlacement(name) {
+				return fmt.Errorf("sweep.values[%d] = %q: placements are %s", i, name, strings.Join(Placements, " or "))
 			}
 		}
 	}

@@ -1,0 +1,121 @@
+// Package sweep is a content-addressed result cache for parameter
+// studies: each sweep point's rendered result cells are stored under a
+// key hashed from everything that determines them (code version,
+// canonical spec, row index, seed, mode). A 10k-point study can then be
+// sharded across processes, interrupted, and resumed — whoever computes a
+// point first persists it, and a rerun assembles the full table from
+// cached rows byte-identically to a cold run.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Key hashes the parts that determine one cached result into a stable
+// content address (a hex SHA-256). Parts are length-prefixed so that
+// ("ab","c") and ("a","bc") cannot collide.
+func Key(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache is a directory of cached sweep rows, one JSON file per key. It is
+// safe for concurrent use by multiple processes: writes go through a
+// temp-file rename, so readers never observe a partial row, and two
+// workers racing on one key simply write identical content.
+type Cache struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the cache rooted at dir.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a key to its row file. Keys are hex hashes, so no escaping is
+// needed; a two-character fan-out keeps directories small at 10k+ rows.
+func (c *Cache) path(key string) string {
+	if len(key) < 3 {
+		return filepath.Join(c.dir, key+".json")
+	}
+	return filepath.Join(c.dir, key[:2], key[2:]+".json")
+}
+
+// Get returns the cached cells for key, with ok=false on a miss. A
+// malformed row file is an error, not a miss: silently recomputing over a
+// half-written file would mask the corruption.
+func (c *Cache) Get(key string) (cells []string, ok bool, err error) {
+	b, err := os.ReadFile(c.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("sweep: read %s: %w", key, err)
+	}
+	if err := json.Unmarshal(b, &cells); err != nil {
+		return nil, false, fmt.Errorf("sweep: row %s is corrupt (delete %s to recompute): %w",
+			key, c.path(key), err)
+	}
+	return cells, true, nil
+}
+
+// Put stores the cells for key atomically (temp file + rename).
+func (c *Cache) Put(key string, cells []string) error {
+	b, err := json.Marshal(cells)
+	if err != nil {
+		return fmt.Errorf("sweep: encode %s: %w", key, err)
+	}
+	dst := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("sweep: put %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".row-*")
+	if err != nil {
+		return fmt.Errorf("sweep: put %s: %w", key, err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: put %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: put %s: %w", key, err)
+	}
+	return nil
+}
+
+// Len counts the cached rows (for progress reporting; walks the
+// directory).
+func (c *Cache) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestKeyIsStableAndPrefixSafe(t *testing.T) {
+	if Key("a", "b") != Key("a", "b") {
+		t.Fatal("Key is not deterministic")
+	}
+	// Length prefixing: concatenation boundaries must matter.
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal(`Key("ab","c") collides with Key("a","bc")`)
+	}
+	if Key("a") == Key("a", "") {
+		t.Fatal("trailing empty part does not change the key")
+	}
+	k := Key("x")
+	if len(k) != 64 || strings.ToLower(k) != k {
+		t.Fatalf("Key = %q, want 64 lowercase hex chars", k)
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("row")
+	if _, ok, err := c.Get(key); err != nil || ok {
+		t.Fatalf("empty cache Get = ok=%v err=%v, want miss", ok, err)
+	}
+	cells := []string{"80", "same-rack", "92.327"}
+	if err := c.Put(key, cells); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = ok=%v err=%v", ok, err)
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("Get returned %d cells, want %d", len(got), len(cells))
+	}
+	for i := range cells {
+		if got[i] != cells[i] {
+			t.Fatalf("cell %d = %q, want %q", i, got[i], cells[i])
+		}
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v, want 1 row", n, err)
+	}
+	// Rows fan out under a two-character prefix directory.
+	if _, err := os.Stat(filepath.Join(c.Dir(), key[:2], key[2:]+".json")); err != nil {
+		t.Fatalf("row file not at the fan-out path: %v", err)
+	}
+}
+
+// TestCacheCorruptRowIsAnError: a half-written or mangled row must surface
+// as an error naming the file, not silently recompute — masking corruption
+// would defeat the byte-identical-resume guarantee.
+func TestCacheCorruptRowIsAnError(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("bad")
+	if err := c.Put(key, []string{"1"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(c.Dir(), key[:2], key[2:]+".json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := c.Get(key)
+	if err == nil || ok {
+		t.Fatalf("Get on corrupt row = ok=%v err=%v, want error", ok, err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("corrupt-row error %q does not name the file to delete", err)
+	}
+}
+
+func TestCachePutOverwrites(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("k")
+	if err := c.Put(key, []string{"old"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key, []string{"new"}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(key)
+	if err != nil || !ok || got[0] != "new" {
+		t.Fatalf("Get = %v ok=%v err=%v, want [new]", got, ok, err)
+	}
+	// Atomic writes must not leave temp droppings behind.
+	entries, err := os.ReadDir(filepath.Join(c.Dir(), key[:2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".row-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"fmt"
+
+	"incastlab/internal/cc"
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+	"incastlab/internal/tcp"
+)
+
+// Worker placement policies for a Clos incast: where the workers sit
+// relative to the aggregator (which always occupies rack 0, slot 0).
+const (
+	// PlacementCrossRack spreads workers round-robin over the other racks —
+	// the production shape: responses converge through the fabric and the
+	// aggregator ToR's downlink.
+	PlacementCrossRack = "cross-rack"
+	// PlacementSameRack packs workers under the aggregator's own leaf, so
+	// traffic never crosses a spine — the dumbbell-like control.
+	PlacementSameRack = "same-rack"
+)
+
+// ClosIncastConfig describes a repeated incast burst over a Clos fabric.
+// The embedded fields mirror IncastConfig; Workers replaces Flows and
+// Placement chooses where they live.
+type ClosIncastConfig struct {
+	// Workers is the incast degree N.
+	Workers int
+	// Placement is PlacementCrossRack (default when empty) or
+	// PlacementSameRack.
+	Placement string
+	// BytesPerFlow is the per-flow demand added at each burst start.
+	BytesPerFlow int64
+	// Bursts, Interval, JitterMax, Seed: as IncastConfig.
+	Bursts    int
+	Interval  sim.Time
+	JitterMax sim.Time
+	Seed      uint64
+	// SenderConfig and ReceiverConfig tune the transport endpoints.
+	SenderConfig   tcp.SenderConfig
+	ReceiverConfig tcp.ReceiverConfig
+	// Admitter optionally controls flow release within bursts.
+	Admitter Admitter
+}
+
+// ClosWorkerHosts returns the host IDs the workers occupy for a placement
+// over the given fabric, in flow order, or an error when the fabric is too
+// small. The aggregator is always host 0 (rack 0, slot 0).
+//
+// Cross-rack workers round-robin over racks 1..Racks-1 (worker i sits in
+// rack 1+i%(Racks-1), slot i/(Racks-1)); same-rack workers fill rack 0's
+// remaining slots.
+func ClosWorkerHosts(cfg netsim.ClosConfig, workers int, placement string) ([]netsim.NodeID, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("workload: clos incast needs at least one worker (got %d)", workers)
+	}
+	ids := make([]netsim.NodeID, workers)
+	switch placement {
+	case PlacementCrossRack, "":
+		remote := cfg.Racks - 1
+		if cap := remote * cfg.HostsPerRack; workers > cap {
+			return nil, fmt.Errorf(
+				"workload: %d cross-rack workers exceed the %d hosts in racks 1..%d (%d racks x %d hosts/rack)",
+				workers, cap, cfg.Racks-1, remote, cfg.HostsPerRack)
+		}
+		for i := 0; i < workers; i++ {
+			ids[i] = cfg.HostID(1+i%remote, i/remote)
+		}
+	case PlacementSameRack:
+		if cap := cfg.HostsPerRack - 1; workers > cap {
+			return nil, fmt.Errorf(
+				"workload: %d same-rack workers exceed the %d free slots under the aggregator's leaf (%d hosts/rack)",
+				workers, cap, cfg.HostsPerRack)
+		}
+		for i := 0; i < workers; i++ {
+			ids[i] = cfg.HostID(0, i+1)
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown placement %q (want %q or %q)",
+			placement, PlacementCrossRack, PlacementSameRack)
+	}
+	return ids, nil
+}
+
+// ClosIncast wires an incast workload over a Clos fabric: the aggregator
+// at host 0 and workers placed by policy, with burst scheduling delegated
+// to a Group exactly as the dumbbell Incast does.
+type ClosIncast struct {
+	cfg ClosIncastConfig
+	net *netsim.Clos
+
+	workers   []netsim.NodeID
+	group     *Group
+	receivers []*tcp.Receiver
+}
+
+// NewClosIncast builds the fabric and endpoints.
+func NewClosIncast(eng *sim.Engine, netCfg netsim.ClosConfig, cfg ClosIncastConfig,
+	algFactory func(flow int) cc.Algorithm) *ClosIncast {
+	return NewClosIncastWithPool(eng, netCfg, cfg, algFactory, nil)
+}
+
+// NewClosIncastWithPool is NewClosIncast with an injected packet pool (nil
+// for a fresh one), letting sweep runners reuse a warm pool across runs.
+func NewClosIncastWithPool(eng *sim.Engine, netCfg netsim.ClosConfig, cfg ClosIncastConfig,
+	algFactory func(flow int) cc.Algorithm, pool *netsim.PacketPool) *ClosIncast {
+	workers, err := ClosWorkerHosts(netCfg, cfg.Workers, cfg.Placement)
+	if err != nil {
+		panic(err.Error())
+	}
+
+	in := &ClosIncast{
+		cfg:     cfg,
+		net:     netsim.NewClosWithPool(eng, netCfg, pool),
+		workers: workers,
+	}
+
+	agg := in.net.Hosts[0]
+	aggHub := tcp.NewHub(agg)
+	senders := make([]*tcp.Sender, cfg.Workers)
+	in.receivers = make([]*tcp.Receiver, cfg.Workers)
+	for i, id := range workers {
+		flow := netsim.FlowID(i + 1)
+		hub := tcp.NewHub(in.net.Hosts[id])
+		senders[i] = tcp.NewSender(eng, hub, flow, agg.ID(),
+			algFactory(i), cfg.SenderConfig)
+		in.receivers[i] = tcp.NewReceiver(eng, aggHub, flow, id, cfg.ReceiverConfig)
+	}
+
+	in.group = NewGroup(eng, senders, GroupConfig{
+		BytesPerFlow: cfg.BytesPerFlow,
+		Bursts:       cfg.Bursts,
+		Interval:     cfg.Interval,
+		JitterMax:    cfg.JitterMax,
+		Seed:         cfg.Seed,
+		Admitter:     cfg.Admitter,
+	})
+	return in
+}
+
+// Network returns the underlying fabric.
+func (in *ClosIncast) Network() *netsim.Clos { return in.net }
+
+// Aggregator returns the receiving host (host 0, rack 0).
+func (in *ClosIncast) Aggregator() *netsim.Host { return in.net.Hosts[0] }
+
+// WorkerHosts returns the worker host IDs in flow order.
+func (in *ClosIncast) WorkerHosts() []netsim.NodeID { return in.workers }
+
+// Senders returns the per-flow senders (for instrumentation).
+func (in *ClosIncast) Senders() []*tcp.Sender { return in.group.Senders() }
+
+// Receivers returns the per-flow receivers at the aggregator.
+func (in *ClosIncast) Receivers() []*tcp.Receiver { return in.receivers }
+
+// Config returns the workload configuration.
+func (in *ClosIncast) Config() ClosIncastConfig { return in.cfg }
+
+// Bursts returns per-burst records; valid after the run completes.
+func (in *ClosIncast) Bursts() []BurstRecord { return in.group.Bursts() }
+
+// Done reports whether every burst completed.
+func (in *ClosIncast) Done() bool { return in.group.Done() }
+
+// AggregateSenderStats sums transport counters across all flows.
+func (in *ClosIncast) AggregateSenderStats() tcp.SenderStats {
+	return in.group.AggregateSenderStats()
+}
