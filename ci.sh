@@ -22,9 +22,11 @@
 #                        their deterministic subsets must be byte-equal
 #   7. registry gate     `figures -list` must match the checked-in golden
 #                        name list, an unknown -only name must exit
-#                        non-zero, and the quick fig5 + fig6 + ablation_g
-#                        CSVs must be byte-identical to the checked-in
-#                        goldens (scheduler and pooling changes are
+#                        non-zero, and the quick CSVs (fig5, fig6,
+#                        ablation_g, ablation_marking, the Clos sweep,
+#                        and both notification experiments) must be
+#                        byte-identical to the checked-in goldens
+#                        (scheduler and pooling changes are
 #                        behavior-preserving)
 #   8. sweep-cache gate  the Clos cross-rack example sweep runs cold,
 #                        sharded across two worker processes against a
@@ -38,8 +40,9 @@
 #                        `incastsim -scenario` and produce their CSVs —
 #                        one packet-level, one at flow fidelity (a
 #                        10,000-flow sweep only the fluid backend can
-#                        turn around); a bogus spec path must exit
-#                        non-zero
+#                        turn around), one with the notification block
+#                        and its sweep axis; a bogus spec path and a
+#                        malformed -shard spec must exit non-zero
 #  10. bench gate        the substrate micro-benchmarks and the flow-level
 #                        Fig-5 sweep smoke-run at one iteration each (they
 #                        must at least execute); with CI_BENCH=1 the macro
@@ -96,7 +99,7 @@ if go run ./cmd/figures -only bogus -out "$OBS_TMP/bogus" 2>/dev/null; then
   echo "figures -only bogus should have exited non-zero" >&2
   exit 1
 fi
-go run ./cmd/figures -quick -only fig5,fig6,ablation_g,ext_clos_crossrack -out "$OBS_TMP/golden"
+go run ./cmd/figures -quick -only fig5,fig6,ablation_g,ablation_marking,ext_clos_crossrack,ext_pulser_modes,ext_distributed_detect -out "$OBS_TMP/golden"
 for f in internal/core/testdata/quick/*.csv; do
   cmp "$f" "$OBS_TMP/golden/$(basename "$f")"
 done
@@ -122,8 +125,14 @@ go run ./cmd/incastsim -scenario examples/scenarios/ml_periodic_bursts.json -qui
 test -s "$OBS_TMP/scenario/ml_periodic_bursts.csv"
 go run ./cmd/incastsim -scenario examples/scenarios/fanin_scaling_flow.json -quick -out "$OBS_TMP/scenario" >/dev/null
 test -s "$OBS_TMP/scenario/fanin_scaling_flow.csv"
+go run ./cmd/incastsim -scenario examples/scenarios/pulser_fanin.json -quick -out "$OBS_TMP/scenario" >/dev/null
+test -s "$OBS_TMP/scenario/pulser_fanin.csv"
 if go run ./cmd/incastsim -scenario "$OBS_TMP/no_such_spec.json" 2>/dev/null; then
   echo "incastsim -scenario with a missing file should have exited non-zero" >&2
+  exit 1
+fi
+if go run ./cmd/incastsim -flows 8 -shard 0/0 2>/dev/null; then
+  echo "incastsim -shard 0/0 should have exited non-zero" >&2
   exit 1
 fi
 

@@ -11,6 +11,7 @@
 //	incastsim -flows 500 -cca swift               # pacing under incast
 //	incastsim -flows 500 -wave 64                 # Section 5.2 scheduling
 //	incastsim -flows 200 -guardrail               # Section 5.1 clamp
+//	incastsim -flows 1400 -notify                 # explicit incast notification
 //	incastsim -flows 1000 -shared 2000000 -contend 700000
 //	incastsim -sweep 80,500,1400                  # one run per degree, in parallel
 //	incastsim -scenario examples/scenarios/ml_periodic_bursts.json
@@ -43,6 +44,8 @@ func main() {
 	contend := flag.Int("contend", 0, "external rack contention bytes in the shared buffer")
 	wave := flag.Int("wave", 0, "wave-schedule the incast with this concurrency (0 = off)")
 	guardrail := flag.Bool("guardrail", false, "clamp ramp-up at the predicted fair share")
+	notify := flag.Bool("notify", false, "switch-side incast detection with explicit sender notification")
+	notifyBackoff := flag.Float64("notify-backoff", 0, "with -notify: multiplicative backoff factor in (0,1) (0 = default 0.5)")
 	ictcp := flag.Bool("ictcp", false, "manage receive windows with a receiver-side ICTCP controller")
 	seed := flag.Uint64("seed", 1, "jitter seed")
 	plot := flag.Bool("plot", true, "print the ASCII queue plot")
@@ -137,6 +140,9 @@ func main() {
 		}
 		if *wave > 0 {
 			cfg.Admitter = incastlab.NewWave(*wave)
+		}
+		if *notify {
+			cfg.Notification = &incastlab.NotificationConfig{Backoff: *notifyBackoff}
 		}
 		cfg.EnableICTCP = *ictcp
 		return cfg
@@ -329,7 +335,11 @@ func (sc scenarioInvocation) fanOut(common *cli.Common) {
 }
 
 // parseShard parses "K/N" into a shard selector; "" selects the whole
-// sweep.
+// sweep. Malformed specs are rejected here rather than deferred to the
+// core validator, because the zero-value shard (which "0/0" would parse
+// to) is a legal whole-sweep sentinel internally — a user who typed a
+// shard spec meant to select a real slice, so anything that does not
+// satisfy 0 <= K < N is an error with the fix spelled out.
 func parseShard(s string) (incastlab.SweepShard, error) {
 	if s == "" {
 		return incastlab.SweepShard{}, nil
@@ -343,8 +353,15 @@ func parseShard(s string) (incastlab.SweepShard, error) {
 	if err1 != nil || err2 != nil {
 		return incastlab.SweepShard{}, fmt.Errorf("want integers K/N, e.g. 0/4 (got %q)", s)
 	}
-	sh := incastlab.SweepShard{Index: k, Count: n}
-	return sh, sh.Validate()
+	if n <= 0 {
+		return incastlab.SweepShard{}, fmt.Errorf(
+			"shard count must be positive (got %q); drop -shard to run the whole sweep", s)
+	}
+	if k < 0 || k >= n {
+		return incastlab.SweepShard{}, fmt.Errorf(
+			"shard index %d out of range for %d shard(s) (got %q); want 0 <= K < N, e.g. 0/%d", k, n, s, n)
+	}
+	return incastlab.SweepShard{Index: k, Count: n}, nil
 }
 
 func busyAvg(res *incastlab.SimResult) float64 {

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"incastlab"
+)
+
+func TestParseShardValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want incastlab.SweepShard
+	}{
+		{"", incastlab.SweepShard{}},
+		{"0/1", incastlab.SweepShard{Index: 0, Count: 1}},
+		{"0/4", incastlab.SweepShard{Index: 0, Count: 4}},
+		{"3/4", incastlab.SweepShard{Index: 3, Count: 4}},
+		{" 1 / 2 ", incastlab.SweepShard{Index: 1, Count: 2}},
+	}
+	for _, c := range cases {
+		got, err := parseShard(c.in)
+		if err != nil {
+			t.Errorf("parseShard(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseShard(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseShardInvalid(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr string
+	}{
+		// "0/0" parses to the zero-value shard, which internally means
+		// "whole sweep" — a typed shard spec must never silently mean that.
+		{"0/0", "shard count must be positive"},
+		{"1/0", "shard count must be positive"},
+		{"0/-2", "shard count must be positive"},
+		{"4/4", "out of range"},
+		{"7/4", "out of range"},
+		{"-1/4", "out of range"},
+		{"4", "want K/N"},
+		{"a/b", "want integers"},
+		{"1/b", "want integers"},
+		{"1.5/4", "want integers"},
+		{"/", "want integers"},
+	}
+	for _, c := range cases {
+		got, err := parseShard(c.in)
+		if err == nil {
+			t.Errorf("parseShard(%q) = %+v, want error containing %q", c.in, got, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("parseShard(%q) error %q does not mention %q", c.in, err, c.wantErr)
+		}
+	}
+}

@@ -239,6 +239,14 @@ type SimConfig = core.SimConfig
 // SimResult is a simulation's aggregated outcome.
 type SimResult = core.SimResult
 
+// NotificationConfig enables explicit incast notification on a packet-level
+// run: switch-side onset detection (single bottleneck detector, or
+// coordinated per-leaf uplink detectors on a Clos when MinPorts > 0) plus a
+// Pulser multiplicative-backoff reaction wrapped around every flow's
+// congestion control. Zero fields take defaults sized for the paper's
+// ~30 us fabrics; set SimConfig.Notification to enable.
+type NotificationConfig = core.NotificationConfig
+
 // RunIncastSim executes one repeated-burst incast simulation.
 func RunIncastSim(cfg SimConfig) *SimResult { return core.RunIncastSim(cfg) }
 

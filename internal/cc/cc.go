@@ -103,6 +103,15 @@ type UpdateCounter interface {
 	CwndUpdates() int64
 }
 
+// IncastNotifiable is implemented by algorithms that react to explicit
+// switch-originated incast notifications (netsim.Packet.IncastNotify).
+// The transport delivers the signal out of band from the ACK clock: it can
+// arrive mid-round, before any marked ACK of the burst has echoed back.
+type IncastNotifiable interface {
+	// OnIncastNotification reacts to one notification packet.
+	OnIncastNotification(now sim.Time)
+}
+
 // IdleRestarter is implemented by algorithms that support RFC 2861-style
 // congestion window validation: after an idle period the window collapses
 // back to the initial window instead of trusting stale state. The paper's

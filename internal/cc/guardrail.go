@@ -103,6 +103,14 @@ func (g *Guardrail) Probe() Probe {
 // forwards to the inner algorithm.
 func (g *Guardrail) PacingGap() sim.Time { return g.inner.PacingGap() }
 
+// OnIncastNotification forwards to the inner algorithm when it reacts to
+// explicit incast notifications.
+func (g *Guardrail) OnIncastNotification(now sim.Time) {
+	if in, ok := g.inner.(IncastNotifiable); ok {
+		in.OnIncastNotification(now)
+	}
+}
+
 // OnIdleRestart forwards to the inner algorithm when it supports restarts.
 func (g *Guardrail) OnIdleRestart() {
 	if ir, ok := g.inner.(IdleRestarter); ok {

@@ -1,0 +1,155 @@
+package cc
+
+import (
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+// PulserConfig tunes the Pulser reaction. Zero fields take defaults.
+type PulserConfig struct {
+	// Backoff is the multiplicative factor applied to the effective window
+	// on each notification, in (0, 1). Default 0.5.
+	Backoff float64
+	// HoldAcks is how many ACKs after a notification the clamp holds flat
+	// before it starts releasing additively. Roughly the notification's
+	// "quiet period" expressed in ACK-clock ticks. Default 4.
+	HoldAcks int
+	// ReleaseBytes is the additive per-ACK growth of the clamp once the
+	// hold expires; the clamp dissolves when it reaches the inner window.
+	// Default one MSS.
+	ReleaseBytes int
+}
+
+func (c PulserConfig) withDefaults() PulserConfig {
+	if c.Backoff <= 0 || c.Backoff >= 1 {
+		c.Backoff = 0.5
+	}
+	if c.HoldAcks <= 0 {
+		c.HoldAcks = 4
+	}
+	if c.ReleaseBytes <= 0 {
+		c.ReleaseBytes = netsim.MSS
+	}
+	return c
+}
+
+// Pulser wraps another window-based algorithm with the explicit-notification
+// reaction: on each switch-originated incast notification the effective
+// window is multiplicatively cut, immediately, without waiting for the
+// mark-echo round trip the inner algorithm's own backoff needs. The inner
+// algorithm keeps evolving its state; Pulser clamps what it reports, holds
+// the clamp for a few ACKs, then releases it additively until the inner
+// window takes over again. Repeated notifications compound, so a sender
+// that keeps overdriving the fabric converges to the minimum window.
+//
+// This reaction is deliberately distinct from per-ACK ECN processing: ECN
+// marks feed the inner algorithm exactly as before; only notifications
+// touch the clamp.
+type Pulser struct {
+	inner Algorithm
+	cfg   PulserConfig
+
+	// capBytes is the current clamp; non-positive means none.
+	capBytes int
+	// acksSinceNotify gates the additive release.
+	acksSinceNotify int
+	notifications   int64
+}
+
+// NewPulser wraps inner with the notification reaction.
+func NewPulser(inner Algorithm, cfg PulserConfig) *Pulser {
+	if inner == nil {
+		panic("cc: pulser needs an inner algorithm")
+	}
+	return &Pulser{inner: inner, cfg: cfg.withDefaults()}
+}
+
+// Name implements Algorithm.
+func (p *Pulser) Name() string { return p.inner.Name() + "+pulser" }
+
+// Inner returns the wrapped algorithm.
+func (p *Pulser) Inner() Algorithm { return p.inner }
+
+// Notifications returns how many notifications this flow has reacted to.
+func (p *Pulser) Notifications() int64 { return p.notifications }
+
+// OnIncastNotification implements IncastNotifiable: multiplicative backoff
+// of the effective window, compounding across notifications.
+func (p *Pulser) OnIncastNotification(now sim.Time) {
+	base := p.Window()
+	clamp := int(p.cfg.Backoff * float64(base))
+	if clamp < MinWindow {
+		clamp = MinWindow
+	}
+	p.capBytes = clamp
+	p.acksSinceNotify = 0
+	p.notifications++
+}
+
+// OnAck forwards to the inner algorithm, then advances the clamp release.
+func (p *Pulser) OnAck(a Ack) {
+	p.inner.OnAck(a)
+	if p.capBytes <= 0 {
+		return
+	}
+	p.acksSinceNotify++
+	if p.acksSinceNotify <= p.cfg.HoldAcks {
+		return
+	}
+	p.capBytes += p.cfg.ReleaseBytes
+	if p.capBytes >= p.inner.Window() {
+		p.capBytes = 0
+	}
+}
+
+// OnLoss forwards to the inner algorithm.
+func (p *Pulser) OnLoss(now sim.Time) { p.inner.OnLoss(now) }
+
+// OnTimeout forwards to the inner algorithm and drops the clamp: the inner
+// collapse to MinWindow is already at or below anything the clamp holds.
+func (p *Pulser) OnTimeout(now sim.Time) {
+	p.inner.OnTimeout(now)
+	p.capBytes = 0
+}
+
+// Window returns the inner window clamped by the notification backoff.
+func (p *Pulser) Window() int {
+	w := p.inner.Window()
+	if p.capBytes > 0 && w > p.capBytes {
+		return p.capBytes
+	}
+	return w
+}
+
+// PacingGap forwards to the inner algorithm.
+func (p *Pulser) PacingGap() sim.Time { return p.inner.PacingGap() }
+
+// Probe implements Inspectable: the inner probe with the effective window
+// and clamp filled in. When the inner algorithm also carries a cap
+// (guardrail), the tighter of the two is reported.
+func (p *Pulser) Probe() Probe {
+	var pr Probe
+	if in, ok := p.inner.(Inspectable); ok {
+		pr = in.Probe()
+	}
+	pr.CwndBytes = p.Window()
+	if p.capBytes > 0 && (pr.CapBytes <= 0 || p.capBytes < pr.CapBytes) {
+		pr.CapBytes = p.capBytes
+	}
+	return pr
+}
+
+// OnIdleRestart forwards to the inner algorithm when it supports restarts.
+func (p *Pulser) OnIdleRestart() {
+	if ir, ok := p.inner.(IdleRestarter); ok {
+		ir.OnIdleRestart()
+	}
+}
+
+// CwndUpdates forwards the inner algorithm's update count.
+func (p *Pulser) CwndUpdates() int64 {
+	if uc, ok := p.inner.(UpdateCounter); ok {
+		return uc.CwndUpdates()
+	}
+	return 0
+}

@@ -1,0 +1,131 @@
+package cc
+
+import (
+	"testing"
+
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+// fixedWindow is a stub inner algorithm with a constant window, so Pulser's
+// clamp arithmetic is observable in isolation.
+type fixedWindow struct {
+	w        int
+	acks     int
+	losses   int
+	timeouts int
+}
+
+func (f *fixedWindow) Name() string           { return "fixed" }
+func (f *fixedWindow) OnAck(a Ack)            { f.acks++ }
+func (f *fixedWindow) OnLoss(now sim.Time)    { f.losses++ }
+func (f *fixedWindow) OnTimeout(now sim.Time) { f.timeouts++ }
+func (f *fixedWindow) Window() int            { return f.w }
+func (f *fixedWindow) PacingGap() sim.Time    { return 0 }
+
+func TestPulserBackoffHoldAndRelease(t *testing.T) {
+	inner := &fixedWindow{w: 10 * netsim.MSS}
+	p := NewPulser(inner, PulserConfig{}) // defaults: 0.5 backoff, 4-ACK hold, MSS release
+	if p.Window() != 10*netsim.MSS {
+		t.Fatalf("window before notification = %d", p.Window())
+	}
+
+	p.OnIncastNotification(0)
+	if p.Window() != 5*netsim.MSS {
+		t.Fatalf("window after notification = %d, want %d", p.Window(), 5*netsim.MSS)
+	}
+	if p.Notifications() != 1 {
+		t.Fatalf("notifications = %d", p.Notifications())
+	}
+
+	// The clamp holds flat for HoldAcks ACKs...
+	for i := 0; i < 4; i++ {
+		p.OnAck(Ack{})
+		if p.Window() != 5*netsim.MSS {
+			t.Fatalf("window moved during hold (ack %d): %d", i+1, p.Window())
+		}
+	}
+	// ...then releases one MSS per ACK...
+	p.OnAck(Ack{})
+	if p.Window() != 6*netsim.MSS {
+		t.Fatalf("window after first release ack = %d, want %d", p.Window(), 6*netsim.MSS)
+	}
+	// ...and dissolves once it reaches the inner window.
+	for i := 0; i < 10; i++ {
+		p.OnAck(Ack{})
+	}
+	if p.Window() != 10*netsim.MSS {
+		t.Fatalf("clamp did not dissolve: window = %d", p.Window())
+	}
+	if inner.acks != 15 {
+		t.Fatalf("inner saw %d acks, want all 15", inner.acks)
+	}
+}
+
+func TestPulserNotificationsCompound(t *testing.T) {
+	inner := &fixedWindow{w: 16 * netsim.MSS}
+	p := NewPulser(inner, PulserConfig{})
+	p.OnIncastNotification(0)
+	p.OnIncastNotification(0)
+	if p.Window() != 4*netsim.MSS {
+		t.Fatalf("two notifications should compound: window = %d, want %d",
+			p.Window(), 4*netsim.MSS)
+	}
+	// Repeated notifications converge to the floor, never below.
+	for i := 0; i < 10; i++ {
+		p.OnIncastNotification(0)
+	}
+	if p.Window() != MinWindow {
+		t.Fatalf("window = %d, want the MinWindow floor %d", p.Window(), MinWindow)
+	}
+}
+
+func TestPulserTimeoutDropsClamp(t *testing.T) {
+	inner := &fixedWindow{w: 10 * netsim.MSS}
+	p := NewPulser(inner, PulserConfig{})
+	p.OnIncastNotification(0)
+	p.OnTimeout(0)
+	if p.Window() != 10*netsim.MSS {
+		t.Fatalf("timeout should drop the clamp: window = %d", p.Window())
+	}
+	if inner.timeouts != 1 {
+		t.Fatalf("inner timeouts = %d", inner.timeouts)
+	}
+}
+
+func TestPulserWrapsRealAlgorithms(t *testing.T) {
+	p := NewPulser(NewDCTCP(DefaultDCTCPConfig()), PulserConfig{Backoff: 0.25})
+	if p.Name() != "dctcp+pulser" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	base := p.Window()
+	p.OnIncastNotification(0)
+	want := base / 4
+	if want < MinWindow {
+		want = MinWindow
+	}
+	if p.Window() != want {
+		t.Fatalf("window after 0.25 backoff = %d, want %d", p.Window(), want)
+	}
+	// The probe reports the clamped effective window.
+	pr := p.Probe()
+	if pr.CwndBytes != p.Window() || pr.CapBytes != p.Window() {
+		t.Fatalf("probe = %+v, want cwnd and cap at %d", pr, p.Window())
+	}
+	// ECN marks still reach the inner algorithm (alpha moves).
+	var notifiable IncastNotifiable = p
+	_ = notifiable
+}
+
+func TestGuardrailForwardsIncastNotification(t *testing.T) {
+	inner := NewPulser(&fixedWindow{w: 10 * netsim.MSS}, PulserConfig{})
+	gr := NewGuardrail(inner, 1<<20, 1<<20)
+	n, ok := interface{}(gr).(IncastNotifiable)
+	if !ok {
+		t.Fatal("guardrail must forward incast notifications")
+	}
+	n.OnIncastNotification(0)
+	if inner.Notifications() != 1 {
+		t.Fatalf("inner pulser notifications = %d, want 1", inner.Notifications())
+	}
+}

@@ -25,6 +25,7 @@ func runClosIncastSim(cfg SimConfig) *SimResult {
 	res0 := acquireSimResources(reuse)
 	eng := res0.eng
 
+	wrapNotificationAlg(&cfg)
 	closCfg := *cfg.Clos
 	wl := workload.ClosIncastConfig{
 		Workers:        cfg.Flows,
@@ -74,6 +75,7 @@ func runClosIncastSim(cfg SimConfig) *SimResult {
 	// The bottleneck under study is the aggregator's leaf downlink port.
 	probe := newBurstProbe(&cfg, eng, in.Network().DownlinkQueue(0),
 		in.AggregateSenderStats)
+	probe.watchDetector(attachClosNotification(&cfg, in.Network()))
 
 	if cfg.TrackInFlight {
 		res.InFlight = workload.SampleInFlight(eng, in.Senders(),

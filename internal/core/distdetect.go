@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+	"incastlab/internal/trace"
+	"incastlab/internal/workload"
+)
+
+func init() {
+	register(240, Experiment{
+		Name: "ext_distributed_detect", Kind: KindExtension,
+		PaperRef: "Section 2 fabric + Distributed Incast Detection in DCNs",
+		Run:      func(o Options) Result { return DistributedDetect(o) },
+	})
+}
+
+// distDetectClos sizes the fabric: 8 racks x 72 hosts leaves 504 cross-rack
+// worker slots for the N=500 operating point, with the default 2-spine,
+// 100G-uplink geometry (so each source leaf offers up to 720G of host
+// bandwidth into 200G of uplink — the onset surge the uplink detectors see).
+func distDetectClos() netsim.ClosConfig {
+	return netsim.DefaultClosConfig(8, 72)
+}
+
+// distDetectPlacements are the detection deployments under comparison: no
+// detection, a single detector on the congested bottleneck port, and
+// distributed per-leaf coordination across spine uplinks.
+var distDetectPlacements = []string{"off", "bottleneck", "leaf"}
+
+// distDetectConfig returns the notification config for a detection
+// placement, or nil for "off". The leaf deployment uses arrival-burst
+// thresholds sized for 100G uplink ports: such a port drains faster than a
+// jittered onset arrives, so its queue never grows — the signature is the
+// arrival surge (~85 packets per 20us window per port at N=500, vs ~24 at
+// N=80), not depth.
+func distDetectConfig(placement string) *NotificationConfig {
+	switch placement {
+	case "off":
+		return nil
+	case "bottleneck":
+		return &NotificationConfig{}
+	case "leaf":
+		return &NotificationConfig{
+			MinPorts:      2,
+			Window:        20 * sim.Microsecond,
+			BurstArrivals: 48,
+		}
+	}
+	panic(fmt.Sprintf("core: unknown detection placement %q", placement))
+}
+
+// DistributedDetect runs one cold incast burst over a leaf/spine fabric —
+// every worker opens with a fresh initial window, the onset the fabric
+// actually has to detect — and compares where detection lives: on the
+// aggregator's bottleneck port (which needs a standing queue to notice) vs
+// distributed across every source leaf's spine-facing uplinks (which see
+// the fan-in surge as synchronized arrival bursts and reach their rack's
+// senders one hop away). Contrast with ext_pulser_modes, where repeated
+// bursts give the bottleneck detector a sustained signal to act on.
+func DistributedDetect(opt Options) *TableResult {
+	flows := []int{80, 250, 500}
+
+	type row struct {
+		flows     int
+		placement string
+	}
+	var rows []row
+	var cfgs []SimConfig
+	for _, n := range flows {
+		for _, placement := range distDetectPlacements {
+			clos := distDetectClos()
+			cfg := SimConfig{
+				Flows:         n,
+				BurstDuration: 15 * sim.Millisecond,
+				Bursts:        1,
+				Seed:          opt.seed(),
+				Audit:         opt.Audit,
+				Clos:          &clos,
+				Placement:     workload.PlacementCrossRack,
+				Notification:  distDetectConfig(placement),
+			}
+			rows = append(rows, row{flows: n, placement: placement})
+			cfgs = append(cfgs, opt.instrument("distributed_detect", cfg))
+		}
+	}
+	results := runParallel(opt.Workers, len(cfgs), func(i int) *SimResult {
+		return RunIncastSim(cfgs[i])
+	})
+
+	t := trace.NewTable("flows", "detect", "mode", "max_queue_pkts",
+		"detect_latency_us", "mean_bct_ms", "max_bct_ms", "timeouts", "drops",
+		"firings", "notifies")
+	for i, r := range rows {
+		m := results[i]
+		latency := ""
+		if m.DetectorFirstFire > 0 {
+			latency = trace.Float(float64(m.DetectorFirstFire) / float64(sim.Microsecond))
+		}
+		t.AddRow(fmt.Sprint(r.flows), r.placement, mode(m),
+			trace.Float(m.MaxQueue), latency,
+			trace.Float(m.MeanBCT.Milliseconds()), trace.Float(m.MaxBCT.Milliseconds()),
+			fmt.Sprint(m.Timeouts), fmt.Sprint(m.Drops),
+			fmt.Sprint(m.DetectorFirings), fmt.Sprint(m.IncastNotifies))
+	}
+
+	var b strings.Builder
+	b.WriteString(section("Extension: distributed in-fabric incast detection on a Clos"))
+	b.WriteString(t.Text())
+	b.WriteString("\nEach source leaf coordinates arrival-burst detectors across its 2 spine uplinks (min 2 ports within the coordination window) and notifies every same-rack flow seen within the horizon — one hop from the senders. Two things separate the placements. Discrimination: the bottleneck slope detector fires even on the healthy N=80 burst (an onset slope looks the same at any degree), while leaf coordination stays silent until the per-port arrival surge crosses the threshold on multiple uplinks at once. Knowledge: the bottleneck detector is fast only because it sits exactly on the congested port, which production operators do not know ahead of time; the leaves detect within one cross-rack RTT of onset from source-side signatures alone, anywhere in the fabric. Neither placement can recall initial windows already in flight, so a single cold burst's losses barely move — ext_pulser_modes shows the backoff paying off under sustained bursts.\n")
+
+	return &TableResult{
+		ExpName:     "ext_distributed_detect",
+		Artifacts:   []Artifact{{File: "ext_distributed_detect.csv", Table: t}},
+		SummaryText: b.String(),
+	}
+}

@@ -45,6 +45,11 @@ func (c SimConfig) FlowCompatible() error {
 		// ports, ECMP collisions); the fluid model solves exactly one queue
 		// and would silently reduce the fabric to it.
 		feature = "multi-rack Clos topology (multiple bottlenecks)"
+	case cfg.Notification != nil:
+		// The notification path is literally packets: detector firings
+		// keyed to per-packet queue dynamics and zero-payload control
+		// packets racing the data they react to.
+		feature = "switch-side incast notification"
 	case cfg.Admitter != nil:
 		feature = "wave/admission scheduling"
 	case cfg.EnableICTCP:
@@ -266,6 +271,10 @@ func harvestFlowRun(cfg *SimConfig, r *flowsim.Result, wallStart time.Time) {
 	// for one ACK, and the marked volume for ECE echoes.
 	c.Counter("tcp_acks").Add(r.DeliveredPackets)
 	c.Counter("tcp_ece_acks").Add(r.Marks)
+	// The fluid backend has no per-packet control plane, so explicit
+	// incast notification never runs there (scenario validation rejects
+	// the combination); publish the zero so the key set stays dense.
+	c.Counter("tcp_incast_notifies").Add(0)
 	c.Counter("cc_cwnd_updates").Add(r.CwndUpdates)
 
 	cwnd := c.Histogram("cc_final_cwnd_bytes", cwndBuckets)

@@ -27,6 +27,13 @@ type burstProbe struct {
 	base      tcp.SenderStats
 	baseDrops int64
 	baseMarks int64
+
+	// det, when set, reads the switch-side incast detector; the firing
+	// count is snapshotted with the other counters at the measured window's
+	// start so the result reports a windowed delta. The first-fire time is
+	// lifetime (onset detection happens in the first burst, warmup or not).
+	det          *detectorReadout
+	baseDetFired int64
 }
 
 // newBurstProbe schedules the per-burst sampling and the measured-window
@@ -56,9 +63,17 @@ func newBurstProbe(cfg *SimConfig, eng *sim.Engine, q *netsim.Queue,
 		p.base = aggregate()
 		st := q.Stats()
 		p.baseDrops, p.baseMarks = st.DroppedPackets, st.MarkedPackets
+		if p.det != nil {
+			p.baseDetFired = p.det.fired()
+		}
 	})
 	return p
 }
+
+// watchDetector registers the switch-side incast-detector readout (nil is
+// accepted and ignored, for runs without notification). Call before the
+// engine runs so the window-start snapshot sees it.
+func (p *burstProbe) watchDetector(det *detectorReadout) { p.det = det }
 
 // lastBurstStart returns the nominal start time of the final burst, where
 // the in-flight trace samples.
@@ -113,6 +128,11 @@ func (p *burstProbe) finish(res *SimResult, bursts []workload.BurstRecord, agg t
 	res.FastRetransmits = agg.FastRetransmits - p.base.FastRetransmits
 	res.RetransmitPackets = agg.RetransmitPackets - p.base.RetransmitPackets
 	res.SentPackets = agg.SentPackets - p.base.SentPackets
+	res.IncastNotifies = agg.IncastNotifies - p.base.IncastNotifies
+	if p.det != nil {
+		res.DetectorFirings = p.det.fired() - p.baseDetFired
+		res.DetectorFirstFire = p.det.firstFire()
+	}
 	st := p.q.Stats()
 	res.Drops = st.DroppedPackets - p.baseDrops
 	res.Marks = st.MarkedPackets - p.baseMarks

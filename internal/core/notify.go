@@ -1,0 +1,146 @@
+package core
+
+import (
+	"incastlab/internal/cc"
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+// NotificationConfig enables the explicit incast-notification mechanism on
+// a packet-level run: a switch-side detector (netsim.IncastDetector) on the
+// bottleneck — or, on a Clos fabric with MinPorts > 0, coordinated per-leaf
+// uplink detectors — plus a Pulser reaction (cc.Pulser) wrapped around
+// every flow's congestion-control algorithm. Zero fields take defaults.
+type NotificationConfig struct {
+	// Detector thresholds; see netsim.IncastDetectorConfig.
+	Window        sim.Time
+	SlopePackets  int
+	BurstArrivals int
+	Cooldown      sim.Time
+
+	// Backoff is the sender's multiplicative reaction factor in (0, 1);
+	// HoldAcks is how long the backoff holds before releasing. See
+	// cc.PulserConfig.
+	Backoff  float64
+	HoldAcks int
+
+	// MinPorts > 0 selects distributed in-fabric detection on a Clos:
+	// every leaf coordinates detectors across its spine-facing uplink
+	// ports and declares incast when MinPorts of them trip within
+	// CoordWindow, notifying every same-rack flow seen within FlowHorizon.
+	// Zero (or a dumbbell topology) uses a single detector on the
+	// bottleneck queue.
+	MinPorts    int
+	CoordWindow sim.Time
+	FlowHorizon sim.Time
+}
+
+func (n *NotificationConfig) detector() netsim.IncastDetectorConfig {
+	return netsim.IncastDetectorConfig{
+		Window:        n.Window,
+		SlopePackets:  n.SlopePackets,
+		BurstArrivals: n.BurstArrivals,
+		Cooldown:      n.Cooldown,
+	}
+}
+
+func (n *NotificationConfig) pulser() cc.PulserConfig {
+	return cc.PulserConfig{Backoff: n.Backoff, HoldAcks: n.HoldAcks}
+}
+
+func (n *NotificationConfig) closDetector() netsim.ClosDetectorConfig {
+	return netsim.ClosDetectorConfig{
+		Detector:    n.detector(),
+		MinPorts:    n.MinPorts,
+		CoordWindow: n.CoordWindow,
+		FlowHorizon: n.FlowHorizon,
+	}
+}
+
+// wrapNotificationAlg wraps cfg.Alg so every flow's algorithm carries the
+// Pulser reaction. Must run after fill() (which supplies the default Alg)
+// and before the workload builds senders.
+func wrapNotificationAlg(cfg *SimConfig) {
+	if cfg.Notification == nil {
+		return
+	}
+	nc := cfg.Notification
+	inner := cfg.Alg
+	cfg.Alg = func(flow int) cc.Algorithm {
+		return cc.NewPulser(inner(flow), nc.pulser())
+	}
+}
+
+// detectorReadout exposes a run's switch-side detection state to the
+// measurement probe: the cumulative firing count (windowed in the result)
+// and the time of the first firing (zero until one happens — onset
+// detection latency when the workload's first burst starts at t=0).
+type detectorReadout struct {
+	fired     func() int64
+	firstFire func() sim.Time
+}
+
+// attachDumbbellNotification installs the single-switch detector on the
+// dumbbell bottleneck: the receiver-side ToR watches its congested port and
+// notifies over the reverse core path. Returns the detector readout for
+// result reporting, or nil when notification is off.
+func attachDumbbellNotification(cfg *SimConfig, net *netsim.Dumbbell) *detectorReadout {
+	if cfg.Notification == nil {
+		return nil
+	}
+	d, _ := netsim.AttachIncastNotification(net.ReceiverToR, net.BottleneckQueue(),
+		net.Pool, cfg.Notification.detector())
+	return &detectorReadout{
+		fired: func() int64 { return d.Stats().Fired },
+		firstFire: func() sim.Time {
+			if st := d.Stats(); st.Fired > 0 {
+				return st.FirstFired
+			}
+			return 0
+		},
+	}
+}
+
+// attachClosNotification installs detection on a Clos fabric: distributed
+// per-leaf coordination when MinPorts > 0, otherwise a single detector on
+// the aggregator's downlink port (notifying via its leaf, whose ECMP
+// fallback routes cross-rack). Returns the detector readout, or nil when
+// notification is off.
+func attachClosNotification(cfg *SimConfig, net *netsim.Clos) *detectorReadout {
+	if cfg.Notification == nil {
+		return nil
+	}
+	if cfg.Notification.MinPorts > 0 {
+		coords := netsim.AttachClosIncastDetection(net, cfg.Notification.closDetector())
+		return &detectorReadout{
+			fired: func() int64 {
+				var fired int64
+				for _, l := range coords {
+					fired += l.Stats().LeafFirings
+				}
+				return fired
+			},
+			firstFire: func() sim.Time {
+				var first sim.Time
+				for _, l := range coords {
+					st := l.Stats()
+					if st.LeafFirings > 0 && (first == 0 || st.FirstFired < first) {
+						first = st.FirstFired
+					}
+				}
+				return first
+			},
+		}
+	}
+	d, _ := netsim.AttachIncastNotification(net.Leaves[0], net.DownlinkQueue(0),
+		net.Pool, cfg.Notification.detector())
+	return &detectorReadout{
+		fired: func() int64 { return d.Stats().Fired },
+		firstFire: func() sim.Time {
+			if st := d.Stats(); st.Fired > 0 {
+				return st.FirstFired
+			}
+			return 0
+		},
+	}
+}

@@ -205,6 +205,7 @@ func harvestSenders(c *obs.Collector, senders []*tcp.Sender) {
 		agg.Timeouts += st.Timeouts
 		agg.Acks += st.Acks
 		agg.ECEAcks += st.ECEAcks
+		agg.IncastNotifies += st.IncastNotifies
 
 		alg := s.Algorithm()
 		if uc, ok := alg.(cc.UpdateCounter); ok {
@@ -225,5 +226,6 @@ func harvestSenders(c *obs.Collector, senders []*tcp.Sender) {
 	c.Counter("tcp_timeouts").Add(agg.Timeouts)
 	c.Counter("tcp_acks").Add(agg.Acks)
 	c.Counter("tcp_ece_acks").Add(agg.ECEAcks)
+	c.Counter("tcp_incast_notifies").Add(agg.IncastNotifies)
 	c.Counter("cc_cwnd_updates").Add(updates)
 }

@@ -182,6 +182,20 @@ func compileRow(opt Options, spec scenario.Spec, n int, v scenario.Value) SimCon
 	case "placement":
 		name, _ := v.Str()
 		cfg.Placement = name
+	case "notification":
+		// Handled below with the spec's notification block.
+	}
+
+	// The notification block arms the mechanism; the "notification" axis
+	// toggles it per row (other axes see it on every row).
+	if spec.Notification != nil {
+		on := true
+		if spec.Sweep.Axis == "notification" {
+			on, _ = v.Bool()
+		}
+		if on {
+			cfg.Notification = scenarioNotification(spec.Notification)
+		}
 	}
 
 	// A clos block lifts the row onto the fabric. This happens after the
@@ -240,6 +254,27 @@ func scenarioClos(opt Options, spec scenario.Spec, n int, v scenario.Value, cfg 
 	if cfg.Placement == "" {
 		cfg.Placement = cb.Placement
 	}
+}
+
+// scenarioNotification lowers a spec's notification block; zero fields stay
+// zero here and pick up their defaults inside netsim/cc.
+func scenarioNotification(n *scenario.Notification) *NotificationConfig {
+	return &NotificationConfig{
+		Window:        usTime(n.WindowUS),
+		SlopePackets:  n.SlopePackets,
+		BurstArrivals: n.BurstArrivals,
+		Cooldown:      usTime(n.CooldownUS),
+		Backoff:       n.Backoff,
+		HoldAcks:      n.HoldAcks,
+		MinPorts:      n.MinPorts,
+		CoordWindow:   usTime(n.CoordWindowUS),
+		FlowHorizon:   usTime(n.FlowHorizonUS),
+	}
+}
+
+// usTime converts fractional microseconds to simulation time (0 stays 0).
+func usTime(us float64) sim.Time {
+	return sim.Time(us * float64(sim.Microsecond))
 }
 
 // scenarioNet builds a row's dumbbell: the paper defaults for n senders

@@ -16,7 +16,7 @@ import (
 // cached rows at once. Bump it whenever a change alters simulation
 // results (topology wiring, transport behavior, metric rendering) —
 // goldens changing is the usual tell.
-const SimCodeVersion = "incastlab-sim-v7"
+const SimCodeVersion = "incastlab-sim-v8"
 
 // Shard selects the subset of sweep rows a process owns: row i belongs to
 // shard Index of Count when i % Count == Index. The zero value (one shard

@@ -85,6 +85,10 @@ type SimConfig struct {
 	// Placement is where Clos workers sit relative to the aggregator:
 	// workload.PlacementCrossRack (default) or workload.PlacementSameRack.
 	Placement string
+	// Notification, when non-nil, enables switch-side incast detection and
+	// the explicit notification path (see NotificationConfig). Packet
+	// fidelity only.
+	Notification *NotificationConfig
 }
 
 // fill applies the paper defaults.
@@ -147,6 +151,15 @@ type SimResult struct {
 	// Counters over the measured window (burst 1 onward).
 	Timeouts, FastRetransmits, RetransmitPackets, Drops, Marks int64
 	SentPackets                                                int64
+	// IncastNotifies counts explicit incast notifications delivered to
+	// senders and DetectorFirings counts switch-side detector (or, on a
+	// Clos with distributed detection, leaf coordinator) firings — both
+	// over the measured window, both zero when notification is off.
+	IncastNotifies, DetectorFirings int64
+	// DetectorFirstFire is the virtual time of the first detector firing
+	// over the run's whole lifetime (the onset detection latency, since the
+	// first burst starts at t=0); zero when it never fired.
+	DetectorFirstFire sim.Time
 
 	// InFlight is the Figure 7 trace over the last burst (nil unless
 	// requested).
@@ -190,6 +203,7 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 	res0 := acquireSimResources(reuse)
 	eng := res0.eng
 
+	wrapNotificationAlg(&cfg)
 	wl := workload.IncastConfig{
 		Flows:          cfg.Flows,
 		BytesPerFlow:   workload.BytesPerFlowFor(cfg.Net.HostLinkBps, cfg.BurstDuration, cfg.Flows),
@@ -235,6 +249,7 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 
 	probe := newBurstProbe(&cfg, eng, in.Network().BottleneckQueue(),
 		in.AggregateSenderStats)
+	probe.watchDetector(attachDumbbellNotification(&cfg, in.Network()))
 
 	if cfg.TrackInFlight {
 		res.InFlight = workload.SampleInFlight(eng, in.Senders(),

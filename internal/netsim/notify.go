@@ -1,0 +1,418 @@
+package netsim
+
+import "incastlab/internal/sim"
+
+// This file implements switch-side incast detection and the explicit
+// notification path (Pulser-style): a detector watches one queue for the
+// onset signature of an incast — fast depth growth or an arrival burst —
+// and, when it trips, the switch sends a zero-payload IncastNotify packet
+// back to the source of every flow currently occupying the queue. Senders
+// whose congestion control implements cc.IncastNotifiable react with an
+// immediate multiplicative backoff, one reverse-path propagation delay
+// after onset instead of a full mark-echo round trip.
+//
+// The Clos variant coordinates per-uplink-port detectors on each leaf:
+// a leaf declares incast only when several of its spine-facing ports trip
+// within a short window, which distinguishes a fan-in burst (synchronized
+// onset across ports) from a single hot flow.
+
+// IncastDetectorConfig tunes an IncastDetector. Zero fields take defaults
+// sized for the paper's ~30us-RTT fabrics: with a 10:1 fan-in over a
+// 10 Gbps bottleneck the queue grows ~7.5 packets/us at onset, so the
+// default slope threshold trips in ~2us — well inside one RTT.
+type IncastDetectorConfig struct {
+	// Window is the observation window; growth and arrival counts reset
+	// when it rolls. Default 5us.
+	Window sim.Time
+	// SlopePackets trips the detector when occupancy grows by this many
+	// packets within one window. Default 16.
+	SlopePackets int
+	// BurstArrivals trips the detector when this many packets arrive
+	// within one window, regardless of net growth — a source-side leaf
+	// port at line rate sees synchronized onset as arrivals even before
+	// a standing queue forms. Default 64.
+	BurstArrivals int
+	// Cooldown is the minimum time between firings. Default 50us.
+	Cooldown sim.Time
+}
+
+func (c IncastDetectorConfig) withDefaults() IncastDetectorConfig {
+	if c.Window <= 0 {
+		c.Window = 5 * sim.Microsecond
+	}
+	if c.SlopePackets <= 0 {
+		c.SlopePackets = 16
+	}
+	if c.BurstArrivals <= 0 {
+		c.BurstArrivals = 64
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 50 * sim.Microsecond
+	}
+	return c
+}
+
+// IncastDetectorStats counts a detector's observations.
+type IncastDetectorStats struct {
+	// Fired counts detector firings (post-cooldown).
+	Fired int64
+	// SlopeTrips and BurstTrips break firings down by trigger; a drop
+	// always trips, counted under SlopeTrips.
+	SlopeTrips int64
+	BurstTrips int64
+	// FirstFired is the time of the first firing; valid when Fired > 0.
+	FirstFired sim.Time
+}
+
+// IncastDetector watches one queue for incast onset. It chains onto the
+// queue's OnChange/OnDrop observers (preserving any previously installed
+// ones) and invokes its callback when the onset signature appears.
+type IncastDetector struct {
+	cfg     IncastDetectorConfig
+	onFire  func(now sim.Time)
+	stats   IncastDetectorStats
+	started bool
+
+	windowStart sim.Time
+	startDepth  int
+	arrivals    int
+	prevDepth   int
+	lastFired   sim.Time
+	hasFired    bool
+}
+
+// NewIncastDetector attaches a detector to q. onFire runs on each firing
+// (after cooldown gating); it may inject packets into the network but must
+// not enqueue into q itself.
+func NewIncastDetector(q *Queue, cfg IncastDetectorConfig, onFire func(now sim.Time)) *IncastDetector {
+	d := &IncastDetector{cfg: cfg.withDefaults(), onFire: onFire}
+	prevChange := q.OnChange()
+	q.SetOnChange(func(now sim.Time, packets, bytes int) {
+		d.observe(now, packets)
+		if prevChange != nil {
+			prevChange(now, packets, bytes)
+		}
+	})
+	prevDrop := q.OnDrop()
+	q.SetOnDrop(func(now sim.Time, p *Packet) {
+		// A tail drop is a definitive overload signal: trip immediately.
+		d.trip(now, &d.stats.SlopeTrips)
+		if prevDrop != nil {
+			prevDrop(now, p)
+		}
+	})
+	return d
+}
+
+// Stats returns the detector's counters.
+func (d *IncastDetector) Stats() IncastDetectorStats { return d.stats }
+
+func (d *IncastDetector) observe(now sim.Time, depth int) {
+	if !d.started || now-d.windowStart >= d.cfg.Window {
+		d.started = true
+		d.windowStart = now
+		d.startDepth = depth
+		d.arrivals = 0
+	}
+	if depth > d.prevDepth {
+		d.arrivals++
+	}
+	if depth-d.startDepth >= d.cfg.SlopePackets {
+		d.trip(now, &d.stats.SlopeTrips)
+	} else if d.arrivals >= d.cfg.BurstArrivals {
+		d.trip(now, &d.stats.BurstTrips)
+	}
+	d.prevDepth = depth
+}
+
+func (d *IncastDetector) trip(now sim.Time, trigger *int64) {
+	if d.hasFired && now-d.lastFired < d.cfg.Cooldown {
+		return
+	}
+	if d.stats.Fired == 0 {
+		d.stats.FirstFired = now
+	}
+	d.hasFired = true
+	d.lastFired = now
+	d.stats.Fired++
+	*trigger++
+	if d.onFire != nil {
+		d.onFire(now)
+	}
+}
+
+// IncastNotifier turns detector firings into explicit notification packets:
+// one zero-payload IncastNotify packet per distinct data flow, addressed to
+// the flow's source and injected at sw (which routes it over the reverse
+// path like any other packet).
+//
+// Who gets notified depends on the horizon. With a zero horizon the notifier
+// signals the flows occupying the watched queues at firing time — right for
+// a congested bottleneck port, where the standing queue holds the offenders.
+// With a positive horizon it keeps a recent-flow table (fed by the queues'
+// enqueue observers) and signals every flow seen within the horizon — right
+// for a fast uplink port, which drains in microseconds and holds one or two
+// packets even while an entire rack's fan-in streams through it.
+type IncastNotifier struct {
+	sw      *Switch
+	pool    *PacketPool
+	queues  []*Queue
+	horizon sim.Time
+	sent    int64
+
+	// Recent-flow table (horizon > 0): src and last-seen time per flow, in
+	// first-seen order. Pruned lazily at each firing.
+	flows  map[FlowID]flowSeen
+	recent []FlowID
+
+	// scratch, reused across firings to keep the hot path allocation-free.
+	seen  map[FlowID]NodeID
+	order []FlowID
+}
+
+type flowSeen struct {
+	src  NodeID
+	last sim.Time
+}
+
+// NewIncastNotifier builds a notifier injecting at sw for flows passing
+// through queues. Pool must be the topology's packet pool so notifications
+// recycle like data packets. A positive horizon enables the recent-flow
+// table and chains onto each queue's OnEnqueue observer; zero keeps the
+// currently-queued semantics.
+func NewIncastNotifier(sw *Switch, pool *PacketPool, horizon sim.Time, queues ...*Queue) *IncastNotifier {
+	if pool == nil {
+		panic("netsim: IncastNotifier needs the topology packet pool")
+	}
+	n := &IncastNotifier{sw: sw, pool: pool, queues: queues, horizon: horizon,
+		seen: make(map[FlowID]NodeID)}
+	if horizon > 0 {
+		n.flows = make(map[FlowID]flowSeen)
+		for _, q := range queues {
+			prev := q.OnEnqueue()
+			q.SetOnEnqueue(func(now sim.Time, p *Packet) {
+				n.observe(now, p)
+				if prev != nil {
+					prev(now, p)
+				}
+			})
+		}
+	}
+	return n
+}
+
+// Sent returns the number of notification packets injected so far.
+func (n *IncastNotifier) Sent() int64 { return n.sent }
+
+// observe records a data packet in the recent-flow table.
+func (n *IncastNotifier) observe(now sim.Time, p *Packet) {
+	if p.IsAck || p.IncastNotify {
+		return
+	}
+	if _, ok := n.flows[p.Flow]; !ok {
+		n.recent = append(n.recent, p.Flow)
+	}
+	n.flows[p.Flow] = flowSeen{src: p.Src, last: now}
+}
+
+// Notify sends one notification per distinct data flow — those queued right
+// now (zero horizon) or those seen within the horizon — in deterministic
+// FIFO/first-seen order. ACKs and notifications in flight are never
+// signalled.
+func (n *IncastNotifier) Notify(now sim.Time) {
+	clear(n.seen)
+	n.order = n.order[:0]
+	if n.horizon > 0 {
+		// Compact the recent-flow table in place, dropping stale entries.
+		kept := n.recent[:0]
+		for _, f := range n.recent {
+			e := n.flows[f]
+			if now-e.last > n.horizon {
+				delete(n.flows, f)
+				continue
+			}
+			kept = append(kept, f)
+			n.seen[f] = e.src
+			n.order = append(n.order, f)
+		}
+		for i := len(kept); i < len(n.recent); i++ {
+			n.recent[i] = 0
+		}
+		n.recent = kept
+	} else {
+		for _, q := range n.queues {
+			q.ForEachPacket(func(p *Packet) {
+				if p.IsAck || p.IncastNotify {
+					return
+				}
+				if _, ok := n.seen[p.Flow]; !ok {
+					n.seen[p.Flow] = p.Src
+					n.order = append(n.order, p.Flow)
+				}
+			})
+		}
+	}
+	for _, f := range n.order {
+		p := n.pool.Get()
+		p.Flow = f
+		p.Src = n.sw.ID()
+		p.Dst = n.seen[f]
+		p.IncastNotify = true
+		p.SentAt = now
+		n.sw.Receive(p)
+		n.sent++
+	}
+}
+
+// AttachIncastNotification wires a detector on q that, on firing, notifies
+// the source of every flow queued in q via sw. This is the single-switch
+// (dumbbell bottleneck) deployment; returns the detector and notifier for
+// stats harvesting.
+func AttachIncastNotification(sw *Switch, q *Queue, pool *PacketPool, cfg IncastDetectorConfig) (*IncastDetector, *IncastNotifier) {
+	n := NewIncastNotifier(sw, pool, 0, q)
+	d := NewIncastDetector(q, cfg, n.Notify)
+	return d, n
+}
+
+// ClosDetectorConfig tunes distributed in-fabric detection on a Clos.
+type ClosDetectorConfig struct {
+	// Detector configures the per-uplink-port sub-detectors.
+	Detector IncastDetectorConfig
+	// MinPorts is how many of a leaf's uplink ports must trip within
+	// CoordWindow before the leaf declares incast. Values above the spine
+	// count are clamped. Default 2.
+	MinPorts int
+	// CoordWindow is how long a port trip stays "hot" for coordination.
+	// Default 20us.
+	CoordWindow sim.Time
+	// Cooldown is the leaf-level minimum time between declarations.
+	// Default: the sub-detector cooldown.
+	Cooldown sim.Time
+	// FlowHorizon is how long a flow stays in the leaf's recent-flow table
+	// for notification targeting. Uplink ports drain in microseconds, so at
+	// firing time the queues hold almost none of the rack's fan-in flows;
+	// the table remembers everyone seen recently instead. Default 100us
+	// (covers one jittered burst onset).
+	FlowHorizon sim.Time
+}
+
+func (c ClosDetectorConfig) withDefaults(spines int) ClosDetectorConfig {
+	c.Detector = c.Detector.withDefaults()
+	if c.MinPorts <= 0 {
+		c.MinPorts = 2
+	}
+	if c.MinPorts > spines {
+		c.MinPorts = spines
+	}
+	if c.CoordWindow <= 0 {
+		c.CoordWindow = 20 * sim.Microsecond
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = c.Detector.Cooldown
+	}
+	if c.FlowHorizon <= 0 {
+		c.FlowHorizon = 100 * sim.Microsecond
+	}
+	return c
+}
+
+// LeafIncastStats aggregates one leaf coordinator's counters.
+type LeafIncastStats struct {
+	// PortFirings sums sub-detector firings across the leaf's uplinks.
+	PortFirings int64
+	// LeafFirings counts coordinated leaf-level incast declarations.
+	LeafFirings int64
+	// NotificationsSent counts notification packets this leaf injected.
+	NotificationsSent int64
+	// FirstFired is the time of the first coordinated declaration; valid
+	// when LeafFirings > 0.
+	FirstFired sim.Time
+}
+
+// LeafIncastCoordinator aggregates per-uplink detectors on one leaf: the
+// leaf declares incast when MinPorts distinct uplink ports trip within
+// CoordWindow, then notifies the sources of every flow queued on any of
+// its uplinks. Source-side leaves see a fan-in burst as synchronized onset
+// across their spine-facing ports, so coordination fires before the
+// aggregator's downlink queue saturates.
+type LeafIncastCoordinator struct {
+	cfg       ClosDetectorConfig
+	rack      int
+	detectors []*IncastDetector
+	notifier  *IncastNotifier
+
+	lastTrip   []sim.Time
+	tripped    []bool
+	lastFired  sim.Time
+	hasFired   bool
+	firings    int64
+	firstFired sim.Time
+}
+
+// Rack returns the coordinator's rack index.
+func (l *LeafIncastCoordinator) Rack() int { return l.rack }
+
+// Stats returns the coordinator's aggregated counters.
+func (l *LeafIncastCoordinator) Stats() LeafIncastStats {
+	s := LeafIncastStats{LeafFirings: l.firings, NotificationsSent: l.notifier.Sent(),
+		FirstFired: l.firstFired}
+	for _, d := range l.detectors {
+		s.PortFirings += d.Stats().Fired
+	}
+	return s
+}
+
+func (l *LeafIncastCoordinator) portTripped(port int, now sim.Time) {
+	l.lastTrip[port] = now
+	l.tripped[port] = true
+	hot := 0
+	for i := range l.tripped {
+		if l.tripped[i] && now-l.lastTrip[i] <= l.cfg.CoordWindow {
+			hot++
+		}
+	}
+	if hot < l.cfg.MinPorts {
+		return
+	}
+	if l.hasFired && now-l.lastFired < l.cfg.Cooldown {
+		return
+	}
+	if l.firings == 0 {
+		l.firstFired = now
+	}
+	l.hasFired = true
+	l.lastFired = now
+	l.firings++
+	l.notifier.Notify(now)
+}
+
+// AttachClosIncastDetection installs a coordinator on every leaf of c. Each
+// leaf watches its spine-facing uplink queues; on a coordinated firing it
+// notifies the (same-rack) sources of the flows queued there, reaching them
+// one hop away — the shortest control loop the fabric offers.
+func AttachClosIncastDetection(c *Clos, cfg ClosDetectorConfig) []*LeafIncastCoordinator {
+	cfg = cfg.withDefaults(c.Config.Spines)
+	coords := make([]*LeafIncastCoordinator, c.Config.Racks)
+	for r := 0; r < c.Config.Racks; r++ {
+		uplinks := c.Uplinks(r)
+		queues := make([]*Queue, len(uplinks))
+		for i, ln := range uplinks {
+			queues[i] = ln.Queue()
+		}
+		l := &LeafIncastCoordinator{
+			cfg:      cfg,
+			rack:     r,
+			notifier: NewIncastNotifier(c.Leaves[r], c.Pool, cfg.FlowHorizon, queues...),
+			lastTrip: make([]sim.Time, len(uplinks)),
+			tripped:  make([]bool, len(uplinks)),
+		}
+		for i, q := range queues {
+			port := i
+			l.detectors = append(l.detectors, NewIncastDetector(q, cfg.Detector, func(now sim.Time) {
+				l.portTripped(port, now)
+			}))
+		}
+		coords[r] = l
+	}
+	return coords
+}

@@ -44,6 +44,13 @@ type Packet struct {
 	// network treats it like any other data packet).
 	Retransmit bool
 
+	// IncastNotify marks a switch-originated explicit incast notification
+	// (Pulser-style): a zero-payload control packet a congested switch
+	// sends back to a flow's source, telling it to back off immediately
+	// instead of waiting for marks or losses to echo around. The network
+	// forwards it like any other packet.
+	IncastNotify bool
+
 	// SentAt is the virtual time the sender handed the packet to its NIC;
 	// used for RTT measurement on the echoing ACK path.
 	SentAt sim.Time
@@ -189,6 +196,9 @@ func (p *Packet) String() string {
 	}
 	if p.Retransmit {
 		marks += " RTX"
+	}
+	if p.IncastNotify {
+		marks += " INOTIFY"
 	}
 	return fmt.Sprintf("%s flow=%d %d->%d seq=%d len=%d ack=%d%s",
 		kind, p.Flow, p.Src, p.Dst, p.Seq, p.Len, p.AckNo, marks)

@@ -59,6 +59,10 @@ type Queue struct {
 	onChange func(now sim.Time, packets, bytes int)
 	// onDrop, if set, observes tail drops.
 	onDrop func(now sim.Time, p *Packet)
+	// onEnqueue, if set, observes every accepted packet (after marking).
+	// Unlike onChange it carries the packet itself, so flow-aware observers
+	// (the incast notifier's recent-flow table) can see who is arriving.
+	onEnqueue func(now sim.Time, p *Packet)
 
 	// minuteWatermark tracks the per-interval high watermark the way
 	// production ToRs export it; see WatermarkSeries in instrument.go.
@@ -136,6 +140,13 @@ func (q *Queue) SetOnDrop(fn func(now sim.Time, p *Packet)) { q.onDrop = fn }
 // OnDrop returns the installed drop observer, for chaining.
 func (q *Queue) OnDrop() func(now sim.Time, p *Packet) { return q.onDrop }
 
+// SetOnEnqueue installs an accepted-packet observer (nil to remove). The
+// packet must not be mutated or retained.
+func (q *Queue) SetOnEnqueue(fn func(now sim.Time, p *Packet)) { q.onEnqueue = fn }
+
+// OnEnqueue returns the installed accepted-packet observer, for chaining.
+func (q *Queue) OnEnqueue() func(now sim.Time, p *Packet) { return q.onEnqueue }
+
 // ForEachPacket calls fn for every queued packet in FIFO order. The packets
 // must not be mutated or retained; the auditor uses this to cross-check
 // occupancy accounting and packet liveness.
@@ -187,9 +198,13 @@ func (q *Queue) Enqueue(now sim.Time, p *Packet) bool {
 	if len(q.packets) > q.watermarkPackets {
 		q.watermarkPackets = len(q.packets)
 	}
+	q.updateAvgDepth()
 	if q.ecnThresholdPackets > 0 && p.ECT && q.markingDepth() > float64(q.ecnThresholdPackets) {
 		p.CE = true
 		q.stats.MarkedPackets++
+	}
+	if q.onEnqueue != nil {
+		q.onEnqueue(now, p)
 	}
 	if q.onChange != nil {
 		q.onChange(now, len(q.packets), q.bytes)
@@ -197,14 +212,26 @@ func (q *Queue) Enqueue(now sim.Time, p *Packet) bool {
 	return true
 }
 
+// updateAvgDepth folds the current occupancy into the RED-style EWMA. It
+// runs on every enqueue and dequeue — not just ECT arrivals past the
+// marking gate — so the average tracks the true occupancy and decays as
+// the queue drains, the way RED's estimator does. (Sampling only inside
+// the marking decision biased the average toward the high depths that
+// reach it and froze it across drains.)
+func (q *Queue) updateAvgDepth() {
+	if q.ecnAvgWeight <= 0 {
+		return
+	}
+	q.ecnAvgDepth = (1-q.ecnAvgWeight)*q.ecnAvgDepth + q.ecnAvgWeight*float64(len(q.packets))
+}
+
 // markingDepth returns the occupancy the ECN comparison uses: the
 // instantaneous depth (DCTCP's choice), or the RED-style EWMA when
-// configured. The average is updated on every enqueue.
+// configured. Read-only; the EWMA itself advances in updateAvgDepth.
 func (q *Queue) markingDepth() float64 {
 	if q.ecnAvgWeight <= 0 {
 		return float64(len(q.packets))
 	}
-	q.ecnAvgDepth = (1-q.ecnAvgWeight)*q.ecnAvgDepth + q.ecnAvgWeight*float64(len(q.packets))
 	return q.ecnAvgDepth
 }
 
@@ -224,6 +251,7 @@ func (q *Queue) Dequeue(now sim.Time) *Packet {
 	if q.shared != nil {
 		q.shared.shrink(p.IPBytes())
 	}
+	q.updateAvgDepth()
 	if q.onChange != nil {
 		q.onChange(now, len(q.packets), q.bytes)
 	}
@@ -280,7 +308,12 @@ func (b *SharedBuffer) SetExternalBytes(n int) {
 // UsedBytes returns current pool usage including external contention.
 func (b *SharedBuffer) UsedBytes() int { return b.usedBytes + b.externalBytes }
 
-// FreeBytes returns remaining pool capacity.
+// FreeBytes returns remaining pool capacity, clamped at zero. The clamp
+// matters: SetExternalBytes can push used+external past totalBytes
+// (rack-contention scenarios oversubscribe the pool on purpose), and a
+// negative free count would otherwise flow into the DT limit as a negative
+// effective capacity. At or beyond saturation every queue's effective
+// capacity is simply zero and nothing is admitted until the pool drains.
 func (b *SharedBuffer) FreeBytes() int {
 	f := b.totalBytes - b.UsedBytes()
 	if f < 0 {

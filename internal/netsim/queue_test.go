@@ -240,6 +240,74 @@ func TestQueueEWMAMarkingLags(t *testing.T) {
 	}
 }
 
+// TestQueueEWMATracksAllOccupancyChanges pins the estimator semantics: the
+// EWMA advances on every enqueue and dequeue, like RED's, not only on ECT
+// arrivals that reach the marking comparison. Sampling inside the marking
+// gate biased the average toward high depths and froze it across drains.
+func TestQueueEWMATracksAllOccupancyChanges(t *testing.T) {
+	const w = 0.25
+	q := NewQueue(QueueConfig{ECNThresholdPackets: 1000, ECNAverageWeight: w})
+	want := 0.0
+	step := func(depth int) {
+		want = (1-w)*want + w*float64(depth)
+		if q.ecnAvgDepth != want {
+			t.Fatalf("at depth %d: avg = %v, want %v", depth, q.ecnAvgDepth, want)
+		}
+	}
+	// Non-ECT arrivals never reach the marking comparison, yet they must
+	// advance the estimator.
+	for i := 1; i <= 8; i++ {
+		q.Enqueue(0, &Packet{Flow: 1, Len: 100})
+		step(i)
+	}
+	peak := q.ecnAvgDepth
+	// Draining must decay the average, not freeze it at the peak.
+	for i := 7; i >= 0; i-- {
+		q.Dequeue(0)
+		step(i)
+	}
+	if q.ecnAvgDepth >= peak {
+		t.Fatalf("average did not decay on drain: %v (peak %v)", q.ecnAvgDepth, peak)
+	}
+}
+
+func TestSharedBufferSaturationClamp(t *testing.T) {
+	pool := NewSharedBuffer(10*1500, 2)
+	q := NewQueue(QueueConfig{Shared: pool})
+	if !q.Enqueue(0, dataPacket(1, 1460)) || !q.Enqueue(0, dataPacket(1, 1460)) {
+		t.Fatal("uncontended pool should admit")
+	}
+
+	// External contention oversubscribes the pool past its total (the
+	// rack-contention scenarios do this on purpose). Free must clamp at
+	// zero, not go negative into the DT limit.
+	pool.SetExternalBytes(12 * 1500)
+	if pool.FreeBytes() != 0 {
+		t.Fatalf("free = %d, want 0 when oversubscribed", pool.FreeBytes())
+	}
+	if q.Enqueue(0, dataPacket(1, 1460)) {
+		t.Fatal("saturated pool must admit nothing")
+	}
+
+	// Exactly full behaves the same as oversubscribed.
+	pool.SetExternalBytes(10*1500 - q.LenBytes())
+	if pool.FreeBytes() != 0 {
+		t.Fatalf("free = %d, want 0 when exactly full", pool.FreeBytes())
+	}
+	if q.Enqueue(0, dataPacket(1, 1460)) {
+		t.Fatal("exactly-full pool must admit nothing")
+	}
+
+	// Saturation is not sticky: when contention clears, admission resumes.
+	pool.SetExternalBytes(0)
+	if pool.FreeBytes() != 10*1500-q.LenBytes() {
+		t.Fatalf("free after recovery = %d", pool.FreeBytes())
+	}
+	if !q.Enqueue(0, dataPacket(1, 1460)) {
+		t.Fatal("after contention clears, the queue should grow again")
+	}
+}
+
 func TestQueueEWMAWeightValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

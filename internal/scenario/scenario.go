@@ -43,6 +43,11 @@ type Spec struct {
 	// Transport tunes the TCP sender/receiver; nil keeps the paper
 	// defaults (200 ms min RTO, immediate ACKs, persistent windows).
 	Transport *Transport `json:"transport,omitempty"`
+	// Notification enables switch-side incast detection and the explicit
+	// notification path (Pulser-style sender backoff). With the
+	// "notification" sweep axis, the block parameterizes the mechanism and
+	// the axis values toggle it per row.
+	Notification *Notification `json:"notification,omitempty"`
 	// Sweep names the varied axis and its values; every value is one row
 	// of the result table.
 	Sweep Sweep `json:"sweep"`
@@ -148,6 +153,34 @@ type Transport struct {
 	ICTCP bool `json:"ictcp,omitempty"`
 }
 
+// Notification configures switch-side incast detection and the sender
+// reaction. Zero fields take the defaults sized for the paper's ~30us-RTT
+// fabrics (5us window, 16-packet slope, 64-arrival burst, 50us cooldown,
+// 0.5 backoff).
+type Notification struct {
+	// WindowUS is the detector observation window in microseconds.
+	WindowUS float64 `json:"window_us,omitempty"`
+	// SlopePackets trips the detector on this much queue growth within
+	// one window.
+	SlopePackets int `json:"slope_packets,omitempty"`
+	// BurstArrivals trips the detector on this many arrivals within one
+	// window regardless of net growth.
+	BurstArrivals int `json:"burst_arrivals,omitempty"`
+	// CooldownUS is the minimum time between firings, in microseconds.
+	CooldownUS float64 `json:"cooldown_us,omitempty"`
+	// Backoff is the sender's multiplicative reaction factor in (0, 1).
+	Backoff float64 `json:"backoff,omitempty"`
+	// HoldAcks is how many ACKs the backoff holds before releasing.
+	HoldAcks int `json:"hold_acks,omitempty"`
+	// MinPorts > 0 selects distributed in-fabric detection on a Clos
+	// fabric: each leaf declares incast when this many of its uplink
+	// ports trip within CoordWindowUS microseconds, and notifies every
+	// same-rack flow seen within FlowHorizonUS microseconds (default 100).
+	MinPorts      int     `json:"min_ports,omitempty"`
+	CoordWindowUS float64 `json:"coord_window_us,omitempty"`
+	FlowHorizonUS float64 `json:"flow_horizon_us,omitempty"`
+}
+
 // Sweep is the scenario's varied axis.
 type Sweep struct {
 	// Axis names the swept parameter; see Axes for the vocabulary.
@@ -203,6 +236,7 @@ func (k ValueKind) String() string {
 //	cc                  congestion-control algorithm by name
 //	scheme              Section 5 schemes: dctcp, dctcp+guardrail, dctcp+wave<N>
 //	placement           Clos worker placement: same-rack vs cross-rack
+//	notification        explicit incast notification on/off (needs the spec's notification block)
 var Axes = map[string]ValueKind{
 	"flows":              Number,
 	"g":                  Number,
@@ -213,6 +247,7 @@ var Axes = map[string]ValueKind{
 	"idle_restart":       Flag,
 	"shared_buffer":      Flag,
 	"ictcp":              Flag,
+	"notification":       Flag,
 	"cc":                 Name,
 	"scheme":             Name,
 	"placement":          Name,
@@ -427,6 +462,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
 	}
+	if s.Notification != nil {
+		if err := s.Notification.validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
 	if err := s.Sweep.validate(); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
@@ -446,6 +486,12 @@ func (s Spec) Validate() error {
 	if s.Topology == nil && s.Sweep.Axis == "shared_buffer" {
 		return fmt.Errorf("scenario %q: axis \"shared_buffer\" needs a topology with shared_buffer_bytes to toggle", s.Name)
 	}
+	if s.Sweep.Axis == "notification" && s.Notification == nil {
+		return fmt.Errorf("scenario %q: axis \"notification\" needs a notification block to toggle", s.Name)
+	}
+	if s.Notification != nil && s.Fidelity == "flow" {
+		return fmt.Errorf("scenario %q: fidelity \"flow\" cannot model the notification path (detector firings and zero-payload control packets are per-packet dynamics) — use fidelity \"packet\" or drop the notification block", s.Name)
+	}
 	if !KnownFidelity(s.Fidelity) {
 		return fmt.Errorf("scenario %q: fidelity %q is not one of %s (or omit for packet-level)",
 			s.Name, s.Fidelity, strings.Join(Fidelities, ", "))
@@ -458,6 +504,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Sweep.Axis == "placement" && clos == nil {
 		return fmt.Errorf("scenario %q: axis \"placement\" places workers in a fabric; it needs a topology.clos block", s.Name)
+	}
+	if s.Notification != nil && s.Notification.MinPorts > 0 && clos == nil {
+		return fmt.Errorf("scenario %q: notification.min_ports coordinates detectors across a leaf's uplink ports; it needs a topology.clos block", s.Name)
 	}
 	if clos != nil {
 		// The fluid engine solves exactly one bottleneck queue; a fabric has
@@ -608,6 +657,34 @@ func (t Transport) validate() error {
 	}
 	if t.AckEvery < 0 {
 		return fmt.Errorf("transport.ack_every cannot be negative")
+	}
+	return nil
+}
+
+func (n Notification) validate() error {
+	if n.WindowUS < 0 || math.IsNaN(n.WindowUS) || math.IsInf(n.WindowUS, 0) {
+		return fmt.Errorf("notification.window_us = %v: want a positive window (or omit for the 5 us default)", n.WindowUS)
+	}
+	if n.SlopePackets < 0 || n.BurstArrivals < 0 {
+		return fmt.Errorf("notification slope_packets (%d) and burst_arrivals (%d) cannot be negative", n.SlopePackets, n.BurstArrivals)
+	}
+	if n.CooldownUS < 0 || math.IsNaN(n.CooldownUS) || math.IsInf(n.CooldownUS, 0) {
+		return fmt.Errorf("notification.cooldown_us = %v: want a positive cooldown (or omit for the 50 us default)", n.CooldownUS)
+	}
+	if n.Backoff < 0 || n.Backoff >= 1 || math.IsNaN(n.Backoff) {
+		return fmt.Errorf("notification.backoff = %v: the multiplicative factor lives in (0, 1) (or omit for 0.5)", n.Backoff)
+	}
+	if n.HoldAcks < 0 {
+		return fmt.Errorf("notification.hold_acks cannot be negative")
+	}
+	if n.MinPorts < 0 {
+		return fmt.Errorf("notification.min_ports cannot be negative")
+	}
+	if n.CoordWindowUS < 0 || math.IsNaN(n.CoordWindowUS) || math.IsInf(n.CoordWindowUS, 0) {
+		return fmt.Errorf("notification.coord_window_us = %v: want a positive window (or omit for the 20 us default)", n.CoordWindowUS)
+	}
+	if n.FlowHorizonUS < 0 || math.IsNaN(n.FlowHorizonUS) || math.IsInf(n.FlowHorizonUS, 0) {
+		return fmt.Errorf("notification.flow_horizon_us = %v: want a positive horizon (or omit for the 100 us default)", n.FlowHorizonUS)
 	}
 	return nil
 }

@@ -25,6 +25,12 @@ func fullSpec() Spec {
 		Workload:  Workload{BurstMS: 2, IntervalMS: 100, Bursts: 12, QuickBursts: 3},
 		CC:        &CC{Algorithm: "dctcp", G: 1.0 / 64, InitialWindowPkts: 10},
 		Transport: &Transport{MinRTOMS: 10, DelayedAcks: true, AckEvery: 2, IdleRestart: true, ICTCP: true},
+		// MinPorts stays zero: coordinated detection needs a clos block,
+		// and this spec exercises the dumbbell surface.
+		Notification: &Notification{
+			WindowUS: 5, SlopePackets: 16, BurstArrivals: 64, CooldownUS: 50,
+			Backoff: 0.5, HoldAcks: 4, FlowHorizonUS: 100,
+		},
 		Sweep: Sweep{
 			Axis:   "g",
 			Values: Nums(0.5, 0.0625, 0.002),
@@ -150,6 +156,19 @@ func TestValidateRejections(t *testing.T) {
 		{"contend without shared", func(s *Spec) { s.Topology = &Topology{ContendBytes: 1} }, "requires shared_buffer_bytes"},
 		{"negative rto", func(s *Spec) { s.Transport = &Transport{MinRTOMS: -1} }, "want a positive timeout"},
 		{"unknown fidelity", func(s *Spec) { s.Fidelity = "warp" }, "not one of packet, flow"},
+		{"negative detector window", func(s *Spec) { s.Notification = &Notification{WindowUS: -1} }, "want a positive window"},
+		{"negative slope", func(s *Spec) { s.Notification = &Notification{SlopePackets: -1} }, "cannot be negative"},
+		{"backoff range", func(s *Spec) { s.Notification = &Notification{Backoff: 1.5} }, "lives in (0, 1)"},
+		{"negative hold_acks", func(s *Spec) { s.Notification = &Notification{HoldAcks: -1} }, "hold_acks cannot be negative"},
+		{"negative flow horizon", func(s *Spec) { s.Notification = &Notification{FlowHorizonUS: -5} }, "want a positive horizon"},
+		{"notification axis without block", func(s *Spec) {
+			s.Sweep = Sweep{Axis: "notification", Values: Flags(false, true)}
+		}, "needs a notification block"},
+		{"min_ports without clos", func(s *Spec) { s.Notification = &Notification{MinPorts: 2} }, "needs a topology.clos block"},
+		{"notification at flow fidelity", func(s *Spec) {
+			s.Notification = &Notification{}
+			s.Fidelity = "flow"
+		}, "cannot model the notification path"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

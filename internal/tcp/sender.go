@@ -69,6 +69,10 @@ type SenderStats struct {
 	ECEAcks int64
 	// Acks counts cumulative ACKs that advanced snd.una.
 	Acks int64
+	// IncastNotifies counts switch-originated explicit incast
+	// notifications delivered to this sender (whether or not the
+	// congestion-control algorithm reacted to them).
+	IncastNotifies int64
 }
 
 // Sender is the sending side of one connection: it transmits application
@@ -308,6 +312,16 @@ func (s *Sender) retransmitHead() {
 
 // HandlePacket implements netsim.PacketHandler: the sender consumes ACKs.
 func (s *Sender) HandlePacket(p *netsim.Packet) {
+	if p.IncastNotify {
+		// Switch-originated explicit incast notification: hand it to the
+		// algorithm out of band from the ACK clock. A shrinking window
+		// never unblocks transmission, so there is nothing to (re)send.
+		s.stats.IncastNotifies++
+		if n, ok := s.alg.(cc.IncastNotifiable); ok {
+			n.OnIncastNotification(s.eng.Now())
+		}
+		return
+	}
 	if !p.IsAck {
 		return
 	}

@@ -166,6 +166,7 @@ func (g *Group) AggregateSenderStats() tcp.SenderStats {
 		agg.Timeouts += st.Timeouts
 		agg.ECEAcks += st.ECEAcks
 		agg.Acks += st.Acks
+		agg.IncastNotifies += st.IncastNotifies
 	}
 	return agg
 }
