@@ -229,3 +229,39 @@ func BenchmarkFlowsimFig5(b *testing.B) {
 		return incastlab.Fig5Modes(o)
 	})
 }
+
+// --- Clos fabric: packet vs flow (BENCH_PR9.json). -----------------------
+
+// benchClosFidelity runs a registered Clos experiment at the given
+// fidelity. The packet/flow pairs below record the multi-queue fluid
+// solver's speedup over the packet fabric on identical sweeps
+// (BENCH_PR9.json); the fabric closed-loop gate (TestClosDifferentialGate
+// in internal/audit) pins the two backends' agreement, so the benchmarks
+// are purely about wall clock.
+func benchClosFidelity(b *testing.B, name string, fidelity string) {
+	b.Helper()
+	exp, ok := incastlab.LookupExperiment(name)
+	if !ok {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	runExperiment(b, name+"_"+fidelity, func(o incastlab.Options) incastlab.Result {
+		o.Fidelity = fidelity
+		return exp.Run(o)
+	})
+}
+
+func BenchmarkClosCrossRackPacket(b *testing.B) {
+	benchClosFidelity(b, "ext_clos_crossrack", incastlab.FidelityPacket)
+}
+
+func BenchmarkClosCrossRackFlow(b *testing.B) {
+	benchClosFidelity(b, "ext_clos_crossrack", incastlab.FidelityFlow)
+}
+
+func BenchmarkClosMultiAggPacket(b *testing.B) {
+	benchClosFidelity(b, "ext_clos_multiagg", incastlab.FidelityPacket)
+}
+
+func BenchmarkClosMultiAggFlow(b *testing.B) {
+	benchClosFidelity(b, "ext_clos_multiagg", incastlab.FidelityFlow)
+}

@@ -11,10 +11,14 @@
 #                        mode (every simulation invariant enforced, zero
 #                        violations tolerated) plus the three-way
 #                        rackmodel<->flowsim<->netsim differential
-#                        cross-check on the canonical trace and the
+#                        cross-check on the canonical trace, the
 #                        closed-loop packet<->flow incast gate (mode
 #                        classification exact, BCT/peak-queue within the
-#                        documented tolerances; see EXPERIMENTS.md)
+#                        documented tolerances; see EXPERIMENTS.md), and
+#                        the fabric closed-loop gate: the ext_clos_crossrack
+#                        operating points run packet vs multi-queue fluid
+#                        under the same pinned tolerance contract
+#                        (TestClosDifferentialGate)
 #   6. obs gate          quick Fig-5 run three ways (no metrics; metrics
 #                        serial; metrics parallel): CSV artifacts must be
 #                        bit-identical across all three, both snapshots
@@ -23,11 +27,14 @@
 #   7. registry gate     `figures -list` must match the checked-in golden
 #                        name list, an unknown -only name must exit
 #                        non-zero, and the quick CSVs (fig5, fig6,
-#                        ablation_g, ablation_marking, the Clos sweep,
+#                        ablation_g, ablation_marking, both Clos sweeps,
 #                        and both notification experiments) must be
 #                        byte-identical to the checked-in goldens
 #                        (scheduler and pooling changes are
-#                        behavior-preserving)
+#                        behavior-preserving); the two Clos sweeps then
+#                        re-run at -fidelity flow against their own
+#                        checked-in goldens (testdata/quick_flow), pinning
+#                        the multi-queue fluid solver's output bit for bit
 #   8. sweep-cache gate  the Clos cross-rack example sweep runs cold,
 #                        sharded across two worker processes against a
 #                        shared content-addressed cache, then again as a
@@ -35,7 +42,10 @@
 #                        and its CSV byte-identical to the cold run; the
 #                        1,000-point flow-fidelity RTO grid then shards
 #                        across four processes and warm-assembles the
-#                        same way (resumable 1k-point studies work)
+#                        same way (resumable 1k-point studies work); the
+#                        million-flow Clos grid (208 rows, 1.26M flows
+#                        summed, fidelity flow) does the same cold/warm
+#                        byte-identity dance through the sharded cache
 #   9. scenario gate     example specs run end to end through
 #                        `incastsim -scenario` and produce their CSVs —
 #                        one packet-level, one at flow fidelity (a
@@ -47,9 +57,11 @@
 #                        Fig-5 sweep smoke-run at one iteration each (they
 #                        must at least execute); with CI_BENCH=1 the macro
 #                        + micro benchmarks run for real and refresh the
-#                        "current" sections of BENCH_PR5.json and
+#                        "current" sections of BENCH_PR5.json,
 #                        BENCH_PR6.json (packet vs flow fidelity on the
-#                        same Fig-5 sweep) via internal/bench/benchjson
+#                        same Fig-5 sweep), and BENCH_PR9.json (packet vs
+#                        flow on the two Clos fabric sweeps) via
+#                        internal/bench/benchjson
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -99,9 +111,13 @@ if go run ./cmd/figures -only bogus -out "$OBS_TMP/bogus" 2>/dev/null; then
   echo "figures -only bogus should have exited non-zero" >&2
   exit 1
 fi
-go run ./cmd/figures -quick -only fig5,fig6,ablation_g,ablation_marking,ext_clos_crossrack,ext_pulser_modes,ext_distributed_detect -out "$OBS_TMP/golden"
+go run ./cmd/figures -quick -only fig5,fig6,ablation_g,ablation_marking,ext_clos_crossrack,ext_clos_multiagg,ext_pulser_modes,ext_distributed_detect -out "$OBS_TMP/golden"
 for f in internal/core/testdata/quick/*.csv; do
   cmp "$f" "$OBS_TMP/golden/$(basename "$f")"
+done
+go run ./cmd/figures -quick -only ext_clos_crossrack,ext_clos_multiagg -fidelity flow -out "$OBS_TMP/golden_flow"
+for f in internal/core/testdata/quick_flow/*.csv; do
+  cmp "$f" "$OBS_TMP/golden_flow/$(basename "$f")"
 done
 
 echo "==> sweep-cache gate: sharded cold run, then warm resume, byte-identical"
@@ -119,6 +135,13 @@ grep -q '^cache: 1000 rows, 1000 hits, 0 computed, 0 skipped$' "$OBS_TMP/grid_co
 "$OBS_TMP/incastsim" -scenario examples/scenarios/fanin_rto_grid_flow.json -quick \
   -cache "$OBS_TMP/grid.cache" -out "$OBS_TMP/grid_warm" >"$OBS_TMP/grid_warm.log"
 cmp "$OBS_TMP/grid_cold/fanin_rto_grid_flow.csv" "$OBS_TMP/grid_warm/fanin_rto_grid_flow.csv"
+"$OBS_TMP/incastsim" -scenario examples/scenarios/clos_million_flow_grid.json -quick \
+  -cache "$OBS_TMP/mfg.cache" -shard-procs 4 -out "$OBS_TMP/mfg_cold" >"$OBS_TMP/mfg_cold.log"
+grep -q '^cache: 208 rows, 208 hits, 0 computed, 0 skipped$' "$OBS_TMP/mfg_cold.log"
+"$OBS_TMP/incastsim" -scenario examples/scenarios/clos_million_flow_grid.json -quick \
+  -cache "$OBS_TMP/mfg.cache" -out "$OBS_TMP/mfg_warm" >"$OBS_TMP/mfg_warm.log"
+grep -q '^cache: 208 rows, 208 hits, 0 computed, 0 skipped$' "$OBS_TMP/mfg_warm.log"
+cmp "$OBS_TMP/mfg_cold/clos_million_flow_grid.csv" "$OBS_TMP/mfg_warm/clos_million_flow_grid.csv"
 
 echo "==> scenario gate: example specs end to end; bad spec path rejected"
 go run ./cmd/incastsim -scenario examples/scenarios/ml_periodic_bursts.json -quick -out "$OBS_TMP/scenario" >/dev/null
@@ -166,6 +189,19 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
     -commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -note "flow-level fluid engine: same sweep at fidelity=flow; mode classification pinned by TestIncastDifferentialGate" \
     -out BENCH_PR6.json <"$OBS_TMP/bench_pr6_cur.txt"
+  echo "==> bench gate: packet vs flow Clos sweeps refreshing BENCH_PR9.json (CI_BENCH=1)"
+  go test -run '^$' -bench '^(BenchmarkClosCrossRackPacket|BenchmarkClosMultiAggPacket)$' \
+    -benchtime=3x -benchmem . >"$OBS_TMP/bench_pr9_base.txt"
+  go test -run '^$' -bench '^(BenchmarkClosCrossRackFlow|BenchmarkClosMultiAggFlow)$' \
+    -benchtime=3x -benchmem . >"$OBS_TMP/bench_pr9_cur.txt"
+  go run ./internal/bench/benchjson -label baseline \
+    -commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -note "packet-level netsim reference: quick ext_clos_crossrack + ext_clos_multiagg fabric sweeps (8 racks, 2 ECMP spines)" \
+    -out BENCH_PR9.json <"$OBS_TMP/bench_pr9_base.txt"
+  go run ./internal/bench/benchjson -label current \
+    -commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -note "multi-queue fluid solver: same sweeps at fidelity=flow; agreement pinned by TestClosDifferentialGate" \
+    -out BENCH_PR9.json <"$OBS_TMP/bench_pr9_cur.txt"
 fi
 
 echo "==> ci.sh: all checks passed"

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"incastlab/internal/scenario"
+	"incastlab/internal/sweep"
 )
 
 // TestSharedBufferPoolReuse is the pooled-reuse regression for shared
@@ -104,5 +105,56 @@ func roundTripSpec(t *testing.T, s scenario.Spec) {
 	}
 	if string(first) != string(second) {
 		t.Errorf("%s: JSON round trip is lossy:\n%s\n%s", s.Name, first, second)
+	}
+}
+
+// closFlowTestSpec is closTestSpec at flow fidelity with an aggregators
+// axis: every row runs the multi-queue fluid solver over the fabric.
+func closFlowTestSpec() scenario.Spec {
+	return scenario.Spec{
+		Name: "clos_flow_test",
+		Topology: &scenario.Topology{
+			Clos: &scenario.Clos{Racks: 3, HostsPerRack: 9, Spines: 2, SpineLinkGbps: 100},
+		},
+		Workload: scenario.Workload{BurstMS: 2, QuickBursts: 2},
+		Sweep: scenario.Sweep{
+			Axis:   "aggregators",
+			Values: scenario.Nums(1, 3),
+			Flows:  []int{4, 8},
+		},
+		Fidelity: "flow",
+	}
+}
+
+// TestParallelClosFlowDeterministic: Clos sweeps at fidelity "flow" —
+// ECMP spine assignment and the multi-queue fluid integration — must be
+// byte-identical between the serial runner, the full worker pool, and a
+// cache-hit replay. Runs under -race in ci.sh: any shared mutable state
+// between concurrent fluid runs shows up here.
+func TestParallelClosFlowDeterministic(t *testing.T) {
+	spec := closFlowTestSpec()
+	serial := tableCSV(t, mustScenario(Options{Seed: 1, Quick: true, Workers: 1}, spec))
+	parallel := tableCSV(t, mustScenario(Options{Seed: 1, Quick: true, Workers: runtime.GOMAXPROCS(0)}, spec))
+	if serial != parallel {
+		t.Error("flow-fidelity Clos sweep differs between serial and parallel runners")
+	}
+
+	cache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Seed: 1, Quick: true, Workers: runtime.GOMAXPROCS(0)}
+	if _, _, err := RunScenarioCached(opt, spec, cache, Shard{}); err != nil {
+		t.Fatal(err)
+	}
+	warm, stats, err := RunScenarioCached(opt, spec, cache, Shard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits != stats.Rows || stats.Computed != 0 {
+		t.Fatalf("warm run stats = %s, want all hits", stats)
+	}
+	if got := tableCSV(t, warm); got != serial {
+		t.Error("cache-hit replay of the flow-fidelity Clos sweep differs from the serial run")
 	}
 }

@@ -30,6 +30,7 @@ func runClosIncastSim(cfg SimConfig) *SimResult {
 	wl := workload.ClosIncastConfig{
 		Workers:        cfg.Flows,
 		Placement:      cfg.Placement,
+		Aggregators:    cfg.Aggregators,
 		BytesPerFlow:   workload.BytesPerFlowFor(closCfg.HostLinkBps, cfg.BurstDuration, cfg.Flows),
 		Bursts:         cfg.Bursts,
 		Interval:       cfg.Interval,

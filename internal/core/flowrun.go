@@ -31,20 +31,16 @@ func KnownFidelity(name string) bool {
 
 // FlowCompatible reports whether the configuration can run on the
 // flow-level backend; the error names the first packet-level-only feature.
-// The fluid engine models the plain incast dumbbell — per-flow demand, one
-// bottleneck queue with threshold marking and tail drops, reduced-form
-// congestion laws, RTO stalls — but not receiver-side control, shared
-// switch memory, ACK shaping, or per-packet traces.
+// The fluid engine models incast demand over a queue network — the
+// dumbbell's single bottleneck or a Clos fabric's per-port queues, each
+// with threshold marking and tail drops, reduced-form congestion laws, RTO
+// stalls — but not receiver-side control, shared switch memory, ACK
+// shaping, or per-packet traces.
 func (c SimConfig) FlowCompatible() error {
 	cfg := c
 	cfg.fill()
 	var feature string
 	switch {
-	case cfg.Clos != nil:
-		// A fabric has many potential bottlenecks (leaf downlinks, spine
-		// ports, ECMP collisions); the fluid model solves exactly one queue
-		// and would silently reduce the fabric to it.
-		feature = "multi-rack Clos topology (multiple bottlenecks)"
 	case cfg.Notification != nil:
 		// The notification path is literally packets: detector firings
 		// keyed to per-packet queue dynamics and zero-payload control
@@ -58,9 +54,13 @@ func (c SimConfig) FlowCompatible() error {
 		feature = "external shared-buffer contention"
 	case cfg.TrackInFlight:
 		feature = "per-flow in-flight tracking"
-	case cfg.Net.SharedBufferBytes > 0:
+	case cfg.Clos != nil && cfg.Clos.SharedBufferBytes > 0:
 		feature = "shared switch buffering"
-	case cfg.Net.ECNAverageWeight > 0:
+	case cfg.Clos != nil && cfg.Clos.ECNAverageWeight > 0:
+		feature = "EWMA-averaged ECN marking"
+	case cfg.Clos == nil && cfg.Net.SharedBufferBytes > 0:
+		feature = "shared switch buffering"
+	case cfg.Clos == nil && cfg.Net.ECNAverageWeight > 0:
 		feature = "EWMA-averaged ECN marking"
 	case cfg.Receiver.DelayedAcks:
 		feature = "delayed ACKs"
@@ -68,12 +68,28 @@ func (c SimConfig) FlowCompatible() error {
 		feature = "idle-restart window validation"
 	}
 	if feature != "" {
-		return fmt.Errorf("core: %s is packet-level only; run it at fidelity %q", feature, FidelityPacket)
+		return fmt.Errorf("core: %s is packet-level only and cannot run at fidelity %q; use fidelity %q",
+			feature, FidelityFlow, FidelityPacket)
 	}
-	if _, err := flowCC(cfg.Alg(0), cfg.Net.BaseRTT()); err != nil {
+	if _, err := flowCC(cfg.Alg(0), flowBaseRTT(&cfg)); err != nil {
 		return err
 	}
+	if cfg.Clos != nil {
+		if _, _, err := workload.ClosFlowEndpoints(*cfg.Clos, cfg.Flows, cfg.Aggregators, cfg.Placement); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// flowBaseRTT is the uncongested round-trip the reduced congestion laws
+// are parameterized against: the fabric RTT for the configured placement
+// on a Clos, the dumbbell's otherwise.
+func flowBaseRTT(cfg *SimConfig) sim.Time {
+	if cfg.Clos != nil {
+		return cfg.Clos.BaseRTT(cfg.Placement != workload.PlacementSameRack)
+	}
+	return cfg.Net.BaseRTT()
 }
 
 // flowCC lowers a packet-level congestion-control instance into flowsim's
@@ -144,36 +160,73 @@ func runFlowIncastSim(cfg SimConfig) *SimResult {
 	if err := cfg.FlowCompatible(); err != nil {
 		panic(err.Error())
 	}
-	ccCfg, err := flowCC(cfg.Alg(0), cfg.Net.BaseRTT())
+	ccCfg, err := flowCC(cfg.Alg(0), flowBaseRTT(&cfg))
 	if err != nil {
 		panic(err.Error())
 	}
-	fres, err := flowsim.Run(flowsim.Config{
-		Flows:                cfg.Flows,
-		SegmentsPerFlow:      workload.BytesPerFlowFor(cfg.Net.HostLinkBps, cfg.BurstDuration, cfg.Flows) / netsim.MSS,
-		Bursts:               cfg.Bursts,
-		Interval:             cfg.Interval,
-		Seed:                 cfg.Seed,
-		LineRateBps:          cfg.Net.HostLinkBps,
-		CoreRateBps:          cfg.Net.CoreLinkBps,
-		QueueCapacityPackets: cfg.Net.QueueCapacityPackets,
-		ECNThresholdPackets:  cfg.Net.ECNThresholdPackets,
-		BaseRTT:              cfg.Net.BaseRTT(),
-		MinRTO:               cfg.Sender.MinRTO,
-		MaxRTO:               cfg.Sender.MaxRTO,
-		DupAckPackets:        float64(cfg.Sender.DupAckThreshold),
-		CC:                   ccCfg,
-		SampleInterval:       cfg.SampleInterval,
-		SampleWindow:         cfg.SampleWindow,
-		Check:                cfg.Audit,
-	})
-	if err != nil {
-		panic(fmt.Sprintf("core: flow-level simulation with %d flows: %v", cfg.Flows, err))
+	var fres *flowsim.Result
+	if cfg.Clos != nil {
+		closCfg := *cfg.Clos
+		srcs, dsts, err := workload.ClosFlowEndpoints(closCfg, cfg.Flows, cfg.Aggregators, cfg.Placement)
+		if err != nil {
+			panic(err.Error())
+		}
+		net, err := closCfg.FluidPaths(srcs, dsts)
+		if err != nil {
+			panic(err.Error())
+		}
+		fres, err = flowsim.RunNetwork(flowsim.NetworkConfig{
+			Config: flowsim.Config{
+				Flows: len(srcs),
+				// Per-flow demand is sized against the per-aggregator degree,
+				// exactly as the packet workload's BytesPerFlow.
+				SegmentsPerFlow: workload.BytesPerFlowFor(closCfg.HostLinkBps, cfg.BurstDuration, cfg.Flows) / netsim.MSS,
+				Bursts:          cfg.Bursts,
+				Interval:        cfg.Interval,
+				Seed:            cfg.Seed,
+				LineRateBps:     closCfg.HostLinkBps,
+				CoreRateBps:     closCfg.SpineLinkBps,
+				MinRTO:          cfg.Sender.MinRTO,
+				MaxRTO:          cfg.Sender.MaxRTO,
+				DupAckPackets:   float64(cfg.Sender.DupAckThreshold),
+				CC:              ccCfg,
+				SampleInterval:  cfg.SampleInterval,
+				SampleWindow:    cfg.SampleWindow,
+				Check:           cfg.Audit,
+			},
+			Net: net,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: flow-level clos simulation with %d flows: %v", len(srcs), err))
+		}
+	} else {
+		fres, err = flowsim.Run(flowsim.Config{
+			Flows:                cfg.Flows,
+			SegmentsPerFlow:      workload.BytesPerFlowFor(cfg.Net.HostLinkBps, cfg.BurstDuration, cfg.Flows) / netsim.MSS,
+			Bursts:               cfg.Bursts,
+			Interval:             cfg.Interval,
+			Seed:                 cfg.Seed,
+			LineRateBps:          cfg.Net.HostLinkBps,
+			CoreRateBps:          cfg.Net.CoreLinkBps,
+			QueueCapacityPackets: cfg.Net.QueueCapacityPackets,
+			ECNThresholdPackets:  cfg.Net.ECNThresholdPackets,
+			BaseRTT:              cfg.Net.BaseRTT(),
+			MinRTO:               cfg.Sender.MinRTO,
+			MaxRTO:               cfg.Sender.MaxRTO,
+			DupAckPackets:        float64(cfg.Sender.DupAckThreshold),
+			CC:                   ccCfg,
+			SampleInterval:       cfg.SampleInterval,
+			SampleWindow:         cfg.SampleWindow,
+			Check:                cfg.Audit,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: flow-level simulation with %d flows: %v", cfg.Flows, err))
+		}
 	}
 
 	res := &SimResult{
 		Fidelity:          FidelityFlow,
-		Flows:             fres.Flows,
+		Flows:             cfg.Flows,
 		AlgName:           fres.AlgName,
 		AvgQueue:          fres.AvgQueue,
 		MaxQueue:          fres.MaxQueue,
@@ -210,7 +263,17 @@ func harvestFlowRun(cfg *SimConfig, r *flowsim.Result, wallStart time.Time) {
 	if experiment == "" {
 		experiment = "adhoc"
 	}
-	c := reg.Collector("experiment", experiment, "flows", strconv.Itoa(cfg.Flows))
+	labels := []string{"experiment", experiment, "flows", strconv.Itoa(cfg.Flows)}
+	if cfg.Clos != nil {
+		// Mirror the packet-side fabric harvest's placement label so both
+		// fidelities publish the same key set for Clos experiments.
+		placement := cfg.Placement
+		if placement == "" {
+			placement = workload.PlacementCrossRack
+		}
+		labels = append(labels, "placement", placement)
+	}
+	c := reg.Collector(labels...)
 	defer c.Close()
 
 	c.Counter("runs").Inc()
@@ -249,8 +312,12 @@ func harvestFlowRun(cfg *SimConfig, r *flowsim.Result, wallStart time.Time) {
 	if r.SimNow < active {
 		active = r.SimNow
 	}
-	if secs := active.Seconds(); secs > 0 && cfg.Net.HostLinkBps > 0 {
-		util := float64(r.DeliveredPackets*wire) * 8 / (float64(cfg.Net.HostLinkBps) * secs)
+	hostBps := cfg.Net.HostLinkBps
+	if cfg.Clos != nil {
+		hostBps = cfg.Clos.HostLinkBps
+	}
+	if secs := active.Seconds(); secs > 0 && hostBps > 0 {
+		util := float64(r.DeliveredPackets*wire) * 8 / (float64(hostBps) * secs)
 		c.Gauge("net_link_utilization", obs.MergeMax, "port", "bottleneck").Set(util)
 	}
 	c.Counter("net_link_tx_packets", "port", "uplink").Add(0)

@@ -8,11 +8,11 @@ import (
 
 // TestRegistryContract pins the registry's static shape: every entry is
 // complete, names are unique, and the kind census matches the paper's
-// structure (1 table, 6 figure runners, 10 ablations, 7 extensions).
+// structure (1 table, 6 figure runners, 10 ablations, 8 extensions).
 func TestRegistryContract(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 24 {
-		t.Fatalf("registry has %d experiments, want 24", len(exps))
+	if len(exps) != 25 {
+		t.Fatalf("registry has %d experiments, want 25", len(exps))
 	}
 	seen := map[string]bool{}
 	kinds := map[Kind]int{}
@@ -37,7 +37,7 @@ func TestRegistryContract(t *testing.T) {
 		}
 		kinds[e.Kind]++
 	}
-	want := map[Kind]int{KindTable: 1, KindFigure: 6, KindAblation: 10, KindExtension: 7}
+	want := map[Kind]int{KindTable: 1, KindFigure: 6, KindAblation: 10, KindExtension: 8}
 	for k, n := range want {
 		if kinds[k] != n {
 			t.Errorf("kind %s: %d experiments, want %d", k, kinds[k], n)

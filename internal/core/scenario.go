@@ -182,6 +182,9 @@ func compileRow(opt Options, spec scenario.Spec, n int, v scenario.Value) SimCon
 	case "placement":
 		name, _ := v.Str()
 		cfg.Placement = name
+	case "aggregators":
+		a, _ := v.Number()
+		cfg.Aggregators = int(a)
 	case "notification":
 		// Handled below with the spec's notification block.
 	}
@@ -253,6 +256,9 @@ func scenarioClos(opt Options, spec scenario.Spec, n int, v scenario.Value, cfg 
 	cfg.Clos = &cc
 	if cfg.Placement == "" {
 		cfg.Placement = cb.Placement
+	}
+	if cfg.Aggregators == 0 {
+		cfg.Aggregators = cb.Aggregators
 	}
 }
 

@@ -79,12 +79,17 @@ type SimConfig struct {
 	// Clos, when non-nil, runs the incast over a leaf/spine fabric instead
 	// of the dumbbell: the aggregator in rack 0 and workers placed by
 	// Placement. Net is ignored; queue/buffer tuning comes from the Clos
-	// config itself. Only the packet fidelity models a fabric (see
-	// FlowCompatible).
+	// config itself. Both fidelities model the fabric: packet via
+	// netsim.NewClos, flow via the multi-queue fluid solver over
+	// ClosConfig.FluidPaths (same ECMP seed, same spine per flow).
 	Clos *netsim.ClosConfig
 	// Placement is where Clos workers sit relative to the aggregator:
 	// workload.PlacementCrossRack (default) or workload.PlacementSameRack.
 	Placement string
+	// Aggregators is the number of concurrent Clos incasts sharing the
+	// fabric (0 or 1 = the classic single aggregator at host 0); Flows is
+	// the per-aggregator degree. See workload.ClosFlowEndpoints.
+	Aggregators int
 	// Notification, when non-nil, enables switch-side incast detection and
 	// the explicit notification path (see NotificationConfig). Packet
 	// fidelity only.

@@ -460,18 +460,33 @@ func newEngine(cfg Config) *engine {
 		e.flows[i].lastLoss = math.MinInt64 / 2
 		e.hot[i].win = e.flows[i].ctrl.window()
 	}
-	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
-	e.releases = make([]release, 0, n*cfg.Bursts)
-	// Each burst is sorted by (at, flow) ascending so dropTail's
-	// newest-first walk over this slice visits equal-time releases in
-	// descending flow order, matching the documented tail-drop victim
-	// order. Sorting packed at<<flowBits|flow keys through slices.Sort
-	// beats a comparator-closure sort ~3x; release times stay far below
-	// the 2^(63-flowBits) ns (~2.4 h of simulated time) packing headroom.
+	e.releases = buildReleases(cfg)
+
+	first := 1
+	if cfg.Bursts == 1 {
+		first = 0
+	}
+	e.smp = newSampler(cfg, first)
+	return e
+}
+
+// buildReleases expands the burst schedule into every flow's per-burst
+// start, globally time-sorted. Each burst is sorted by (at, flow)
+// ascending so dropTail's newest-first walk over this slice visits
+// equal-time releases in descending flow order, matching the documented
+// tail-drop victim order. Sorting packed at<<flowBits|flow keys through
+// slices.Sort beats a comparator-closure sort ~3x; release times stay far
+// below the 2^(63-flowBits) ns (~2.4 h of simulated time) packing
+// headroom. Shared between the single-queue and network engines so both
+// draw the identical jitter sequence from one seed.
+func buildReleases(cfg Config) []release {
+	n := cfg.Flows
 	const flowBits = 20
 	if n >= 1<<flowBits {
 		panic(fmt.Sprintf("flowsim: %d flows exceeds the release-key packing limit %d", n, 1<<flowBits))
 	}
+	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+	releases := make([]release, 0, n*cfg.Bursts)
 	keys := make([]uint64, n)
 	for b := 0; b < cfg.Bursts; b++ {
 		start := sim.Time(b) * cfg.Interval
@@ -481,16 +496,10 @@ func newEngine(cfg Config) *engine {
 		}
 		slices.Sort(keys)
 		for _, k := range keys {
-			e.releases = append(e.releases, release{at: sim.Time(k >> flowBits), flow: int32(k & (1<<flowBits - 1))})
+			releases = append(releases, release{at: sim.Time(k >> flowBits), flow: int32(k & (1<<flowBits - 1))})
 		}
 	}
-
-	first := 1
-	if cfg.Bursts == 1 {
-		first = 0
-	}
-	e.smp = newSampler(cfg, first)
-	return e
+	return releases
 }
 
 func (e *engine) activate(i int32) {

@@ -1,0 +1,964 @@
+package flowsim
+
+import (
+	"fmt"
+	"math"
+
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+	"incastlab/internal/stats"
+)
+
+// This file generalizes the fluid engine from one hardcoded bottleneck to
+// a queue network: every flow traverses an ordered list of port queues
+// (netsim.FluidPaths — the backend-neutral path model the packet Clos
+// builder shares), each queue integrates its own backlog, ECN marking,
+// and tail drops per step, and flows are coupled through min-rate
+// allocation along their paths — a flow's throughput is implicitly the
+// minimum of its per-hop pro-rata service rates, because any hop serving
+// slower than the hops upstream accumulates the flow's backlog and
+// throttles what reaches the hops downstream.
+//
+// The single-queue dumbbell is the trivial one-queue instance: RunNetwork
+// delegates it to the optimized single-queue engine (Run), and the
+// general integrator reproduces that engine's per-step dynamics exactly
+// at the final hop (serve-then-admit ordering, rackmodel-style mark
+// fractions, newest-release-first tail drops, RTO stalls), so the two
+// solvers agree on the paper's mode taxonomy by construction
+// (TestNetworkSingleQueueEquivalence pins it).
+//
+// Transit hops (leaf uplinks, spine downlinks — every queue that is never
+// a path's terminal) additionally cut through: arrivals that fit in the
+// hop's spare service this step are forwarded immediately instead of
+// waiting a step, so an idle 100G fabric hop adds (near) zero latency and
+// the effective RTT of a cross-rack flow stays at its base RTT plus real
+// queueing. The terminal hop never cuts through, keeping the one-queue
+// instance's serve-then-admit contract intact.
+
+// NetworkConfig describes one fluid run over a queue network. The
+// embedded Config supplies the workload (flows, demand, bursts, jitter,
+// seed), transport (RTO bounds, dup-ACK threshold, CC law), and
+// integration knobs; its single-bottleneck fields (LineRateBps as the
+// host NIC injection cap aside) are superseded by the per-queue rates and
+// bounds in Net. Config.BaseRTT seeds the CC defaults (Swift's target
+// delay); per-flow base RTTs come from Net.BaseRTT.
+type NetworkConfig struct {
+	Config
+
+	// Net is the queue network and per-flow path assignment, typically
+	// built by netsim.ClosConfig.FluidPaths so the ECMP spine choice
+	// matches the packet backend flow for flow.
+	Net *netsim.FluidPaths
+}
+
+// RunNetwork executes the fluid simulation over the queue network. The
+// trivial one-queue instance (every path the same single queue at the
+// host line rate, one base RTT) delegates to the optimized single-queue
+// engine; everything else runs the general multi-queue integrator.
+func RunNetwork(cfg NetworkConfig) (*Result, error) {
+	if err := cfg.prepare(); err != nil {
+		return nil, err
+	}
+	if cfg.trivial() {
+		return Run(cfg.Config)
+	}
+	e := newNetEngine(cfg)
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.finish()
+}
+
+// prepare validates the network, checks it against the workload, and
+// folds the bottleneck queue's parameters into the embedded Config so
+// sampling, classification, and the Result echo describe the queue under
+// study.
+func (cfg *NetworkConfig) prepare() error {
+	if cfg.Net == nil {
+		return fmt.Errorf("flowsim: network run needs a queue network (NetworkConfig.Net)")
+	}
+	if err := cfg.Net.Validate(); err != nil {
+		return err
+	}
+	if cfg.Flows != len(cfg.Net.Paths) {
+		return fmt.Errorf("flowsim: %d flows but %d network paths", cfg.Flows, len(cfg.Net.Paths))
+	}
+	b := cfg.Net.Queues[cfg.Net.Bottleneck]
+	cfg.QueueCapacityPackets = b.CapacityPackets
+	cfg.ECNThresholdPackets = b.ECNThresholdPackets
+	if cfg.BaseRTT <= 0 {
+		// Default the CC base RTT to the slowest path's, the conservative
+		// choice for Swift's target delay.
+		for _, rtt := range cfg.Net.BaseRTT {
+			if rtt > cfg.BaseRTT {
+				cfg.BaseRTT = rtt
+			}
+		}
+	}
+	return cfg.fill()
+}
+
+// trivial reports whether the network is the one-queue dumbbell instance
+// the single-queue engine already solves: a single queue at the host line
+// rate that every flow traverses alone, with one shared base RTT.
+func (cfg *NetworkConfig) trivial() bool {
+	n := cfg.Net
+	if len(n.Queues) != 1 || n.Queues[0].RateBps != cfg.LineRateBps {
+		return false
+	}
+	for i, p := range n.Paths {
+		if len(p) != 1 || p[0] != 0 || n.BaseRTT[i] != cfg.BaseRTT {
+			return false
+		}
+	}
+	return true
+}
+
+// SingleQueue wraps a single-bottleneck Config as its equivalent
+// one-queue network, for callers and tests that want the general solver's
+// view of the dumbbell.
+func SingleQueue(cfg Config) (NetworkConfig, error) {
+	if err := cfg.fill(); err != nil {
+		return NetworkConfig{}, err
+	}
+	net := &netsim.FluidPaths{
+		Queues: []netsim.FluidQueue{{
+			Name:                "bottleneck",
+			RateBps:             cfg.LineRateBps,
+			CapacityPackets:     cfg.QueueCapacityPackets,
+			ECNThresholdPackets: cfg.ECNThresholdPackets,
+		}},
+		Paths:   make([][]int32, cfg.Flows),
+		BaseRTT: make([]sim.Time, cfg.Flows),
+		Stage:   []int{0},
+	}
+	for i := range net.Paths {
+		net.Paths[i] = []int32{0}
+		net.BaseRTT[i] = cfg.BaseRTT
+	}
+	return NetworkConfig{Config: cfg, Net: net}, nil
+}
+
+// netFlow is the per-flow state the network integrator's per-step passes
+// touch: unsent demand, the ACK pipe, the cached window, observation-round
+// tallies, and per-step scratch (injection offer, final-hop delivery and
+// its marked share, current RTT). Per-hop backlogs live in the engine's
+// flat arrays, indexed by the flow's hop offset.
+type netFlow struct {
+	unsent    float64
+	ackPipe   float64
+	win       float64
+	roundDel  float64
+	roundMark float64
+	inject    float64
+	deliv     float64
+	delivMark float64
+	rttSec    float64
+	stallT    sim.Time
+	reduced   bool
+}
+
+// netEngine integrates the multi-queue fluid state. Its run loop mirrors
+// the single-queue engine's (releases, measured-window snapshot, RTO
+// wakes, adaptive steps); the step itself walks queues in topological
+// stage order so volume forwarded out of one hop is accounted at the next
+// within the same step.
+type netEngine struct {
+	cfg   Config
+	net   *netsim.FluidPaths
+	flows []flowState
+	hot   []netFlow
+
+	// Per-queue state and per-step scratch, indexed by queue.
+	q        []float64 // backlog in packets
+	drain    []float64 // effective drain, packets/second
+	capQ     []float64
+	kQ       []float64
+	transit  []bool // never a terminal hop: cut-through allowed
+	q0       []float64
+	served   []float64
+	sFrac    []float64
+	arrTotal []float64
+	markNow  []float64
+	passFrac []float64
+	// byStage groups queue indices by topological level.
+	byStage [][]int32
+
+	// Per-flow-hop flat arrays: off[i]+h indexes flow i's hop h.
+	off     []int32
+	bk      []float64 // backlog attributed to the flow at the hop
+	mk      []float64 // CE-marked share of that backlog
+	arrH    []float64 // per-step arrivals into the hop
+	arrMkH  []float64 // marked share of those arrivals
+	baseSec []float64
+
+	nicRate  float64 // per-sender injection cap, packets/second
+	bneck    int
+	segs     float64
+	crumbEps float64
+
+	now sim.Time
+
+	releases []release
+	relPtr   int
+
+	stalled  []int32
+	nextWake sim.Time
+
+	activeList []int32
+
+	cumDelivered float64
+	burstsDone   int
+	bcts         []sim.Time
+
+	timeouts, fastRetx, retxPkts, drops, marks, sent float64
+	baseTimeouts, baseFastRetx, baseRetxPkts         float64
+	baseDrops, baseMarks, baseSent, baseDelivered    float64
+	baseTaken                                        bool
+
+	timeRounds bool
+	steps      uint64
+
+	smp sampler
+}
+
+func newNetEngine(cfg NetworkConfig) *netEngine {
+	n := cfg.Flows
+	net := cfg.Net
+	nq := len(net.Queues)
+	e := &netEngine{
+		cfg:        cfg.Config,
+		net:        net,
+		flows:      make([]flowState, n),
+		hot:        make([]netFlow, n),
+		q:          make([]float64, nq),
+		drain:      make([]float64, nq),
+		capQ:       make([]float64, nq),
+		kQ:         make([]float64, nq),
+		transit:    make([]bool, nq),
+		q0:         make([]float64, nq),
+		served:     make([]float64, nq),
+		sFrac:      make([]float64, nq),
+		arrTotal:   make([]float64, nq),
+		markNow:    make([]float64, nq),
+		passFrac:   make([]float64, nq),
+		off:        make([]int32, n),
+		baseSec:    make([]float64, n),
+		nicRate:    EffectivePacketRate(cfg.LineRateBps),
+		bneck:      net.Bottleneck,
+		segs:       float64(cfg.SegmentsPerFlow),
+		crumbEps:   float64(n)*volEps*4 + 1e-9,
+		nextWake:   math.MaxInt64,
+		timeRounds: cfg.CC.Kind == KindSwift,
+	}
+	for j, qs := range net.Queues {
+		e.drain[j] = EffectivePacketRate(qs.RateBps)
+		e.capQ[j] = float64(qs.CapacityPackets)
+		e.kQ[j] = float64(qs.ECNThresholdPackets)
+		e.transit[j] = true
+	}
+	e.byStage = make([][]int32, net.Stages())
+	for j, s := range net.Stage {
+		e.byStage[s] = append(e.byStage[s], int32(j))
+	}
+	var hops int32
+	for i, p := range net.Paths {
+		e.off[i] = hops
+		hops += int32(len(p))
+		e.baseSec[i] = float64(net.BaseRTT[i]) / 1e9
+		e.transit[p[len(p)-1]] = false
+	}
+	e.bk = make([]float64, hops)
+	e.mk = make([]float64, hops)
+	e.arrH = make([]float64, hops)
+	e.arrMkH = make([]float64, hops)
+	for i := range e.flows {
+		e.flows[i].ctrl = newController(cfg.CC)
+		e.flows[i].lastLoss = math.MinInt64 / 2
+		e.hot[i].win = e.flows[i].ctrl.window()
+	}
+	e.releases = buildReleases(cfg.Config)
+
+	first := 1
+	if cfg.Bursts == 1 {
+		first = 0
+	}
+	e.smp = newSampler(cfg.Config, first)
+	return e
+}
+
+func (e *netEngine) activate(i int32) {
+	if !e.flows[i].active {
+		e.flows[i].active = true
+		e.activeList = append(e.activeList, i)
+	}
+}
+
+// queued returns the aggregate volume across all queues.
+func (e *netEngine) queued() float64 {
+	var total float64
+	for _, v := range e.q {
+		total += v
+	}
+	return total
+}
+
+// run advances fluid steps until all demand is delivered or the horizon
+// expires, mirroring the single-queue loop.
+func (e *netEngine) run() error {
+	cfg := e.cfg
+	deadline := sim.Time(cfg.Bursts)*cfg.Interval + cfg.Horizon
+	measuredStart := e.smp.measuredStart()
+	totalDemand := float64(cfg.Flows) * e.segs * float64(cfg.Bursts)
+
+	for e.now < deadline {
+		for e.relPtr < len(e.releases) && e.releases[e.relPtr].at <= e.now {
+			r := e.releases[e.relPtr]
+			e.hot[r.flow].unsent += e.segs
+			e.flows[r.flow].lastRelease = r.at
+			if e.hot[r.flow].stallT <= e.now {
+				e.activate(r.flow)
+			}
+			e.relPtr++
+		}
+		if !e.baseTaken && e.now >= measuredStart {
+			e.baseTaken = true
+			e.baseTimeouts, e.baseFastRetx, e.baseRetxPkts = e.timeouts, e.fastRetx, e.retxPkts
+			e.baseDrops, e.baseMarks, e.baseSent = e.drops, e.marks, e.sent
+			e.baseDelivered = e.cumDelivered
+		}
+		if e.relPtr == len(e.releases) && e.cumDelivered >= totalDemand-e.crumbEps-1e-6 &&
+			e.queued() <= e.crumbEps && len(e.activeList) == 0 && len(e.stalled) == 0 {
+			return nil
+		}
+
+		if len(e.stalled) > 0 && e.nextWake <= e.now {
+			e.wakeDue()
+			continue
+		}
+
+		next := deadline
+		if e.relPtr < len(e.releases) && e.releases[e.relPtr].at < next {
+			next = e.releases[e.relPtr].at
+		}
+		if len(e.stalled) > 0 && e.nextWake < next {
+			next = e.nextWake
+		}
+		if !e.baseTaken && measuredStart > e.now && measuredStart < next {
+			next = measuredStart
+		}
+
+		if len(e.activeList) == 0 && e.queued() <= e.crumbEps {
+			for j := range e.q {
+				e.q[j] = 0
+			}
+			if next <= e.now {
+				return fmt.Errorf("flowsim: network run stuck at %v with no runnable flows", e.now)
+			}
+			e.smp.advance(next, 0)
+			e.now = next
+			continue
+		}
+
+		// Adaptive step sized from the bottleneck queue's RTT, exactly as
+		// the single-queue engine sizes from its one queue: transit hops
+		// are orders of magnitude faster and contribute delay only under
+		// ECMP collisions, which the per-flow RTTs (pass A) still see.
+		rttSec := e.minBase() + e.q[e.bneck]/e.drain[e.bneck]
+		div := float64(stepDiv)
+		if e.q[e.bneck] > stepDeepK*e.kQ[e.bneck] {
+			div = stepDivDeep
+		}
+		dt := sim.Time(rttSec / div * 1e9)
+		if dt < cfg.MinStep {
+			dt = cfg.MinStep
+		}
+		if dt > cfg.MaxStep {
+			dt = cfg.MaxStep
+		}
+		if e.now+dt > next && next-e.now >= cfg.MinStep {
+			dt = next - e.now
+		}
+		if err := e.step(dt); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("flowsim: %d-flow network run did not complete by %v (delivered %.0f of %.0f packets)",
+		cfg.Flows, deadline, e.cumDelivered, totalDemand)
+}
+
+func (e *netEngine) minBase() float64 {
+	min := e.baseSec[0]
+	for _, b := range e.baseSec[1:] {
+		if b < min {
+			min = b
+		}
+	}
+	return min
+}
+
+// step advances the fluid state by dt: per-queue service from the
+// start-of-step backlogs, per-flow injection offers, then a walk over the
+// queues in topological stage order — marking, tail-dropping, admitting,
+// and forwarding — and finally the per-flow round bookkeeping.
+func (e *netEngine) step(dt sim.Time) error {
+	e.steps++
+	stepEnd := e.now + dt
+	dtSec := float64(dt) / 1e9
+
+	// Per-queue service from start-of-step state.
+	for j := range e.q {
+		q0 := e.q[j]
+		served := e.drain[j] * dtSec
+		if served > q0 {
+			served = q0
+		}
+		e.q0[j] = q0
+		e.served[j] = served
+		if q0 > 0 && served > 0 {
+			e.sFrac[j] = served / q0
+		} else {
+			e.sFrac[j] = 0
+		}
+		e.arrTotal[j] = 0
+		e.markNow[j] = 0
+		e.passFrac[j] = 0
+	}
+
+	// Pass A: per-flow RTT, ACK-pipe update, and injection offers into
+	// each flow's first hop, mirroring the single-queue engine's pass 1
+	// ordering: this step's terminal-hop departure — exactly predictable
+	// as bk*sFrac, since drops only hit arrivals and terminal hops never
+	// cut through — joins the ACK pipe and frees window headroom before
+	// the injection offer is sized. The window paces at w/RTT capped at
+	// the host NIC line rate and that headroom.
+	maxSend := e.nicRate * dtSec
+	for _, i := range e.activeList {
+		h := &e.hot[i]
+		o := e.off[i]
+		path := e.net.Paths[i]
+		rtt := e.baseSec[i]
+		var inNet float64
+		for h2, j := range path {
+			rtt += e.q0[j] / e.drain[j]
+			inNet += e.bk[o+int32(h2)]
+		}
+		h.rttSec = rtt
+		last := path[len(path)-1]
+		dFinal := e.bk[o+int32(len(path)-1)] * e.sFrac[last]
+		inNet -= dFinal
+		ackDecay := dtSec / (e.baseSec[i] / 2)
+		if ackDecay > 1 {
+			ackDecay = 1
+		}
+		p := h.ackPipe + dFinal
+		p -= p * ackDecay
+		h.ackPipe = p
+
+		var a float64
+		if h.unsent > volEps && h.stallT <= e.now {
+			w := h.win
+			a = w * dtSec / rtt
+			if a > maxSend {
+				a = maxSend
+			}
+			if head := w - inNet - p; a > head {
+				a = head
+			}
+			if a > h.unsent {
+				a = h.unsent
+			}
+			if a < 0 {
+				a = 0
+			}
+		}
+		h.inject = a
+		e.arrH[o] = a
+		e.arrMkH[o] = 0
+		e.arrTotal[path[0]] += a
+	}
+
+	// Stage walk: queues finalize (mark fraction, tail drops, cut-through
+	// share, backlog update) once their arrivals are complete — i.e. after
+	// every earlier stage's flows have forwarded — then the flows with a
+	// hop at this stage depart, admit, and forward.
+	for s, queues := range e.byStage {
+		for _, j := range queues {
+			arr := e.arrTotal[j]
+			// Mark fraction over the step, rackmodel-style, from the
+			// pre-drop trajectory — mirroring the single-queue engine.
+			e.markNow[j] = markFraction(e.q0[j], e.q0[j]+arr-e.drain[j]*dtSec, e.kQ[j])
+			if overflow := e.q0[j] - e.served[j] + arr - e.capQ[j]; overflow > 0 {
+				e.dropTailQueue(j, overflow, stepEnd)
+				arr = e.arrTotal[j]
+			}
+			if e.transit[j] && arr > 0 {
+				// Cut-through: arrivals that fit the hop's spare service
+				// this step forward immediately instead of waiting a step,
+				// so idle fabric hops add no pipeline latency.
+				if spare := e.drain[j]*dtSec - e.served[j]; spare >= arr {
+					e.passFrac[j] = 1
+				} else if spare > 0 {
+					e.passFrac[j] = spare / arr
+				}
+			}
+			e.q[j] = e.q0[j] - e.served[j] + arr*(1-e.passFrac[j])
+			if e.q[j] < 0 {
+				e.q[j] = 0
+			}
+		}
+		for _, i := range e.activeList {
+			e.stepFlowStage(i, s)
+		}
+	}
+
+	// Final pass: attribute deliveries and marks, apply cuts, close
+	// rounds, park finished flows — the single-queue engine's pass 2 on
+	// the network's end-to-end deliveries.
+	var servedFinal float64
+	keep := e.activeList[:0]
+	for _, i := range e.activeList {
+		h := &e.hot[i]
+		d, dm := h.deliv, h.delivMark
+		h.deliv, h.delivMark = 0, 0
+		h.inject = 0
+		servedFinal += d
+		e.cumDelivered += d
+		e.marks += dm
+		if d > 0 {
+			h.roundDel += d
+			if dm > 0 {
+				h.roundMark += dm
+				if !h.reduced {
+					h.reduced = true
+					f := &e.flows[i]
+					f.ctrl.onMarkCut()
+					h.win = f.ctrl.window()
+				}
+			}
+		}
+		if h.stallT <= e.now {
+			var closes bool
+			if e.timeRounds {
+				f := &e.flows[i]
+				if f.roundEnd == 0 {
+					f.roundEnd = stepEnd + sim.Time(h.rttSec*1e9)
+				} else if stepEnd >= f.roundEnd {
+					closes = true
+					f.roundEnd = stepEnd + sim.Time(h.rttSec*1e9)
+				}
+			} else {
+				closes = h.roundDel >= h.win
+			}
+			if closes {
+				if h.roundDel > 0 {
+					f := &e.flows[i]
+					f.ctrl.onRoundEnd(h.roundDel, h.roundMark, h.rttSec)
+					h.win = f.ctrl.window()
+					f.backoff = 0
+				}
+				h.roundDel, h.roundMark = 0, 0
+				h.reduced = false
+			}
+		} else {
+			// Parked on an RTO: the sender is silent but its in-network
+			// volume keeps draining hop to hop, so the flow stays on the
+			// active list purely as a drainer until its residue is gone.
+			h.roundDel, h.roundMark = 0, 0
+			h.reduced = false
+			if e.residual(i) <= finishCrumb {
+				e.writeOff(i)
+				e.flows[i].active = false
+				continue
+			}
+			keep = append(keep, i)
+			continue
+		}
+		if h.unsent <= volEps && e.residual(i) <= finishCrumb {
+			e.writeOff(i)
+			e.flows[i].active = false
+			continue
+		}
+		keep = append(keep, i)
+	}
+	e.activeList = keep
+
+	e.recordCompletions(servedFinal, dt, stepEnd)
+	e.smp.advance(stepEnd, e.q[e.bneck])
+	e.now = stepEnd
+
+	if e.cfg.Check {
+		for j := range e.q {
+			if e.q[j] < -1e-6 || e.q[j] > e.capQ[j]+1e-6 {
+				return fmt.Errorf("flowsim: queue %s %.6f outside [0, %.0f] at %v",
+					e.net.Queues[j].Name, e.q[j], e.capQ[j], e.now)
+			}
+		}
+		if e.steps%4096 == 0 {
+			if err := e.checkConservation(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// stepFlowStage processes flow i's hop at stage s (at most one: paths are
+// stage-monotonic): depart pro rata with mark attribution, admit this
+// step's (post-drop) arrivals plus any cut-through share, and forward the
+// departing volume to the next hop or deliver it.
+func (e *netEngine) stepFlowStage(i int32, s int) {
+	path := e.net.Paths[i]
+	o := e.off[i]
+	for h, j := range path {
+		if e.net.Stage[j] != s {
+			continue
+		}
+		oh := o + int32(h)
+		b := e.bk[oh]
+		var d, dmTot float64
+		if sf := e.sFrac[j]; sf > 0 && b > 0 {
+			d = b * sf
+			if d > b {
+				d = b
+			}
+			dmOld := d * (e.mk[oh] / b)
+			if dmOld > e.mk[oh] {
+				dmOld = e.mk[oh]
+			}
+			e.bk[oh] = b - d
+			e.mk[oh] -= dmOld
+			dmTot = dmOld + (d-dmOld)*e.markNow[j]
+		}
+		if a := e.arrH[oh]; a > 0 {
+			am := e.arrMkH[oh]
+			// Arriving unmarked volume picks up this queue's step mark
+			// fraction on its eventual departure; the cut-through share
+			// departs now and carries it immediately.
+			if pf := e.passFrac[j]; pf > 0 {
+				pass := a * pf
+				passMk := am * pf
+				passMk += (pass - passMk) * e.markNow[j]
+				d += pass
+				dmTot += passMk
+				a -= pass
+				am -= am * pf
+			}
+			e.bk[oh] += a
+			e.mk[oh] += am
+			if h == 0 {
+				// Admit the full post-drop offer (cut-through share
+				// included): it leaves the unsent pool and counts as sent.
+				admitted := e.arrH[oh]
+				u := e.hot[i].unsent - admitted
+				if u < 0 {
+					u = 0
+				}
+				e.hot[i].unsent = u
+				e.sent += admitted
+			}
+		}
+		e.arrH[oh] = 0
+		e.arrMkH[oh] = 0
+		if d > 0 {
+			if h+1 < len(path) {
+				next := path[h+1]
+				no := o + int32(h+1)
+				e.arrH[no] += d
+				e.arrMkH[no] += dmTot
+				e.arrTotal[next] += d
+			} else {
+				e.hot[i].deliv += d
+				e.hot[i].delivMark += dmTot
+			}
+		}
+		return
+	}
+}
+
+// dropTailQueue removes overflow volume from this step's arrivals into
+// queue j, latest release first — the same victim order and loss
+// reactions as the single-queue dropTail. Dropped volume returns to the
+// victims' unsent pools (retransmission from the source), wherever along
+// the path it was dropped.
+func (e *netEngine) dropTailQueue(j int32, overflow float64, stepEnd sim.Time) {
+	remaining := overflow
+	for ri := e.relPtr - 1; ri >= 0 && remaining > volEps; ri-- {
+		rel := e.releases[ri]
+		i := rel.flow
+		if e.flows[i].lastRelease != rel.at {
+			continue
+		}
+		h := e.hopOf(i, j)
+		if h < 0 {
+			continue
+		}
+		oh := e.off[i] + int32(h)
+		a := e.arrH[oh]
+		if a <= 0 {
+			continue
+		}
+		d := a
+		if d > remaining {
+			d = remaining
+		}
+		frac := d / a
+		e.arrH[oh] = a - d
+		dm := e.arrMkH[oh] * frac
+		e.arrMkH[oh] -= dm
+		e.arrTotal[j] -= d
+		remaining -= d
+		e.drops += d
+		e.retxPkts += d
+		if h == 0 {
+			// A first-hop drop happens before admission: the volume never
+			// left the unsent pool, so it is already queued for
+			// retransmission — only the sender's transmit counter moves
+			// (mirroring the single-queue dropTail, where dropped volume
+			// "stays in the victims' unsent pools").
+			e.sent += d
+		} else {
+			// A deeper-hop drop was admitted (and sent-counted) in an
+			// earlier step; return it to the source for retransmission.
+			e.hot[i].unsent += d
+		}
+
+		if e.hot[i].stallT > stepEnd {
+			// The victim is already parked on an RTO: drops of its residual
+			// in-network volume belong to the same loss event, so the volume
+			// returns for retransmission but the timer does not back off
+			// again (TCP backs off per timer expiry, not per lost packet).
+			continue
+		}
+		f := &e.flows[i]
+		if e.lossInflight(i, e.net.Stage[j]) < e.cfg.DupAckPackets {
+			e.timeouts++
+			f.ctrl.onTimeout()
+			e.hot[i].win = f.ctrl.window()
+			rto := e.cfg.MaxRTO
+			if f.backoff < 16 {
+				if r := e.cfg.MinRTO << uint(f.backoff); r < rto {
+					rto = r
+				}
+			}
+			f.backoff++
+			e.hot[i].stallT = stepEnd + rto
+			f.roundEnd = 0
+			e.hot[i].roundDel, e.hot[i].roundMark = 0, 0
+			e.hot[i].reduced = false
+			e.stalled = append(e.stalled, i)
+			if e.hot[i].stallT < e.nextWake {
+				e.nextWake = e.hot[i].stallT
+			}
+		} else if rttTime := sim.Time(e.hot[i].rttSec * 1e9); stepEnd-f.lastLoss >= rttTime {
+			e.fastRetx++
+			f.ctrl.onLoss()
+			e.hot[i].win = f.ctrl.window()
+			f.lastLoss = stepEnd
+		}
+	}
+}
+
+// hopOf returns the hop index of queue j in flow i's path, or -1.
+func (e *netEngine) hopOf(i, j int32) int {
+	for h, qj := range e.net.Paths[i] {
+		if qj == j {
+			return h
+		}
+	}
+	return -1
+}
+
+// lossInflight estimates the drop victim's in-network volume after this
+// step's departures — hops at stages not yet integrated still hold their
+// start-of-step backlog, so their pending pro-rata departure is deducted
+// — plus its not-yet-admitted arrivals. This mirrors the single-queue
+// dropTail's backlog+arr duplicate-ACK test, where backlog is already
+// post-delivery when drops are assessed.
+func (e *netEngine) lossInflight(i int32, s int) float64 {
+	o := e.off[i]
+	var total float64
+	for h, j := range e.net.Paths[i] {
+		b := e.bk[o+int32(h)]
+		if e.net.Stage[j] >= s {
+			b *= 1 - e.sFrac[j]
+		}
+		total += b + e.arrH[o+int32(h)]
+	}
+	return total
+}
+
+// residual is the flow's total in-network backlog.
+func (e *netEngine) residual(i int32) float64 {
+	o := e.off[i]
+	var total float64
+	for h := range e.net.Paths[i] {
+		total += e.bk[o+int32(h)]
+	}
+	return total
+}
+
+// writeOff retires a finished (or stalled-and-drained) flow's sub-packet
+// residue: the crumbs leave their queues and count as delivered, sparing
+// tens of steps of multiplicative decay — the network analogue of the
+// single-queue engine's orphan bucket, bounded by Flows x finishCrumb
+// packets per burst.
+func (e *netEngine) writeOff(i int32) {
+	o := e.off[i]
+	for h, j := range e.net.Paths[i] {
+		oh := o + int32(h)
+		if b := e.bk[oh]; b > 0 {
+			e.q[j] -= b
+			if e.q[j] < 0 {
+				e.q[j] = 0
+			}
+			e.cumDelivered += b
+			e.bk[oh] = 0
+			e.mk[oh] = 0
+		}
+	}
+	e.hot[i].ackPipe = 0
+	e.hot[i].roundDel, e.hot[i].roundMark = 0, 0
+	e.hot[i].reduced = false
+}
+
+// wakeDue reactivates stalled flows whose RTO expired.
+func (e *netEngine) wakeDue() {
+	keep := e.stalled[:0]
+	e.nextWake = math.MaxInt64
+	for _, i := range e.stalled {
+		if e.hot[i].stallT <= e.now {
+			e.hot[i].stallT = 0
+			if e.hot[i].unsent > volEps || e.residual(i) > volEps {
+				e.activate(i)
+			}
+		} else {
+			keep = append(keep, i)
+			if e.hot[i].stallT < e.nextWake {
+				e.nextWake = e.hot[i].stallT
+			}
+		}
+	}
+	e.stalled = keep
+}
+
+// recordCompletions mirrors the single-queue detector on the network's
+// end-to-end deliveries.
+func (e *netEngine) recordCompletions(served float64, dt, stepEnd sim.Time) {
+	for e.burstsDone < e.cfg.Bursts {
+		target := float64(e.burstsDone+1) * float64(e.cfg.Flows) * e.segs
+		if e.cumDelivered < target-e.crumbEps {
+			break
+		}
+		if e.relPtr < (e.burstsDone+1)*e.cfg.Flows {
+			break
+		}
+		t := stepEnd
+		if served > 0 {
+			over := e.cumDelivered - target
+			if over < 0 {
+				over = 0
+			}
+			if over > served {
+				over = served
+			}
+			t = stepEnd - sim.Time(over/served*float64(dt))
+		}
+		start := sim.Time(e.burstsDone) * e.cfg.Interval
+		e.bcts = append(e.bcts, t+e.cfg.BaseRTT/2-start)
+		e.burstsDone++
+	}
+}
+
+// checkConservation verifies released volume against delivered + unsent +
+// queued, and each queue's aggregate against the per-flow backlogs.
+func (e *netEngine) checkConservation() error {
+	var unsent, backlog float64
+	perQueue := make([]float64, len(e.q))
+	for i := range e.flows {
+		unsent += e.hot[i].unsent
+		o := e.off[i]
+		for h, j := range e.net.Paths[i] {
+			b := e.bk[o+int32(h)]
+			backlog += b
+			perQueue[j] += b
+		}
+	}
+	released := float64(e.relPtr) * e.segs
+	tol := 1e-6*released + float64(len(e.flows))*(volEps*10+finishCrumb) + 1e-3
+	if diff := math.Abs(released - (e.cumDelivered + unsent + backlog)); diff > tol {
+		return fmt.Errorf("flowsim: network volume conservation violated at %v: released %.3f != delivered %.3f + unsent %.3f + queued %.3f (diff %.6f)",
+			e.now, released, e.cumDelivered, unsent, backlog, diff)
+	}
+	for j := range e.q {
+		if diff := math.Abs(perQueue[j] - e.q[j]); diff > 1e-3+1e-6*e.capQ[j] {
+			return fmt.Errorf("flowsim: queue %s accounting violated at %v: aggregate %.6f vs per-flow sum %.6f",
+				e.net.Queues[j].Name, e.now, e.q[j], perQueue[j])
+		}
+	}
+	return nil
+}
+
+// finish assembles the Result, identically shaped to the single-queue
+// engine's.
+func (e *netEngine) finish() (*Result, error) {
+	cfg := e.cfg
+	if err := e.checkConservation(); err != nil {
+		return nil, err
+	}
+	if len(e.bcts) < cfg.Bursts {
+		return nil, fmt.Errorf("flowsim: network run completed only %d of %d bursts", len(e.bcts), cfg.Bursts)
+	}
+	r := &Result{
+		Flows:         cfg.Flows,
+		AlgName:       cfg.CC.Name,
+		QueueCapacity: cfg.QueueCapacityPackets,
+		ECNThreshold:  cfg.ECNThresholdPackets,
+		Steps:         e.steps,
+		SimNow:        e.now,
+	}
+
+	avg := stats.NewSeries(0, int64(cfg.SampleInterval), e.smp.perBurst)
+	copy(avg.Values, e.smp.avg)
+	avg.Scale(1 / float64(e.smp.measured))
+	r.AvgQueue = avg
+	r.MaxQueue = e.smp.maxQ
+	if e.smp.busy > 0 {
+		r.FracBelowK = float64(e.smp.belowK) / float64(e.smp.busy)
+	}
+	spikeSamples := int(2 * sim.Millisecond / cfg.SampleInterval)
+	for i := 0; i < spikeSamples && i < len(avg.Values); i++ {
+		if avg.Values[i] > r.SpikePackets {
+			r.SpikePackets = avg.Values[i]
+		}
+	}
+
+	var bctSum sim.Time
+	measured := e.bcts[e.smp.first:]
+	r.BCTs = append(r.BCTs, measured...)
+	for _, b := range measured {
+		bctSum += b
+		if b > r.MaxBCT {
+			r.MaxBCT = b
+		}
+	}
+	r.MeanBCT = bctSum / sim.Time(len(measured))
+
+	round := func(v float64) int64 { return int64(math.Round(v)) }
+	r.Timeouts = round(e.timeouts - e.baseTimeouts)
+	r.FastRetransmits = round(e.fastRetx - e.baseFastRetx)
+	r.RetransmitPackets = round(e.retxPkts - e.baseRetxPkts)
+	r.Drops = round(e.drops - e.baseDrops)
+	r.Marks = round(e.marks - e.baseMarks)
+	r.SentPackets = round(e.sent - e.baseSent)
+	r.DeliveredPackets = round(e.cumDelivered - e.baseDelivered)
+	r.FinalCwndPkts = make([]float64, len(e.flows))
+	for i := range e.flows {
+		r.CwndUpdates += e.flows[i].ctrl.updates
+		r.FinalCwndPkts[i] = e.flows[i].ctrl.window()
+		if e.flows[i].ctrl.kind == KindDCTCP {
+			r.FinalAlphas = append(r.FinalAlphas, e.flows[i].ctrl.alpha)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,203 @@
+package flowsim
+
+import (
+	"math"
+	"testing"
+
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+)
+
+// runGeneral forces a config through the general multi-queue integrator
+// even when it is the trivial one-queue instance RunNetwork would
+// delegate, so tests can compare the two solvers directly.
+func runGeneral(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	ncfg, err := SingleQueue(cfg)
+	if err != nil {
+		t.Fatalf("SingleQueue: %v", err)
+	}
+	if err := ncfg.prepare(); err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	e := newNetEngine(ncfg)
+	if err := e.run(); err != nil {
+		t.Fatalf("netEngine run: %v", err)
+	}
+	res, err := e.finish()
+	if err != nil {
+		t.Fatalf("netEngine finish: %v", err)
+	}
+	return res
+}
+
+// TestRunNetworkTrivialDelegates pins the "dumbbell as trivial one-queue
+// instance" contract: RunNetwork on the SingleQueue wrapping of a config
+// returns byte-identical results to Run, because it IS Run.
+func TestRunNetworkTrivialDelegates(t *testing.T) {
+	cfg := quickConfig(80, CCConfig{})
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ncfg, err := SingleQueue(cfg)
+	if err != nil {
+		t.Fatalf("SingleQueue: %v", err)
+	}
+	if !ncfg.trivial() {
+		t.Fatalf("SingleQueue config not detected as the trivial instance")
+	}
+	got, err := RunNetwork(ncfg)
+	if err != nil {
+		t.Fatalf("RunNetwork: %v", err)
+	}
+	if got.Steps != want.Steps || got.MeanBCT != want.MeanBCT || got.MaxQueue != want.MaxQueue ||
+		got.Timeouts != want.Timeouts || got.FracBelowK != want.FracBelowK ||
+		got.SentPackets != want.SentPackets || got.DeliveredPackets != want.DeliveredPackets {
+		t.Errorf("trivial RunNetwork diverged from Run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestNetworkSingleQueueEquivalence runs the general integrator on the
+// one-queue dumbbell and compares it to the optimized single-queue engine
+// at the three quick Fig-5 operating points: the paper's mode
+// classification must be identical and the headline levels must agree
+// within the pinned tolerances. The engines are not bit-equal — the
+// general integrator drains a stalled flow's in-network residue under its
+// own name instead of the single-queue orphan bucket, and sizes steps
+// from per-flow RTTs — so the tolerances bound the real modeling gap.
+func TestNetworkSingleQueueEquivalence(t *testing.T) {
+	for _, n := range []int{80, 500, 1400} {
+		cfg := quickConfig(n, CCConfig{})
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("n=%d Run: %v", n, err)
+		}
+		got := runGeneral(t, cfg)
+		if wm, gm := Classify(want.Timeouts, want.FracBelowK), Classify(got.Timeouts, got.FracBelowK); wm != gm {
+			t.Errorf("n=%d: mode %q (general) vs %q (single-queue)", n, gm, wm)
+		}
+		relBCT := math.Abs(float64(got.MeanBCT-want.MeanBCT)) / float64(want.MeanBCT)
+		if relBCT > 0.10 {
+			t.Errorf("n=%d: mean BCT %.3f ms (general) vs %.3f ms (single-queue), rel %.3f > 0.10",
+				n, float64(got.MeanBCT)/1e6, float64(want.MeanBCT)/1e6, relBCT)
+		}
+		if want.MaxQueue > 0 {
+			relQ := math.Abs(got.MaxQueue-want.MaxQueue) / want.MaxQueue
+			if relQ > 0.10 {
+				t.Errorf("n=%d: max queue %.1f (general) vs %.1f (single-queue), rel %.3f > 0.10",
+					n, got.MaxQueue, want.MaxQueue, relQ)
+			}
+		}
+		if diff := math.Abs(got.FracBelowK - want.FracBelowK); diff > 0.05 {
+			t.Errorf("n=%d: FracBelowK %.3f (general) vs %.3f (single-queue), diff %.3f > 0.05",
+				n, got.FracBelowK, want.FracBelowK, diff)
+		}
+	}
+}
+
+// closQuickConfig builds a NetworkConfig for an n-flow cross-rack incast
+// on the default two-spine fabric, the fluid mirror of
+// workload.ClosIncast's cross-rack placement.
+func closQuickConfig(t *testing.T, n int, placementCross bool) NetworkConfig {
+	t.Helper()
+	cc := netsim.DefaultClosConfig(8, 501)
+	srcs := make([]netsim.NodeID, n)
+	dsts := make([]netsim.NodeID, n)
+	for i := range srcs {
+		if placementCross {
+			srcs[i] = cc.HostID(1+i%(cc.Racks-1), i/(cc.Racks-1))
+		} else {
+			srcs[i] = cc.HostID(0, i+1)
+		}
+		dsts[i] = 0
+	}
+	net, err := cc.FluidPaths(srcs, dsts)
+	if err != nil {
+		t.Fatalf("FluidPaths: %v", err)
+	}
+	cfg := quickConfig(n, CCConfig{})
+	cfg.BaseRTT = cc.BaseRTT(placementCross)
+	return NetworkConfig{Config: cfg, Net: net}
+}
+
+// TestNetworkClosCrossRack smoke-tests the multi-queue integrator on the
+// real fabric geometry with per-step invariant checking on: every burst
+// completes, conservation holds at every checkpoint, and the bottleneck
+// statistics land in the mode the packet backend sees for the same
+// operating point (Mode 1 at 80 flows, Mode 2 at 500).
+func TestNetworkClosCrossRack(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		mode string
+	}{
+		{80, "1 (healthy)"},
+		{500, "2 (degenerate)"},
+	} {
+		res, err := RunNetwork(closQuickConfig(t, tc.n, true))
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if got := Classify(res.Timeouts, res.FracBelowK); got != tc.mode {
+			t.Errorf("n=%d: mode %q, want %q (timeouts=%d fracBelowK=%.3f)",
+				tc.n, got, tc.mode, res.Timeouts, res.FracBelowK)
+		}
+		if res.DeliveredPackets <= 0 || res.MeanBCT <= 0 {
+			t.Errorf("n=%d: degenerate result: delivered=%d meanBCT=%v",
+				tc.n, res.DeliveredPackets, res.MeanBCT)
+		}
+	}
+}
+
+// TestNetworkSameRackMatchesDumbbell pins the Clos same-rack placement to
+// the dumbbell: a same-rack incast's only queue is the aggregator's leaf
+// downlink, so RunNetwork detects the trivial instance and delegates to
+// the single-queue engine, reproducing Run exactly.
+func TestNetworkSameRackMatchesDumbbell(t *testing.T) {
+	ncfg := closQuickConfig(t, 80, false)
+	if err := ncfg.prepare(); err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	if !ncfg.trivial() {
+		t.Fatalf("same-rack Clos incast not detected as the trivial one-queue instance")
+	}
+	got, err := RunNetwork(ncfg)
+	if err != nil {
+		t.Fatalf("RunNetwork: %v", err)
+	}
+	want, err := Run(ncfg.Config)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got.Steps != want.Steps || got.MeanBCT != want.MeanBCT || got.Timeouts != want.Timeouts {
+		t.Errorf("same-rack RunNetwork diverged from Run: steps %d vs %d, meanBCT %v vs %v",
+			got.Steps, want.Steps, got.MeanBCT, want.MeanBCT)
+	}
+}
+
+// TestNetworkValidation covers RunNetwork's input contract: a nil
+// network, mismatched flow counts, and structurally invalid path sets all
+// fail with named errors instead of running.
+func TestNetworkValidation(t *testing.T) {
+	cfg := quickConfig(4, CCConfig{})
+	if _, err := RunNetwork(NetworkConfig{Config: cfg}); err == nil {
+		t.Error("nil network accepted")
+	}
+	ncfg, err := SingleQueue(cfg)
+	if err != nil {
+		t.Fatalf("SingleQueue: %v", err)
+	}
+	ncfg.Flows = 5
+	if _, err := RunNetwork(ncfg); err == nil {
+		t.Error("flow/path count mismatch accepted")
+	}
+	bad := &netsim.FluidPaths{
+		Queues:  []netsim.FluidQueue{{Name: "x", RateBps: 0, CapacityPackets: 1, ECNThresholdPackets: 1}},
+		Paths:   [][]int32{{0}},
+		BaseRTT: []sim.Time{sim.Millisecond},
+		Stage:   []int{0},
+	}
+	if _, err := RunNetwork(NetworkConfig{Config: quickConfig(1, CCConfig{}), Net: bad}); err == nil {
+		t.Error("zero-rate queue accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package netsim
+
+import (
+	"fmt"
+
+	"incastlab/internal/sim"
+)
+
+// This file is the backend-neutral path/queue model shared between the
+// packet-level fabric builder (NewClos) and the flow-level fluid solver
+// (internal/flowsim.RunNetwork). A FluidPaths value describes the data
+// path of every flow in an incast as an ordered traversal of port queues
+// — each with its own drain rate, ECN threshold, and buffer bound — built
+// from the SAME ClosConfig and the SAME seeded ECMP hash the packet
+// backend routes with, so both fidelities place every flow on the same
+// spine and meet the same bottlenecks.
+
+// FluidQueue is one switch port as a fluid backend sees it: a FIFO that
+// drains at the link's effective packet rate, marks CE above the ECN
+// threshold, and tail-drops past the buffer bound. Names match the packet
+// topology's port-queue names so cross-backend diagnostics line up.
+type FluidQueue struct {
+	Name string
+	// RateBps is the port's line rate; the fluid drain rate is the
+	// effective IP-packet rate under the x1500/1538 wire-overhead
+	// contract (see flowsim.EffectivePacketRate).
+	RateBps int64
+	// CapacityPackets bounds the queue; ECNThresholdPackets is K.
+	CapacityPackets     int
+	ECNThresholdPackets int
+}
+
+// FluidPaths is a queue network plus each flow's ordered traversal of it.
+// Paths[i] lists queue indices from the source outward; Stage assigns
+// every queue a topological level such that stages strictly increase
+// along every path (the fluid step integrates queues in stage order, so
+// volume forwarded out of one hop is visible to the next within the same
+// step). BaseRTT[i] is flow i's uncongested round-trip; Bottleneck is the
+// queue the run's headline statistics sample (the aggregator's leaf
+// downlink port in an incast).
+type FluidPaths struct {
+	Queues     []FluidQueue
+	Paths      [][]int32
+	BaseRTT    []sim.Time
+	Stage      []int
+	Bottleneck int
+}
+
+// Validate checks the structural invariants RunNetwork relies on.
+func (p *FluidPaths) Validate() error {
+	if len(p.Queues) == 0 {
+		return fmt.Errorf("netsim: fluid path set has no queues")
+	}
+	if len(p.Paths) != len(p.BaseRTT) {
+		return fmt.Errorf("netsim: fluid path set has %d paths but %d base RTTs", len(p.Paths), len(p.BaseRTT))
+	}
+	if len(p.Stage) != len(p.Queues) {
+		return fmt.Errorf("netsim: fluid path set has %d queues but %d stages", len(p.Queues), len(p.Stage))
+	}
+	if p.Bottleneck < 0 || p.Bottleneck >= len(p.Queues) {
+		return fmt.Errorf("netsim: fluid bottleneck index %d outside the %d queues", p.Bottleneck, len(p.Queues))
+	}
+	for j, q := range p.Queues {
+		if q.RateBps <= 0 || q.CapacityPackets <= 0 || q.ECNThresholdPackets <= 0 {
+			return fmt.Errorf("netsim: fluid queue %d (%s) needs positive rate, capacity, and ECN threshold", j, q.Name)
+		}
+	}
+	for i, path := range p.Paths {
+		if len(path) == 0 {
+			return fmt.Errorf("netsim: fluid flow %d has an empty path", i)
+		}
+		if p.BaseRTT[i] <= 0 {
+			return fmt.Errorf("netsim: fluid flow %d has non-positive base RTT", i)
+		}
+		prev := -1
+		for _, j := range path {
+			if j < 0 || int(j) >= len(p.Queues) {
+				return fmt.Errorf("netsim: fluid flow %d references queue %d outside the %d queues", i, j, len(p.Queues))
+			}
+			if s := p.Stage[j]; s <= prev {
+				return fmt.Errorf("netsim: fluid flow %d path is not stage-monotonic at queue %d (%s)", i, j, p.Queues[j].Name)
+			} else {
+				prev = s
+			}
+		}
+	}
+	return nil
+}
+
+// Stages returns the number of distinct topological levels (max stage + 1).
+func (p *FluidPaths) Stages() int {
+	max := 0
+	for _, s := range p.Stage {
+		if s > max {
+			max = s
+		}
+	}
+	return max + 1
+}
+
+// FluidPaths builds the queue network an incast's data packets traverse
+// over this fabric: flow i runs from host srcs[i] to host dsts[i] with
+// FlowID i+1, exactly as workload.ClosIncast numbers its senders. Queues
+// appear on demand in first-use order:
+//
+//   - same-rack flows cross only the destination's leaf downlink port;
+//   - cross-rack flows cross their source leaf's uplink to the spine
+//     ECMPIndex picks for (seed, flow i+1, src, dst) — the identical hash
+//     Switch.Receive applies — then that spine's downlink port into the
+//     destination rack, then the destination's leaf downlink port.
+//
+// Host NIC queues are unbounded on the packet side (host-side drops would
+// mask the fabric behavior under study) and are therefore omitted here;
+// the fluid injection rate is capped at the host line rate instead. ACK
+// paths carry negligible volume and are folded into BaseRTT. Stages are
+// uplink=0, spine downlink=1, leaf downlink=2, so every path is
+// stage-monotonic. The bottleneck is dsts[0]'s leaf port.
+func (c ClosConfig) FluidPaths(srcs, dsts []NodeID) (*FluidPaths, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(srcs) == 0 || len(srcs) != len(dsts) {
+		return nil, fmt.Errorf("netsim: fluid paths need matching src/dst lists (got %d/%d)", len(srcs), len(dsts))
+	}
+	p := &FluidPaths{
+		Paths:      make([][]int32, len(srcs)),
+		BaseRTT:    make([]sim.Time, len(srcs)),
+		Bottleneck: -1,
+	}
+	// Port keys: downlink per host, uplink per (rack, spine), spine
+	// downlink per (spine, rack).
+	index := make(map[string]int32)
+	queue := func(key, name string, rateBps int64, stage int) int32 {
+		if j, ok := index[key]; ok {
+			return j
+		}
+		j := int32(len(p.Queues))
+		p.Queues = append(p.Queues, FluidQueue{
+			Name:                name,
+			RateBps:             rateBps,
+			CapacityPackets:     c.QueueCapacityPackets,
+			ECNThresholdPackets: c.ECNThresholdPackets,
+		})
+		p.Stage = append(p.Stage, stage)
+		index[key] = j
+		return j
+	}
+
+	hosts := c.Hosts()
+	for i := range srcs {
+		src, dst := srcs[i], dsts[i]
+		if int(src) < 0 || int(src) >= hosts || int(dst) < 0 || int(dst) >= hosts {
+			return nil, fmt.Errorf("netsim: fluid flow %d endpoints %d->%d outside the %d fabric hosts", i, src, dst, hosts)
+		}
+		if src == dst {
+			return nil, fmt.Errorf("netsim: fluid flow %d sends host %d to itself", i, src)
+		}
+		srcRack, dstRack := c.RackOf(src), c.RackOf(dst)
+		dstSlot := int(dst) - dstRack*c.HostsPerRack
+		down := queue(fmt.Sprintf("d%d", dst),
+			fmt.Sprintf("leaf-%d-port-%d", dstRack, dstSlot), c.HostLinkBps, 2)
+		if p.Bottleneck < 0 {
+			p.Bottleneck = int(down)
+		}
+		if srcRack == dstRack {
+			p.Paths[i] = []int32{down}
+			p.BaseRTT[i] = c.BaseRTT(false)
+			continue
+		}
+		s := ECMPIndex(c.ECMPSeed, FlowID(i+1), src, dst, c.Spines)
+		up := queue(fmt.Sprintf("u%d.%d", srcRack, s),
+			fmt.Sprintf("leaf-%d-uplink-%d", srcRack, s), c.SpineLinkBps, 0)
+		sd := queue(fmt.Sprintf("s%d.%d", s, dstRack),
+			fmt.Sprintf("spine-%d-port-%d", s, dstRack), c.SpineLinkBps, 1)
+		p.Paths[i] = []int32{up, sd, down}
+		p.BaseRTT[i] = c.BaseRTT(true)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

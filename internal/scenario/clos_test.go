@@ -77,7 +77,6 @@ func TestClosValidateRejections(t *testing.T) {
 		{"core rate with clos", func(s *Spec) { s.Topology.CoreLinkGbps = 100 }, "set clos.spine_link_gbps instead"},
 		{"placement axis without clos", func(s *Spec) { s.Topology.Clos = nil }, "needs a topology.clos block"},
 		{"unknown placement value", func(s *Spec) { s.Sweep.Values = Strs("cross-rack", "same-row") }, "placements are cross-rack or same-rack"},
-		{"flow fidelity", func(s *Spec) { s.Fidelity = "flow" }, `fidelity "flow" cannot model topology.clos`},
 		{"same-rack overflow", func(s *Spec) { s.Sweep.Flows = []int{16} }, "free slots under the aggregator's leaf"},
 		{"cross-rack overflow", func(s *Spec) {
 			s.Sweep = Sweep{Axis: "flows", Values: Nums(50)}
@@ -102,17 +101,73 @@ func TestClosValidateRejections(t *testing.T) {
 	}
 }
 
-// TestClosFlowFidelityErrorNamesFields: the rejection must point at both
-// the fidelity knob and the clos block so a user knows which of the two to
-// change.
-func TestClosFlowFidelityErrorNamesFields(t *testing.T) {
+// TestClosFlowFidelityAccepted: since the fluid engine solves the whole
+// queue network (PR 9), fidelity "flow" + topology.clos is a legal spec;
+// capacity checks still apply.
+func TestClosFlowFidelityAccepted(t *testing.T) {
 	spec := closSpec()
 	spec.Fidelity = "flow"
+	if err := spec.Validate(); err != nil {
+		t.Errorf("fidelity flow + clos rejected: %v", err)
+	}
+	spec.Sweep.Flows = []int{16} // over the 15 same-rack slots
+	if err := spec.Validate(); err == nil {
+		t.Error("capacity overflow accepted at flow fidelity")
+	}
+}
+
+// TestClosAggregators: the aggregators knob and axis validate — counts must
+// be positive integers within the rack count, and per-rack load (including
+// each rack's reserved slot-0 aggregator) must fit hosts_per_rack.
+func TestClosAggregators(t *testing.T) {
+	spec := closSpec()
+	spec.Topology.Clos.Aggregators = 4
+	if err := spec.Validate(); err != nil {
+		t.Errorf("4 aggregators on 4 racks rejected: %v", err)
+	}
+	spec.Topology.Clos.Aggregators = 5
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "exceed the 4 racks") {
+		t.Errorf("5 aggregators on 4 racks: want rack-count error, got %v", err)
+	}
+	spec.Topology.Clos.Aggregators = -1
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "cannot be negative") {
+		t.Errorf("negative aggregators: want error, got %v", err)
+	}
+
+	// 4 racks x 16 hosts, 4 aggregators: each rack holds 1 aggregator +
+	// 3 aggregators' worth of its share of workers. 20 workers/agg spread
+	// over 3 remote racks = 7+7+6, so the busiest rack holds 1+7+7+6 = 21
+	// hosts > 16.
+	over := closSpec()
+	over.Sweep = Sweep{Axis: "aggregators", Values: Nums(1, 4)}
+	over.Workload.Flows = 20
+	if err := over.Validate(); err == nil || !strings.Contains(err.Error(), "hosts_per_rack") {
+		t.Errorf("overloaded multi-aggregator fabric: want rack-load error, got %v", err)
+	}
+	over.Workload.Flows = 15
+	if err := over.Validate(); err != nil {
+		t.Errorf("15 workers x 4 aggregators (load 16/rack) rejected: %v", err)
+	}
+	noClos := closSpec()
+	noClos.Topology.Clos = nil
+	noClos.Sweep = Sweep{Axis: "aggregators", Values: Nums(2), Flows: []int{8}}
+	if err := noClos.Validate(); err == nil || !strings.Contains(err.Error(), "topology.clos") {
+		t.Errorf("aggregators axis without clos: want error naming topology.clos, got %v", err)
+	}
+}
+
+// TestNotificationFlowFidelityErrorNamesKnobs: the notification path stays
+// packet-only; the rejection must name both knobs — the fidelity value and
+// the notification block — so a user knows which of the two to change.
+func TestNotificationFlowFidelityErrorNamesKnobs(t *testing.T) {
+	spec := closSpec()
+	spec.Fidelity = "flow"
+	spec.Notification = &Notification{}
 	err := spec.Validate()
 	if err == nil {
-		t.Fatal("fidelity flow + clos validated")
+		t.Fatal("fidelity flow + notification validated")
 	}
-	for _, field := range []string{"fidelity", "topology.clos"} {
+	for _, field := range []string{`fidelity "flow"`, "notification"} {
 		if !strings.Contains(err.Error(), field) {
 			t.Errorf("error %q does not name %s", err, field)
 		}

@@ -109,6 +109,11 @@ type Clos struct {
 	// "cross-rack" (default) or "same-rack". Ignored when the sweep axis is
 	// "placement".
 	Placement string `json:"placement,omitempty"`
+	// Aggregators runs that many concurrent incasts over the fabric
+	// (default 1): aggregator k receives at rack k, slot 0, each fanning
+	// in workload.flows workers, so the spine layer carries overlapping
+	// incasts. Ignored when the sweep axis is "aggregators".
+	Aggregators int `json:"aggregators,omitempty"`
 }
 
 // Workload shapes the repeated-burst incast the scenario simulates.
@@ -236,6 +241,7 @@ func (k ValueKind) String() string {
 //	cc                  congestion-control algorithm by name
 //	scheme              Section 5 schemes: dctcp, dctcp+guardrail, dctcp+wave<N>
 //	placement           Clos worker placement: same-rack vs cross-rack
+//	aggregators         concurrent Clos incasts sharing the fabric (one per rack, from rack 0)
 //	notification        explicit incast notification on/off (needs the spec's notification block)
 var Axes = map[string]ValueKind{
 	"flows":              Number,
@@ -243,6 +249,7 @@ var Axes = map[string]ValueKind{
 	"ecn_threshold_pkts": Number,
 	"min_rto_ms":         Number,
 	"marking_ewma":       Number,
+	"aggregators":        Number,
 	"delayed_acks":       Flag,
 	"idle_restart":       Flag,
 	"shared_buffer":      Flag,
@@ -505,17 +512,16 @@ func (s Spec) Validate() error {
 	if s.Sweep.Axis == "placement" && clos == nil {
 		return fmt.Errorf("scenario %q: axis \"placement\" places workers in a fabric; it needs a topology.clos block", s.Name)
 	}
+	if s.Sweep.Axis == "aggregators" && clos == nil {
+		return fmt.Errorf("scenario %q: axis \"aggregators\" spreads incasts over racks; it needs a topology.clos block", s.Name)
+	}
 	if s.Notification != nil && s.Notification.MinPorts > 0 && clos == nil {
 		return fmt.Errorf("scenario %q: notification.min_ports coordinates detectors across a leaf's uplink ports; it needs a topology.clos block", s.Name)
 	}
 	if clos != nil {
-		// The fluid engine solves exactly one bottleneck queue; a fabric has
-		// many (leaf downlinks, spine ports, ECMP collisions). Reducing it
-		// to one would be silently wrong, so the combination is rejected
-		// here, before anything compiles.
-		if s.Fidelity == "flow" {
-			return fmt.Errorf("scenario %q: fidelity \"flow\" cannot model topology.clos (a multi-rack fabric has multiple bottlenecks; the fluid engine solves one queue) — use fidelity \"packet\" or drop the clos block", s.Name)
-		}
+		// Both fidelities model the fabric (the fluid engine solves the
+		// whole queue network since PR 9), so the only clos-specific
+		// constraint left is that every swept configuration physically fits.
 		if err := s.validateClosCapacity(clos); err != nil {
 			return err
 		}
@@ -524,8 +530,8 @@ func (s Spec) Validate() error {
 }
 
 // validateClosCapacity checks that every incast degree the sweep reaches
-// fits the worker slots its placement offers, so compiled runs cannot
-// panic on an over-full rack.
+// fits the worker slots its placement offers — for every aggregator count
+// the sweep reaches — so compiled runs cannot panic on an over-full rack.
 func (s Spec) validateClosCapacity(clos *Clos) error {
 	maxFlows := s.Workload.Flows
 	if s.Sweep.Axis == "flows" {
@@ -541,6 +547,19 @@ func (s Spec) validateClosCapacity(clos *Clos) error {
 		}
 	}
 
+	maxAggs := clos.Aggregators
+	if s.Sweep.Axis == "aggregators" {
+		for _, v := range s.Sweep.Values {
+			if a, ok := v.Number(); ok && int(a) > maxAggs {
+				maxAggs = int(a)
+			}
+		}
+	}
+	if maxAggs > clos.Racks {
+		return fmt.Errorf("scenario %q: %d aggregators exceed the %d racks (one aggregator per rack, at slot 0)",
+			s.Name, maxAggs, clos.Racks)
+	}
+
 	placements := []string{clos.Placement}
 	if s.Sweep.Axis == "placement" {
 		placements = placements[:0]
@@ -551,6 +570,12 @@ func (s Spec) validateClosCapacity(clos *Clos) error {
 		}
 	}
 	for _, p := range placements {
+		if maxAggs > 1 {
+			if err := s.validateMultiAggCapacity(clos, p, maxAggs, maxFlows); err != nil {
+				return err
+			}
+			continue
+		}
 		var slots int
 		var where string
 		switch p {
@@ -564,6 +589,41 @@ func (s Spec) validateClosCapacity(clos *Clos) error {
 		if maxFlows > slots {
 			return fmt.Errorf("scenario %q: %d workers exceed the %d %s for placement %q",
 				s.Name, maxFlows, slots, where, p)
+		}
+	}
+	return nil
+}
+
+// validateMultiAggCapacity replays workload.ClosFlowEndpoints' rack-load
+// arithmetic in closed form: aggregator k reserves rack k's slot 0 and its
+// cross-rack workers round-robin over the other racks starting at rack
+// k+1, so the busiest rack's load must fit hosts_per_rack.
+func (s Spec) validateMultiAggCapacity(clos *Clos, placement string, aggs, flows int) error {
+	if placement == "same-rack" {
+		if slots := clos.HostsPerRack - 1; flows > slots {
+			return fmt.Errorf("scenario %q: %d workers per aggregator exceed the %d free slots under each aggregator's leaf (topology.clos.hosts_per_rack - 1)",
+				s.Name, flows, slots)
+		}
+		return nil
+	}
+	load := make([]int, clos.Racks)
+	for r := 0; r < aggs; r++ {
+		load[r] = 1 // the rack's aggregator at slot 0
+	}
+	q, rem := flows/(clos.Racks-1), flows%(clos.Racks-1)
+	for k := 0; k < aggs; k++ {
+		for j := 0; j < clos.Racks-1; j++ {
+			r := (k + 1 + j) % clos.Racks
+			load[r] += q
+			if j < rem {
+				load[r]++
+			}
+		}
+	}
+	for r, n := range load {
+		if n > clos.HostsPerRack {
+			return fmt.Errorf("scenario %q: %d aggregators x %d cross-rack workers put %d hosts in rack %d, over topology.clos.hosts_per_rack = %d",
+				s.Name, aggs, flows, n, r, clos.HostsPerRack)
 		}
 	}
 	return nil
@@ -634,6 +694,9 @@ func (c Clos) validate() error {
 	if !KnownPlacement(c.Placement) {
 		return fmt.Errorf("topology.clos.placement %q is not one of %s (or omit for cross-rack)",
 			c.Placement, strings.Join(Placements, ", "))
+	}
+	if c.Aggregators < 0 {
+		return fmt.Errorf("topology.clos.aggregators = %d: cannot be negative (omit for the single aggregator at rack 0)", c.Aggregators)
 	}
 	return nil
 }
@@ -749,6 +812,11 @@ func (sw Sweep) validate() error {
 			name, _ := v.Str()
 			if name == "" || !KnownPlacement(name) {
 				return fmt.Errorf("sweep.values[%d] = %q: placements are %s", i, name, strings.Join(Placements, " or "))
+			}
+		case "aggregators":
+			a, _ := v.Number()
+			if a <= 0 || a != math.Trunc(a) {
+				return fmt.Errorf("sweep.values[%d] = %v: aggregator counts are positive integers", i, a)
 			}
 		}
 	}

@@ -25,11 +25,16 @@ const (
 // The embedded fields mirror IncastConfig; Workers replaces Flows and
 // Placement chooses where they live.
 type ClosIncastConfig struct {
-	// Workers is the incast degree N.
+	// Workers is the incast degree N — per aggregator when Aggregators > 1.
 	Workers int
 	// Placement is PlacementCrossRack (default when empty) or
 	// PlacementSameRack.
 	Placement string
+	// Aggregators is the number of concurrent incasts sharing the fabric
+	// (0 or 1 = the classic single aggregator at host 0). Aggregator k
+	// receives at rack k, slot 0, each fanning in its own Workers flows,
+	// so the spine layer carries A overlapping incasts.
+	Aggregators int
 	// BytesPerFlow is the per-flow demand added at each burst start.
 	BytesPerFlow int64
 	// Bursts, Interval, JitterMax, Seed: as IncastConfig.
@@ -83,6 +88,67 @@ func ClosWorkerHosts(cfg netsim.ClosConfig, workers int, placement string) ([]ne
 	return ids, nil
 }
 
+// ClosFlowEndpoints returns the (src, dst) host pair of every flow in a
+// Clos incast workload, in global flow order (aggregator-major: flow
+// k*workers+i is worker i of aggregator k, carrying FlowID k*workers+i+1).
+// This is the single source of truth both backends place flows from: the
+// packet workload builds its senders from it and the fluid solver builds
+// its queue paths from it, so ECMP hashes over identical (flow, src, dst)
+// tuples.
+//
+// aggregators <= 1 reproduces ClosWorkerHosts exactly (aggregator at host
+// 0). For A > 1, aggregator k sits at rack k slot 0; its same-rack workers
+// fill rack k's remaining slots, while its cross-rack workers round-robin
+// over the other racks starting at rack k+1, taking each rack's next free
+// slot (slot 0 stays reserved for that rack's aggregator, if any).
+func ClosFlowEndpoints(cfg netsim.ClosConfig, workers, aggregators int, placement string) (srcs, dsts []netsim.NodeID, err error) {
+	if aggregators <= 1 {
+		ids, err := ClosWorkerHosts(cfg, workers, placement)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ids, make([]netsim.NodeID, workers), nil
+	}
+	if aggregators > cfg.Racks {
+		return nil, nil, fmt.Errorf(
+			"workload: %d aggregators exceed the %d racks (one aggregator per rack, at slot 0)",
+			aggregators, cfg.Racks)
+	}
+	if workers <= 0 {
+		return nil, nil, fmt.Errorf("workload: clos incast needs at least one worker per aggregator (got %d)", workers)
+	}
+	next := make([]int, cfg.Racks) // next free slot per rack
+	for r := 0; r < aggregators; r++ {
+		next[r] = 1 // slot 0 hosts aggregator r
+	}
+	srcs = make([]netsim.NodeID, 0, aggregators*workers)
+	dsts = make([]netsim.NodeID, 0, aggregators*workers)
+	for k := 0; k < aggregators; k++ {
+		agg := cfg.HostID(k, 0)
+		for i := 0; i < workers; i++ {
+			var r int
+			switch placement {
+			case PlacementCrossRack, "":
+				r = (k + 1 + i%(cfg.Racks-1)) % cfg.Racks
+			case PlacementSameRack:
+				r = k
+			default:
+				return nil, nil, fmt.Errorf("workload: unknown placement %q (want %q or %q)",
+					placement, PlacementCrossRack, PlacementSameRack)
+			}
+			if next[r] >= cfg.HostsPerRack {
+				return nil, nil, fmt.Errorf(
+					"workload: rack %d full placing worker %d of aggregator %d (%d aggregators x %d workers, placement %q, %d hosts/rack)",
+					r, i, k, aggregators, workers, placement, cfg.HostsPerRack)
+			}
+			srcs = append(srcs, cfg.HostID(r, next[r]))
+			next[r]++
+			dsts = append(dsts, agg)
+		}
+	}
+	return srcs, dsts, nil
+}
+
 // ClosIncast wires an incast workload over a Clos fabric: the aggregator
 // at host 0 and workers placed by policy, with burst scheduling delegated
 // to a Group exactly as the dumbbell Incast does.
@@ -105,7 +171,7 @@ func NewClosIncast(eng *sim.Engine, netCfg netsim.ClosConfig, cfg ClosIncastConf
 // for a fresh one), letting sweep runners reuse a warm pool across runs.
 func NewClosIncastWithPool(eng *sim.Engine, netCfg netsim.ClosConfig, cfg ClosIncastConfig,
 	algFactory func(flow int) cc.Algorithm, pool *netsim.PacketPool) *ClosIncast {
-	workers, err := ClosWorkerHosts(netCfg, cfg.Workers, cfg.Placement)
+	srcs, dsts, err := ClosFlowEndpoints(netCfg, cfg.Workers, cfg.Aggregators, cfg.Placement)
 	if err != nil {
 		panic(err.Error())
 	}
@@ -113,19 +179,26 @@ func NewClosIncastWithPool(eng *sim.Engine, netCfg netsim.ClosConfig, cfg ClosIn
 	in := &ClosIncast{
 		cfg:     cfg,
 		net:     netsim.NewClosWithPool(eng, netCfg, pool),
-		workers: workers,
+		workers: srcs,
 	}
 
-	agg := in.net.Hosts[0]
-	aggHub := tcp.NewHub(agg)
-	senders := make([]*tcp.Sender, cfg.Workers)
-	in.receivers = make([]*tcp.Receiver, cfg.Workers)
-	for i, id := range workers {
-		flow := netsim.FlowID(i + 1)
+	// One hub per aggregator host, built in aggregator order (the single-
+	// aggregator case keeps the original hub-before-workers construction
+	// order, so event scheduling — and goldens — are unchanged).
+	aggs := max(cfg.Aggregators, 1)
+	aggHubs := make(map[netsim.NodeID]*tcp.Hub, aggs)
+	for k := 0; k < aggs; k++ {
+		id := dsts[k*cfg.Workers]
+		aggHubs[id] = tcp.NewHub(in.net.Hosts[id])
+	}
+	senders := make([]*tcp.Sender, len(srcs))
+	in.receivers = make([]*tcp.Receiver, len(srcs))
+	for f, id := range srcs {
+		flow := netsim.FlowID(f + 1)
 		hub := tcp.NewHub(in.net.Hosts[id])
-		senders[i] = tcp.NewSender(eng, hub, flow, agg.ID(),
-			algFactory(i), cfg.SenderConfig)
-		in.receivers[i] = tcp.NewReceiver(eng, aggHub, flow, id, cfg.ReceiverConfig)
+		senders[f] = tcp.NewSender(eng, hub, flow, dsts[f],
+			algFactory(f), cfg.SenderConfig)
+		in.receivers[f] = tcp.NewReceiver(eng, aggHubs[dsts[f]], flow, id, cfg.ReceiverConfig)
 	}
 
 	in.group = NewGroup(eng, senders, GroupConfig{
