@@ -265,3 +265,75 @@ func BenchmarkClosMultiAggPacket(b *testing.B) {
 func BenchmarkClosMultiAggFlow(b *testing.B) {
 	benchClosFidelity(b, "ext_clos_multiagg", incastlab.FidelityFlow)
 }
+
+// --- Cohort aggregation: per-flow vs cohort (BENCH_PR10.json). -----------
+
+// BenchmarkFlowsimCohortFig5 regenerates the Fig-5 mode table on the fluid
+// backend with cohort aggregation forced on every point. Compared against
+// BenchmarkFlowsimFig5 (the same sweep under the automatic policy, which
+// keeps these sub-threshold degrees per-flow) it records what cohorts buy
+// across the whole sweep, small points included.
+func BenchmarkFlowsimCohortFig5(b *testing.B) {
+	runExperiment(b, "fig5_cohort", func(o incastlab.Options) incastlab.Result {
+		o.Fidelity = incastlab.FidelityFlow
+		o.Aggregation = incastlab.AggregationCohort
+		return incastlab.Fig5Modes(o)
+	})
+}
+
+// benchFlowsimFig5Point runs the Fig-5 sweep's deepest point — a
+// 1400-degree dumbbell incast, the timeout-collapse regime — on the fluid
+// backend with the given flow representation. The per-flow/cohort pair
+// records cohort aggregation's speedup on the identical run
+// (BENCH_PR10.json); the cohort differential gate (TestCohortDifferentialGate
+// in internal/audit) pins the representations' agreement, so the pair is
+// purely about wall clock.
+func benchFlowsimFig5Point(b *testing.B, aggregation string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := incastlab.RunIncastSim(incastlab.SimConfig{
+			Flows:       1400,
+			Bursts:      4, // quick-mode burst count, like the sweep benchmarks
+			Fidelity:    incastlab.FidelityFlow,
+			Aggregation: aggregation,
+		})
+		if res.MeanBCT <= 0 {
+			b.Fatal("degenerate run: no burst completed")
+		}
+	}
+}
+
+func BenchmarkFlowsimPerFlowFig5Point(b *testing.B) {
+	benchFlowsimFig5Point(b, incastlab.AggregationPerFlow)
+}
+
+func BenchmarkFlowsimCohortFig5Point(b *testing.B) {
+	benchFlowsimFig5Point(b, incastlab.AggregationCohort)
+}
+
+// BenchmarkClosMillionFlowSingleRun integrates 1,048,576 flows — 16
+// aggregators, each fanning in 65,536 cross-rack workers — through the
+// Clos fabric's coupled queues in ONE cohort-aggregated run, the
+// configuration examples/scenarios/clos_million_flow_single.json ships.
+// Per-flow records cannot represent this run at all (the release-packing
+// limit bounds them below 2^20 flows), so there is no baseline twin: the
+// benchmark pins that the headline scale stays runnable and how much wall
+// clock it costs.
+func BenchmarkClosMillionFlowSingleRun(b *testing.B) {
+	spec, err := incastlab.LoadScenario("examples/scenarios/clos_million_flow_single.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := incastlab.RunScenario(opt, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printedSummaries.LoadOrStore("clos_million_flow_single", true); !done {
+			fmt.Printf("\n%s\n", res.Summary())
+		}
+	}
+}

@@ -18,7 +18,11 @@
 #                        the fabric closed-loop gate: the ext_clos_crossrack
 #                        operating points run packet vs multi-queue fluid
 #                        under the same pinned tolerance contract
-#                        (TestClosDifferentialGate)
+#                        (TestClosDifferentialGate), and the cohort
+#                        differential gate: Fig-5 + Clos points run
+#                        per-flow vs cohort-aggregated on the fluid
+#                        backend under tighter-still tolerances
+#                        (TestCohortDifferentialGate)
 #   6. obs gate          quick Fig-5 run three ways (no metrics; metrics
 #                        serial; metrics parallel): CSV artifacts must be
 #                        bit-identical across all three, both snapshots
@@ -51,16 +55,23 @@
 #                        one packet-level, one at flow fidelity (a
 #                        10,000-flow sweep only the fluid backend can
 #                        turn around), one with the notification block
-#                        and its sweep axis; a bogus spec path and a
-#                        malformed -shard spec must exit non-zero
+#                        and its sweep axis, and the single-run
+#                        million-flow Clos scenario (1,048,576 flows in
+#                        ONE cohort-aggregated row, no shard cache) under
+#                        a wall-clock sanity bound; a bogus spec path, a
+#                        malformed -shard spec, and a bogus -aggregation
+#                        level must exit non-zero
 #  10. bench gate        the substrate micro-benchmarks and the flow-level
 #                        Fig-5 sweep smoke-run at one iteration each (they
 #                        must at least execute); with CI_BENCH=1 the macro
 #                        + micro benchmarks run for real and refresh the
 #                        "current" sections of BENCH_PR5.json,
 #                        BENCH_PR6.json (packet vs flow fidelity on the
-#                        same Fig-5 sweep), and BENCH_PR9.json (packet vs
-#                        flow on the two Clos fabric sweeps) via
+#                        same Fig-5 sweep), BENCH_PR9.json (packet vs
+#                        flow on the two Clos fabric sweeps), and
+#                        BENCH_PR10.json (per-flow vs cohort-aggregated
+#                        fluid on the 1400-degree Fig-5 point, plus the
+#                        single-run million-flow Clos scenario) via
 #                        internal/bench/benchjson
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -150,6 +161,12 @@ go run ./cmd/incastsim -scenario examples/scenarios/fanin_scaling_flow.json -qui
 test -s "$OBS_TMP/scenario/fanin_scaling_flow.csv"
 go run ./cmd/incastsim -scenario examples/scenarios/pulser_fanin.json -quick -out "$OBS_TMP/scenario" >/dev/null
 test -s "$OBS_TMP/scenario/pulser_fanin.csv"
+# The headline single-run million-flow scenario: 1,048,576 flows in one
+# cohort-aggregated row. The timeout is the wall-clock sanity bound — the
+# run takes ~3 s; if it regresses past 60 s the aggregation is broken.
+timeout 60 "$OBS_TMP/incastsim" -scenario examples/scenarios/clos_million_flow_single.json \
+  -quick -out "$OBS_TMP/scenario" >/dev/null
+test -s "$OBS_TMP/scenario/clos_million_flow_single.csv"
 if go run ./cmd/incastsim -scenario "$OBS_TMP/no_such_spec.json" 2>/dev/null; then
   echo "incastsim -scenario with a missing file should have exited non-zero" >&2
   exit 1
@@ -158,13 +175,23 @@ if go run ./cmd/incastsim -flows 8 -shard 0/0 2>/dev/null; then
   echo "incastsim -shard 0/0 should have exited non-zero" >&2
   exit 1
 fi
+if go run ./cmd/incastsim -flows 8 -fidelity flow -aggregation bogus 2>/dev/null; then
+  echo "incastsim -aggregation bogus should have exited non-zero" >&2
+  exit 1
+fi
+if go run ./cmd/incastsim -flows 8 -aggregation cohort 2>/dev/null; then
+  echo "incastsim -aggregation without -fidelity flow should have exited non-zero" >&2
+  exit 1
+fi
 
 echo "==> bench gate: substrate micro-benchmarks + flow fast path smoke-run"
 go test -run '^$' \
-  -bench '^(BenchmarkSimulatorPacketRate|BenchmarkMillisamplerAnalyze|BenchmarkPredictorObserve|BenchmarkFlowsimFig5)$' \
+  -bench '^(BenchmarkSimulatorPacketRate|BenchmarkMillisamplerAnalyze|BenchmarkPredictorObserve|BenchmarkFlowsimFig5|BenchmarkFlowsimCohortFig5|BenchmarkFlowsimPerFlowFig5Point|BenchmarkFlowsimCohortFig5Point|BenchmarkClosMillionFlowSingleRun)$' \
   -benchtime=1x -benchmem . >"$OBS_TMP/bench_smoke.txt"
 grep -q '^BenchmarkSimulatorPacketRate' "$OBS_TMP/bench_smoke.txt"
 grep -q '^BenchmarkFlowsimFig5' "$OBS_TMP/bench_smoke.txt"
+grep -q '^BenchmarkFlowsimCohortFig5Point' "$OBS_TMP/bench_smoke.txt"
+grep -q '^BenchmarkClosMillionFlowSingleRun' "$OBS_TMP/bench_smoke.txt"
 if [ "${CI_BENCH:-0}" = "1" ]; then
   echo "==> bench gate: full run refreshing BENCH_PR5.json (CI_BENCH=1)"
   go test -run '^$' \
@@ -202,6 +229,19 @@ if [ "${CI_BENCH:-0}" = "1" ]; then
     -commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -note "multi-queue fluid solver: same sweeps at fidelity=flow; agreement pinned by TestClosDifferentialGate" \
     -out BENCH_PR9.json <"$OBS_TMP/bench_pr9_cur.txt"
+  echo "==> bench gate: per-flow vs cohort fluid refreshing BENCH_PR10.json (CI_BENCH=1)"
+  go test -run '^$' -bench '^BenchmarkFlowsimPerFlowFig5Point$' \
+    -benchtime=30x -benchmem . >"$OBS_TMP/bench_pr10_base.txt"
+  go test -run '^$' -bench '^(BenchmarkFlowsimCohortFig5Point|BenchmarkFlowsimCohortFig5|BenchmarkClosMillionFlowSingleRun)$' \
+    -benchtime=3x -benchmem . >"$OBS_TMP/bench_pr10_cur.txt"
+  go run ./internal/bench/benchjson -label baseline \
+    -commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -note "per-flow fluid reference: 1400-degree Fig-5 point, one record per flow" \
+    -out BENCH_PR10.json <"$OBS_TMP/bench_pr10_base.txt"
+  go run ./internal/bench/benchjson -label current \
+    -commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -note "cohort-aggregated fluid: same 1400-degree point, the cohort Fig-5 sweep, and the single-run 1,048,576-flow Clos scenario; agreement pinned by TestCohortDifferentialGate" \
+    -out BENCH_PR10.json <"$OBS_TMP/bench_pr10_cur.txt"
 fi
 
 echo "==> ci.sh: all checks passed"

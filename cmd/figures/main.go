@@ -62,12 +62,13 @@ func main() {
 	defer common.Close()
 
 	opt := incastlab.Options{
-		Seed:     *seed,
-		Quick:    *quick,
-		Workers:  common.Workers,
-		Audit:    common.Audit,
-		Metrics:  common.Metrics(),
-		Fidelity: common.Fidelity,
+		Seed:        *seed,
+		Quick:       *quick,
+		Workers:     common.Workers,
+		Audit:       common.Audit,
+		Metrics:     common.Metrics(),
+		Fidelity:    common.Fidelity,
+		Aggregation: common.Aggregation,
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -72,6 +72,42 @@ func TestCLIFlowFidelityNotifyRejected(t *testing.T) {
 	}
 }
 
+// TestCLIUnknownAggregation: a bogus -aggregation level must exit
+// non-zero and the diagnostic must list the valid levels so the user can
+// self-correct, mirroring the -fidelity contract.
+func TestCLIUnknownAggregation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skips binary build")
+	}
+	out, err := runCLI(t, "-fidelity", "flow", "-aggregation", "bogus", "-flows", "8")
+	if err == nil {
+		t.Fatalf("-aggregation bogus exited zero; output:\n%s", out)
+	}
+	for _, want := range []string{`"bogus"`, `"auto"`, `"cohort"`, `"perflow"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("unknown-aggregation diagnostic %q does not mention %s", out, want)
+		}
+	}
+}
+
+// TestCLIAggregationNeedsFlowFidelity: -aggregation shapes the fluid
+// backend's flow population; asking for it on the (default) packet
+// backend must exit non-zero and point at the fidelity knob.
+func TestCLIAggregationNeedsFlowFidelity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skips binary build")
+	}
+	out, err := runCLI(t, "-aggregation", "cohort", "-flows", "8")
+	if err == nil {
+		t.Fatalf("-aggregation cohort without -fidelity flow exited zero; output:\n%s", out)
+	}
+	for _, want := range []string{`"cohort"`, "-fidelity", `"flow"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregation-without-flow diagnostic %q does not mention %s", out, want)
+		}
+	}
+}
+
 // TestCLIFlowFidelityClosAccepted: since the fluid engine solves the
 // whole queue network, -fidelity flow with a Clos scenario must run.
 func TestCLIFlowFidelityClosAccepted(t *testing.T) {

@@ -36,6 +36,7 @@ func main() {
 	durationMS := flag.Float64("duration", 15, "burst duration in ms")
 	bursts := flag.Int("bursts", 11, "bursts to run (first is discarded)")
 	intervalMS := flag.Float64("interval", 250, "burst start-to-start interval in ms")
+	jitterMS := flag.Float64("jitter", 0, "per-flow start jitter ceiling in ms (0 = default 0.1; very large synchronized incasts need more to avoid retransmission-timer lockstep)")
 	cca := flag.String("cca", "dctcp", "congestion control: dctcp, reno, swift")
 	g := flag.Float64("g", 1.0/16, "DCTCP alpha gain")
 	ecnK := flag.Int("ecn", 65, "switch ECN marking threshold in packets")
@@ -101,6 +102,7 @@ func main() {
 			BurstDuration:       incastlab.Time(*durationMS * float64(incastlab.Millisecond)),
 			Bursts:              *bursts,
 			Interval:            incastlab.Time(*intervalMS * float64(incastlab.Millisecond)),
+			JitterMax:           incastlab.Time(*jitterMS * float64(incastlab.Millisecond)),
 			Net:                 net,
 			ExternalBufferBytes: *contend,
 			Audit:               common.Audit,
@@ -108,6 +110,7 @@ func main() {
 			Metrics:             metrics,
 			Experiment:          "incastsim",
 			Fidelity:            common.Fidelity,
+			Aggregation:         common.Aggregation,
 		}
 		switch *cca {
 		case "dctcp":
@@ -234,12 +237,13 @@ func (sc scenarioInvocation) run(common *cli.Common) {
 		log.Fatalf("-scenario: %v", err)
 	}
 	opt := incastlab.Options{
-		Seed:     sc.seed,
-		Quick:    sc.quick,
-		Workers:  common.Workers,
-		Audit:    common.Audit,
-		Metrics:  common.Metrics(),
-		Fidelity: common.Fidelity,
+		Seed:        sc.seed,
+		Quick:       sc.quick,
+		Workers:     common.Workers,
+		Audit:       common.Audit,
+		Metrics:     common.Metrics(),
+		Fidelity:    common.Fidelity,
+		Aggregation: common.Aggregation,
 	}
 	started := time.Now()
 
@@ -318,6 +322,9 @@ func (sc scenarioInvocation) fanOut(common *cli.Common) {
 		}
 		if common.Fidelity != "" {
 			args = append(args, "-fidelity", common.Fidelity)
+		}
+		if common.Aggregation != "" {
+			args = append(args, "-aggregation", common.Aggregation)
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stdout = os.Stdout

@@ -71,6 +71,16 @@ const (
 	FidelityFlow   = core.FidelityFlow
 )
 
+// Flow-population representations for SimConfig.Aggregation /
+// Options.Aggregation on the flow-level backend: the automatic policy
+// (cohorts from the size threshold up), forced cohort aggregation, or the
+// one-record-per-flow reference.
+const (
+	AggregationAuto    = core.AggregationAuto
+	AggregationCohort  = core.AggregationCohort
+	AggregationPerFlow = core.AggregationPerFlow
+)
+
 // Experiment API --------------------------------------------------------
 
 // Options configures the experiment runners (seed, quick mode).

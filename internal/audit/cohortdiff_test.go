@@ -1,0 +1,61 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCohortDifferentialGate is the aggregation gate at the quick Fig-5
+// dumbbell points (80, 500, 1400 — one per paper mode) plus the
+// ext_clos_crossrack fabric points (80, 500), cohort vs perflow, with
+// both sides' conservation checks on. Any tolerance breach is a failure
+// with the full breach list in the error; a mode flip between flow
+// representations is always a breach.
+func TestCohortDifferentialGate(t *testing.T) {
+	res, err := RunCohortDiff(CohortDiffConfig{Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("gate covered %d points, want 5 (3 dumbbell + 2 clos)", len(res.Points))
+	}
+	wantModes := map[int]string{80: "1 (healthy)", 500: "2 (degenerate)", 1400: "3 (timeouts)"}
+	for _, p := range res.Points {
+		if want := wantModes[p.Flows]; p.PerFlowMode != want || p.CohortMode != want {
+			t.Errorf("%s n=%d: modes perflow %q / cohort %q, want %q on both sides",
+				p.Topology, p.Flows, p.PerFlowMode, p.CohortMode, want)
+		}
+		if p.Cohorts <= 0 {
+			t.Errorf("%s n=%d: cohort side reports %d cohorts", p.Topology, p.Flows, p.Cohorts)
+		}
+		// The dense dumbbell point is where aggregation pays: 1400 flows
+		// share one queue path, so the record count is bounded by the
+		// jitter buckets plus divergence splits — far below the degree.
+		if p.Topology == "dumbbell" && p.Flows == 1400 && p.Cohorts >= p.Flows/4 {
+			t.Errorf("dumbbell n=1400: weak compression: %d cohorts (splits %d)", p.Cohorts, p.Splits)
+		}
+	}
+}
+
+// TestCohortDiffReportsBreaches pins the breach formatting: tolerances so
+// tight agreement is impossible must produce an error naming the
+// topology, the degree, and the statistic.
+func TestCohortDiffReportsBreaches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, err := RunCohortDiff(CohortDiffConfig{
+		Flows:      []int{1400},
+		ClosFlows:  []int{80},
+		MeanBCTTol: 1e-12,
+		MaxBCTTol:  1e-12,
+	})
+	if err == nil {
+		t.Fatal("near-zero tolerances produced no breach")
+	}
+	for _, want := range []string{"n=1400", "mean BCT"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("breach report missing %q: %v", want, err)
+		}
+	}
+}

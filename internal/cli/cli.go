@@ -28,6 +28,10 @@ type Common struct {
 	// Fidelity selects the simulation backend ("packet" or "flow"; empty
 	// means packet-level).
 	Fidelity string
+	// Aggregation selects the fluid backend's flow representation
+	// ("auto", "cohort", or "perflow"; empty means auto). Requires
+	// -fidelity flow.
+	Aggregation string
 
 	metrics *obs.Registry
 	prof    *obs.Profiler
@@ -42,6 +46,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.MetricsPath, "metrics", "", "write a JSON metrics snapshot of all runs to this file (\"-\" for stdout)")
 	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) and sample memory statistics")
 	fs.StringVar(&c.Fidelity, "fidelity", "", "simulation backend: \"packet\" (default, discrete-event) or \"flow\" (fluid fast path; rejects packet-level-only features)")
+	fs.StringVar(&c.Aggregation, "aggregation", "", "fluid flow representation: \"auto\" (default; cohorts above the size threshold), \"cohort\", or \"perflow\"; requires -fidelity flow")
 	return c
 }
 
@@ -55,6 +60,14 @@ func (c *Common) Setup() error {
 	if !core.KnownFidelity(c.Fidelity) {
 		return fmt.Errorf("-fidelity: unknown backend %q (valid: %q, %q)",
 			c.Fidelity, core.FidelityPacket, core.FidelityFlow)
+	}
+	if !core.KnownAggregation(c.Aggregation) {
+		return fmt.Errorf("-aggregation: unknown level %q (valid: %q, %q, %q)",
+			c.Aggregation, core.AggregationAuto, core.AggregationCohort, core.AggregationPerFlow)
+	}
+	if c.Aggregation != "" && c.Fidelity != core.FidelityFlow {
+		return fmt.Errorf("-aggregation %q shapes the fluid backend's flow population; it requires -fidelity %q",
+			c.Aggregation, core.FidelityFlow)
 	}
 	if c.MetricsPath != "" || c.PprofAddr != "" {
 		c.metrics = obs.NewRegistry()

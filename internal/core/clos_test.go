@@ -158,3 +158,43 @@ func TestParallelClosFlowDeterministic(t *testing.T) {
 		t.Error("cache-hit replay of the flow-fidelity Clos sweep differs from the serial run")
 	}
 }
+
+// TestParallelCohortDeterministic: the same fabric sweep solved with
+// cohort aggregation forced on must also be byte-identical between the
+// serial runner, the full worker pool, and a cache-hit replay. Runs
+// under -race in ci.sh: the cohort solver's split bookkeeping is all
+// per-run state, and this pins that no scratch leaks across concurrent
+// runs.
+func TestParallelCohortDeterministic(t *testing.T) {
+	spec := closFlowTestSpec()
+	spec.Name = "clos_cohort_test"
+	spec.Aggregation = AggregationCohort
+	spec.Sweep.Flows = []int{16, 48}
+	// 3 aggregators x 48 cross-rack workers lands 49 hosts in a rack.
+	spec.Topology.Clos.HostsPerRack = 64
+
+	serial := tableCSV(t, mustScenario(Options{Seed: 1, Quick: true, Workers: 1}, spec))
+	parallel := tableCSV(t, mustScenario(Options{Seed: 1, Quick: true, Workers: runtime.GOMAXPROCS(0)}, spec))
+	if serial != parallel {
+		t.Error("cohort-aggregated Clos sweep differs between serial and parallel runners")
+	}
+
+	cache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Seed: 1, Quick: true, Workers: runtime.GOMAXPROCS(0)}
+	if _, _, err := RunScenarioCached(opt, spec, cache, Shard{}); err != nil {
+		t.Fatal(err)
+	}
+	warm, stats, err := RunScenarioCached(opt, spec, cache, Shard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits != stats.Rows || stats.Computed != 0 {
+		t.Fatalf("warm run stats = %s, want all hits", stats)
+	}
+	if got := tableCSV(t, warm); got != serial {
+		t.Error("cache-hit replay of the cohort-aggregated Clos sweep differs from the serial run")
+	}
+}

@@ -34,7 +34,7 @@ func runClosIncastSim(cfg SimConfig) *SimResult {
 		BytesPerFlow:   workload.BytesPerFlowFor(closCfg.HostLinkBps, cfg.BurstDuration, cfg.Flows),
 		Bursts:         cfg.Bursts,
 		Interval:       cfg.Interval,
-		JitterMax:      100 * sim.Microsecond,
+		JitterMax:      cfg.JitterMax,
 		Seed:           cfg.Seed,
 		SenderConfig:   cfg.Sender,
 		ReceiverConfig: cfg.Receiver,
@@ -149,6 +149,7 @@ func harvestClosIncastMetrics(cfg *SimConfig, eng *sim.Engine, in *workload.Clos
 	}
 	harvestPool(c, net.Pool)
 	harvestSenders(c, in.Senders())
+	harvestCohorts(c, 0, 0, 0)
 
 	bct := c.Histogram("burst_bct_ms", bctBuckets)
 	for _, b := range in.Bursts() {

@@ -58,6 +58,12 @@ type Options struct {
 	// (ICTCP, shared buffers, admission waves, ...) keep the packet
 	// backend. Empty or FidelityPacket means packet-level everywhere.
 	Fidelity string
+	// Aggregation selects how flow-level runs represent the flow
+	// population: AggregationPerFlow, AggregationCohort, or
+	// AggregationAuto (also ""). It only applies to runs that actually
+	// lower to the fluid backend and requires Fidelity == FidelityFlow
+	// when set.
+	Aggregation string
 }
 
 // Validate rejects option values that would otherwise fail deep inside an
@@ -66,6 +72,14 @@ func (o Options) Validate() error {
 	if !KnownFidelity(o.Fidelity) {
 		return fmt.Errorf("core: unknown fidelity %q (valid: %q, %q)",
 			o.Fidelity, FidelityPacket, FidelityFlow)
+	}
+	if !KnownAggregation(o.Aggregation) {
+		return fmt.Errorf("core: unknown aggregation %q (valid: %q, %q, %q)",
+			o.Aggregation, AggregationAuto, AggregationCohort, AggregationPerFlow)
+	}
+	if o.Aggregation != "" && o.Fidelity != FidelityFlow {
+		return fmt.Errorf("core: aggregation %q requires fidelity %q (the packet backend is per-packet by construction)",
+			o.Aggregation, FidelityFlow)
 	}
 	return ValidateWorkers(o.Workers)
 }

@@ -29,6 +29,21 @@ func KnownFidelity(name string) bool {
 	return name == "" || name == FidelityPacket || name == FidelityFlow
 }
 
+// The aggregation knob selects how the flow-level backend represents the
+// flow population: per-flow records, cohort-aggregated equivalence
+// classes, or the automatic policy (cohorts from flowsim's threshold up).
+// It only means something at FidelityFlow — the packet backend is
+// per-packet by construction.
+const (
+	AggregationAuto    = flowsim.AggregationAuto
+	AggregationCohort  = flowsim.AggregationCohort
+	AggregationPerFlow = flowsim.AggregationPerFlow
+)
+
+// KnownAggregation reports whether name selects a flow-aggregation level
+// ("" means auto).
+func KnownAggregation(name string) bool { return flowsim.KnownAggregation(name) }
+
 // FlowCompatible reports whether the configuration can run on the
 // flow-level backend; the error names the first packet-level-only feature.
 // The fluid engine models incast demand over a queue network — the
@@ -183,6 +198,7 @@ func runFlowIncastSim(cfg SimConfig) *SimResult {
 				SegmentsPerFlow: workload.BytesPerFlowFor(closCfg.HostLinkBps, cfg.BurstDuration, cfg.Flows) / netsim.MSS,
 				Bursts:          cfg.Bursts,
 				Interval:        cfg.Interval,
+				JitterMax:       cfg.JitterMax,
 				Seed:            cfg.Seed,
 				LineRateBps:     closCfg.HostLinkBps,
 				CoreRateBps:     closCfg.SpineLinkBps,
@@ -193,6 +209,7 @@ func runFlowIncastSim(cfg SimConfig) *SimResult {
 				SampleInterval:  cfg.SampleInterval,
 				SampleWindow:    cfg.SampleWindow,
 				Check:           cfg.Audit,
+				Aggregation:     cfg.Aggregation,
 			},
 			Net: net,
 		})
@@ -205,6 +222,7 @@ func runFlowIncastSim(cfg SimConfig) *SimResult {
 			SegmentsPerFlow:      workload.BytesPerFlowFor(cfg.Net.HostLinkBps, cfg.BurstDuration, cfg.Flows) / netsim.MSS,
 			Bursts:               cfg.Bursts,
 			Interval:             cfg.Interval,
+			JitterMax:            cfg.JitterMax,
 			Seed:                 cfg.Seed,
 			LineRateBps:          cfg.Net.HostLinkBps,
 			CoreRateBps:          cfg.Net.CoreLinkBps,
@@ -218,6 +236,7 @@ func runFlowIncastSim(cfg SimConfig) *SimResult {
 			SampleInterval:       cfg.SampleInterval,
 			SampleWindow:         cfg.SampleWindow,
 			Check:                cfg.Audit,
+			Aggregation:          cfg.Aggregation,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("core: flow-level simulation with %d flows: %v", cfg.Flows, err))
@@ -343,6 +362,7 @@ func harvestFlowRun(cfg *SimConfig, r *flowsim.Result, wallStart time.Time) {
 	// the combination); publish the zero so the key set stays dense.
 	c.Counter("tcp_incast_notifies").Add(0)
 	c.Counter("cc_cwnd_updates").Add(r.CwndUpdates)
+	harvestCohorts(c, r.Cohorts, r.CohortSplits, r.PeakCohortWeight)
 
 	cwnd := c.Histogram("cc_final_cwnd_bytes", cwndBuckets)
 	for _, w := range r.FinalCwndPkts {

@@ -156,6 +156,44 @@ func TestUnknownFidelityPanics(t *testing.T) {
 	RunIncastSim(SimConfig{Flows: 10, Fidelity: "warp"})
 }
 
+// TestFlowAggregationNotificationRejected pins that cohort aggregation
+// does not widen the fluid backend's feature envelope: a flow-fidelity
+// run with switch-side incast notification still fails loudly, naming
+// the blocking feature, regardless of the aggregation level.
+func TestFlowAggregationNotificationRejected(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("flow fidelity with notification did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "notification") {
+			t.Fatalf("panic does not name the blocking feature: %v", r)
+		}
+	}()
+	RunIncastSim(SimConfig{
+		Flows:        10,
+		Fidelity:     FidelityFlow,
+		Aggregation:  AggregationCohort,
+		Notification: &NotificationConfig{},
+	})
+}
+
+// TestPacketAggregationPanics: the aggregation knob shapes the fluid
+// backend's flow population; requesting it on a packet-level run is a
+// contradiction that must fail loudly, not be ignored.
+func TestPacketAggregationPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("packet fidelity with aggregation did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "aggregation") {
+			t.Fatalf("panic does not name the knob: %v", r)
+		}
+	}()
+	RunIncastSim(SimConfig{Flows: 10, Aggregation: AggregationCohort})
+}
+
 // TestOptionsFidelityBestEffort pins the Options-level knob: compatible
 // runs are lowered to the fluid backend, packet-only runs keep the packet
 // backend silently, and explicit per-config choices are never overridden.

@@ -43,11 +43,22 @@ func (o Options) instrument(experiment string, cfg SimConfig) SimConfig {
 // requests (cfg.Fidelity already set) are never overridden; those fail
 // loudly inside RunIncastSim if unsupported.
 func (o Options) applyFidelity(cfg *SimConfig) {
+	if cfg.Fidelity == FidelityFlow {
+		// Explicit flow-level run (spec- or caller-chosen): the options'
+		// aggregation level still applies unless the config picked its own.
+		if cfg.Aggregation == "" {
+			cfg.Aggregation = o.Aggregation
+		}
+		return
+	}
 	if o.Fidelity != FidelityFlow || cfg.Fidelity != "" {
 		return
 	}
 	if cfg.FlowCompatible() == nil {
 		cfg.Fidelity = FidelityFlow
+		if cfg.Aggregation == "" {
+			cfg.Aggregation = o.Aggregation
+		}
 	}
 }
 
@@ -103,6 +114,7 @@ func harvestIncastRun(reg *obs.Registry, experiment string, flows int,
 	harvestLink(c, "uplink", net.Uplink, active)
 	harvestPool(c, net.Pool)
 	harvestSenders(c, in.Senders())
+	harvestCohorts(c, 0, 0, 0)
 
 	bct := c.Histogram("burst_bct_ms", bctBuckets)
 	for _, b := range in.Bursts() {
@@ -228,4 +240,15 @@ func harvestSenders(c *obs.Collector, senders []*tcp.Sender) {
 	c.Counter("tcp_ece_acks").Add(agg.ECEAcks)
 	c.Counter("tcp_incast_notifies").Add(agg.IncastNotifies)
 	c.Counter("cc_cwnd_updates").Add(updates)
+}
+
+// harvestCohorts records the flow-level backend's aggregation telemetry:
+// how many cohort records the solver integrated, how many lazy exact
+// splits divergence forced, and the heaviest single record. Packet-level
+// harvests publish explicit zeros (the packet backend is per-packet by
+// construction), keeping the key set dense across fidelities.
+func harvestCohorts(c *obs.Collector, cohorts int, splits int64, peakWeight float64) {
+	c.Gauge("flowsim_cohorts", obs.MergeSum).Set(float64(cohorts))
+	c.Counter("flowsim_cohort_splits").Add(splits)
+	c.Gauge("flowsim_cohort_peak_weight", obs.MergeMax).Set(peakWeight)
 }

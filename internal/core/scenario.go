@@ -94,9 +94,13 @@ func compileRow(opt Options, spec scenario.Spec, n int, v scenario.Value) SimCon
 		Seed:          opt.seed(),
 		Audit:         opt.Audit,
 		Fidelity:      spec.Fidelity,
+		Aggregation:   spec.Aggregation,
 	}
 	if spec.Workload.IntervalMS > 0 {
 		cfg.Interval = msTime(spec.Workload.IntervalMS, 0)
+	}
+	if spec.Workload.JitterUS > 0 {
+		cfg.JitterMax = sim.Time(spec.Workload.JitterUS * float64(sim.Microsecond))
 	}
 	if tr := spec.Transport; tr != nil {
 		if tr.MinRTOMS > 0 {

@@ -16,7 +16,7 @@ import (
 // cached rows at once. Bump it whenever a change alters simulation
 // results (topology wiring, transport behavior, metric rendering) —
 // goldens changing is the usual tell.
-const SimCodeVersion = "incastlab-sim-v8"
+const SimCodeVersion = "incastlab-sim-v9"
 
 // Shard selects the subset of sweep rows a process owns: row i belongs to
 // shard Index of Count when i % Count == Index. The zero value (one shard
@@ -68,9 +68,9 @@ func (s CacheStats) String() string {
 // ScenarioRowKey is the content address of one sweep row's rendered
 // result cells: a hash of the code version, the canonical spec JSON, the
 // row index, and every option that changes results (seed, quick mode,
-// fidelity). Worker count, audit mode, and metrics collection are
-// excluded deliberately — results are bit-identical across those, and the
-// cache must not fragment on them.
+// fidelity, aggregation). Worker count, audit mode, and metrics
+// collection are excluded deliberately — results are bit-identical across
+// those, and the cache must not fragment on them.
 func ScenarioRowKey(opt Options, spec scenario.Spec, row int) string {
 	specJSON, err := json.Marshal(spec)
 	if err != nil {
@@ -84,6 +84,7 @@ func ScenarioRowKey(opt Options, spec scenario.Spec, row int) string {
 		strconv.FormatUint(opt.seed(), 10),
 		strconv.FormatBool(opt.Quick),
 		opt.Fidelity,
+		opt.Aggregation,
 	)
 }
 

@@ -81,11 +81,23 @@ func TestScenarioRowKeyContract(t *testing.T) {
 		"seed":     ScenarioRowKey(Options{Seed: 2, Quick: true, Workers: 1}, spec, 0),
 		"quick":    ScenarioRowKey(Options{Seed: 1, Quick: false, Workers: 1}, spec, 0),
 		"fidelity": ScenarioRowKey(Options{Seed: 1, Quick: true, Workers: 1, Fidelity: FidelityFlow}, spec, 0),
+		"aggregation": ScenarioRowKey(Options{Seed: 1, Quick: true, Workers: 1,
+			Fidelity: FidelityFlow, Aggregation: AggregationCohort}, spec, 0),
 	}
 	for what, k := range different {
 		if k == key {
 			t.Errorf("key ignores %s; stale rows would be served across it", what)
 		}
+	}
+
+	// Aggregation must fragment the cache on its own, not just via the
+	// fidelity it requires: a cohort-solved row and a perflow-solved row
+	// of the same flow-fidelity sweep are different results.
+	flowOpt := Options{Seed: 1, Quick: true, Workers: 1, Fidelity: FidelityFlow}
+	cohortOpt := flowOpt
+	cohortOpt.Aggregation = AggregationCohort
+	if ScenarioRowKey(flowOpt, spec, 0) == ScenarioRowKey(cohortOpt, spec, 0) {
+		t.Error("key ignores Aggregation; perflow rows would be served for cohort runs")
 	}
 
 	other := closTestSpec()

@@ -29,6 +29,12 @@ type SimConfig struct {
 	// semantics require it to exceed the minimum RTO so that one burst's
 	// timeout recovery does not bleed into the next; see EXPERIMENTS.md.
 	Interval sim.Time
+	// JitterMax is the per-flow start jitter ceiling: each flow's release
+	// within a burst is delayed uniformly in [0, JitterMax] (default
+	// 100 us). Synchronized incasts at very large degree can lock their
+	// retransmission timers together; widening the jitter is how a
+	// scenario desynchronizes them, on either backend.
+	JitterMax sim.Time
 	// Net is the topology; zero value means the paper defaults for Flows.
 	Net netsim.DumbbellConfig
 	// Alg builds the congestion-control algorithm per flow; nil means
@@ -76,6 +82,13 @@ type SimConfig struct {
 	// internal/flowsim. Flow-level runs reject packet-level-only features;
 	// see FlowCompatible.
 	Fidelity string
+	// Aggregation selects how the flow-level backend represents the flow
+	// population: AggregationPerFlow (one record per flow),
+	// AggregationCohort (equivalence classes integrated as weighted
+	// records, split lazily and exactly on divergence), or
+	// AggregationAuto / "" (cohorts from flowsim's threshold up). It is a
+	// FidelityFlow knob; setting it on a packet-level run panics.
+	Aggregation string
 	// Clos, when non-nil, runs the incast over a leaf/spine fabric instead
 	// of the dumbbell: the aggregator in rack 0 and workers placed by
 	// Placement. Net is ignored; queue/buffer tuning comes from the Clos
@@ -109,6 +122,9 @@ func (c *SimConfig) fill() {
 	}
 	if c.Interval <= 0 {
 		c.Interval = 250 * sim.Millisecond
+	}
+	if c.JitterMax <= 0 {
+		c.JitterMax = 100 * sim.Microsecond
 	}
 	if c.Net.Senders == 0 {
 		c.Net = netsim.DefaultDumbbellConfig(c.Flows)
@@ -187,6 +203,10 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 	switch cfg.Fidelity {
 	case "", FidelityPacket:
 		// The packet-level discrete-event path below.
+		if cfg.Aggregation != "" {
+			panic(fmt.Sprintf("core: aggregation %q is a fidelity-%q knob; the packet backend is per-packet by construction",
+				cfg.Aggregation, FidelityFlow))
+		}
 	case FidelityFlow:
 		return runFlowIncastSim(cfg)
 	default:
@@ -214,7 +234,7 @@ func RunIncastSim(cfg SimConfig) *SimResult {
 		BytesPerFlow:   workload.BytesPerFlowFor(cfg.Net.HostLinkBps, cfg.BurstDuration, cfg.Flows),
 		Bursts:         cfg.Bursts,
 		Interval:       cfg.Interval,
-		JitterMax:      100 * sim.Microsecond,
+		JitterMax:      cfg.JitterMax,
 		Seed:           cfg.Seed,
 		SenderConfig:   cfg.Sender,
 		ReceiverConfig: cfg.Receiver,

@@ -1,0 +1,280 @@
+package flowsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"incastlab/internal/netsim"
+	"incastlab/internal/sim"
+	"incastlab/internal/workload"
+)
+
+// TestKnownAggregation pins the knob's vocabulary.
+func TestKnownAggregation(t *testing.T) {
+	for _, ok := range []string{"", AggregationAuto, AggregationCohort, AggregationPerFlow} {
+		if !KnownAggregation(ok) {
+			t.Errorf("KnownAggregation(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"flow", "cohorts", "none", "AUTO"} {
+		if KnownAggregation(bad) {
+			t.Errorf("KnownAggregation(%q) = true, want false", bad)
+		}
+	}
+	cfg := quickConfig(8, CCConfig{})
+	cfg.Aggregation = "bogus"
+	if _, err := Run(cfg); err == nil {
+		t.Fatalf("Run accepted aggregation %q", cfg.Aggregation)
+	}
+}
+
+// TestCohortSingletonByteIdentity is the property test for the degenerate
+// instance: forcing one flow per cohort (cohort aggregation with at least
+// as many jitter buckets as flows) must reproduce the per-flow engine's
+// Result byte for byte — same jitter draws, same iteration order, same
+// IEEE operations (weight 1 multiplications are exact).
+func TestCohortSingletonByteIdentity(t *testing.T) {
+	for _, n := range []int{33, 80} {
+		for _, cc := range []CCConfig{{}, {Kind: KindSwift}} {
+			cfg := quickConfig(n, cc)
+			cfg.Aggregation = AggregationPerFlow
+			want, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("perflow n=%d: %v", n, err)
+			}
+			cfg.Aggregation = AggregationCohort
+			cfg.cohortBuckets = n // one flow per cohort
+			got, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("singleton cohorts n=%d: %v", n, err)
+			}
+			// The only allowed difference is the bookkeeping echo.
+			if got.Cohorts != n || got.CohortSplits != 0 || got.PeakCohortWeight != 1 {
+				t.Fatalf("singleton cohorts n=%d: got %d cohorts, %d splits, peak %v",
+					n, got.Cohorts, got.CohortSplits, got.PeakCohortWeight)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("singleton-cohort run diverged from perflow at n=%d kind=%v", n, cc.Kind)
+			}
+		}
+	}
+}
+
+// TestCohortDefaultsAuto pins the auto threshold: small runs integrate
+// per-flow (historical results bit-stable), large runs aggregate.
+func TestCohortDefaultsAuto(t *testing.T) {
+	small := quickConfig(80, CCConfig{})
+	if small.cohortEnabled() {
+		t.Errorf("auto aggregation enabled cohorts at %d flows", small.Flows)
+	}
+	big := quickConfig(80, CCConfig{})
+	big.Flows = AutoCohortMinFlows
+	if !big.cohortEnabled() {
+		t.Errorf("auto aggregation kept per-flow at %d flows", big.Flows)
+	}
+}
+
+// cohortVsPerFlow runs cfg both ways and returns (cohort, perflow).
+func cohortVsPerFlow(t *testing.T, cfg Config) (*Result, *Result) {
+	t.Helper()
+	cfg.Aggregation = AggregationCohort
+	co, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("cohort run: %v", err)
+	}
+	cfg.Aggregation = AggregationPerFlow
+	pf, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("perflow run: %v", err)
+	}
+	return co, pf
+}
+
+// TestCohortMatchesPerFlowModes pins cohort aggregation to the per-flow
+// engine on the quick Fig-5 operating points: identical mode
+// classification and close headline statistics, with tail drops (the 1400
+// point) exercising the lazy exact split. The audit harness pins the same
+// contract through the public runner; this is the direct engine-level
+// regression for the partial-tail-drop and RTO-parking split triggers.
+func TestCohortMatchesPerFlowModes(t *testing.T) {
+	for _, n := range []int{80, 500, 1400} {
+		co, pf := cohortVsPerFlow(t, quickConfig(n, CCConfig{}))
+		coMode := Classify(co.Timeouts, co.FracBelowK)
+		pfMode := Classify(pf.Timeouts, pf.FracBelowK)
+		if coMode != pfMode {
+			t.Errorf("n=%d: cohort mode %s != perflow mode %s", n, coMode, pfMode)
+		}
+		if co.Cohorts < defaultCohortBuckets {
+			t.Errorf("n=%d: only %d cohorts (want >= %d buckets)", n, co.Cohorts, defaultCohortBuckets)
+		}
+		if co.PeakCohortWeight < float64(n/defaultCohortBuckets) {
+			t.Errorf("n=%d: peak cohort weight %v below the bucket size %d",
+				n, co.PeakCohortWeight, n/defaultCohortBuckets)
+		}
+		relDiff := func(a, b float64) float64 {
+			if b == 0 {
+				return math.Abs(a)
+			}
+			return math.Abs(a-b) / b
+		}
+		if d := relDiff(float64(co.MeanBCT), float64(pf.MeanBCT)); d > 0.15 {
+			t.Errorf("n=%d: mean BCT diff %.3f (cohort %v vs perflow %v)", n, d, co.MeanBCT, pf.MeanBCT)
+		}
+		if d := relDiff(co.MaxQueue, pf.MaxQueue); d > 0.15 {
+			t.Errorf("n=%d: max queue diff %.3f (cohort %v vs perflow %v)", n, d, co.MaxQueue, pf.MaxQueue)
+		}
+		if (co.Timeouts > 0) != (pf.Timeouts > 0) {
+			t.Errorf("n=%d: timeout presence diverged (cohort %d vs perflow %d)", n, co.Timeouts, pf.Timeouts)
+		}
+		if n == 1400 {
+			// Mode 3: drops must have forced exact splits, and the RTO
+			// parking/backoff machinery must have run per sub-cohort.
+			if co.CohortSplits == 0 {
+				t.Errorf("n=1400: tail drops produced no cohort splits")
+			}
+			if co.Timeouts == 0 || co.Drops == 0 {
+				t.Errorf("n=1400: cohort run lost the Mode-3 signature (timeouts %d drops %d)",
+					co.Timeouts, co.Drops)
+			}
+		}
+		t.Logf("n=%d: mode=%s cohorts=%d splits=%d peak=%v | BCT %v vs %v | maxQ %.1f vs %.1f | TO %d vs %d | frac %.3f vs %.3f",
+			n, coMode, co.Cohorts, co.CohortSplits, co.PeakCohortWeight,
+			co.MeanBCT, pf.MeanBCT, co.MaxQueue, pf.MaxQueue, co.Timeouts, pf.Timeouts,
+			co.FracBelowK, pf.FracBelowK)
+	}
+}
+
+// TestCohortNetworkMatchesPerFlow runs the general multi-queue integrator
+// with cohort aggregation on a two-rack Clos incast and pins it to the
+// per-flow network engine: same mode, close statistics. Path classes
+// (per-spine ECMP choice) partition the cohorts here.
+func TestCohortNetworkMatchesPerFlow(t *testing.T) {
+	clos := netsim.DefaultClosConfig(2, 256)
+	n := 300
+	srcs := make([]netsim.NodeID, n)
+	dsts := make([]netsim.NodeID, n)
+	for i := range srcs {
+		srcs[i] = netsim.NodeID(256 + i%250) // senders in rack 1
+		dsts[i] = 0                          // aggregator in rack 0
+	}
+	net, err := clos.FluidPaths(srcs, dsts)
+	if err != nil {
+		t.Fatalf("FluidPaths: %v", err)
+	}
+	base := quickConfig(n, CCConfig{})
+	run := func(agg string) *Result {
+		cfg := base
+		cfg.Aggregation = agg
+		res, err := RunNetwork(NetworkConfig{Config: cfg, Net: net})
+		if err != nil {
+			t.Fatalf("RunNetwork(%s): %v", agg, err)
+		}
+		return res
+	}
+	co := run(AggregationCohort)
+	pf := run(AggregationPerFlow)
+	if pf.Cohorts != n || pf.PeakCohortWeight != 1 {
+		t.Errorf("perflow network run reported %d cohorts peak %v", pf.Cohorts, pf.PeakCohortWeight)
+	}
+	coMode := Classify(co.Timeouts, co.FracBelowK)
+	pfMode := Classify(pf.Timeouts, pf.FracBelowK)
+	if coMode != pfMode {
+		t.Errorf("cohort mode %s != perflow mode %s", coMode, pfMode)
+	}
+	if d := math.Abs(float64(co.MeanBCT)-float64(pf.MeanBCT)) / float64(pf.MeanBCT); d > 0.15 {
+		t.Errorf("mean BCT diff %.3f (cohort %v vs perflow %v)", d, co.MeanBCT, pf.MeanBCT)
+	}
+	t.Logf("clos: mode=%s cohorts=%d splits=%d peak=%v | BCT %v vs %v | maxQ %.1f vs %.1f | TO %d vs %d",
+		coMode, co.Cohorts, co.CohortSplits, co.PeakCohortWeight,
+		co.MeanBCT, pf.MeanBCT, co.MaxQueue, pf.MaxQueue, co.Timeouts, pf.Timeouts)
+}
+
+// millionFlowNet builds the million-flow Clos workload: aggs aggregators
+// spread round-robin across the racks, each fanning in perAgg flows from
+// senders on the other racks — the multi-aggregator geometry whose
+// per-downlink incast degree stays in the regime the paper studies while
+// the total flow count crosses a million.
+func millionFlowNet(t testing.TB, clos netsim.ClosConfig, aggs, perAgg int) (*netsim.FluidPaths, int) {
+	t.Helper()
+	n := aggs * perAgg
+	srcs := make([]netsim.NodeID, 0, n)
+	dsts := make([]netsim.NodeID, 0, n)
+	hosts := clos.Hosts()
+	for a := 0; a < aggs; a++ {
+		// Round-robin aggregators across racks so no single rack's spine
+		// ingress has to carry every aggregator's downlink demand.
+		dst := clos.HostID(a%clos.Racks, (a/clos.Racks)%clos.HostsPerRack)
+		dstRack := clos.RackOf(dst)
+		// Senders cycle over the other racks' hosts.
+		src := (dstRack + 1) * clos.HostsPerRack % hosts
+		for f := 0; f < perAgg; f++ {
+			for clos.RackOf(netsim.NodeID(src)) == dstRack || netsim.NodeID(src) == dst {
+				src = (src + 1) % hosts
+			}
+			srcs = append(srcs, netsim.NodeID(src))
+			dsts = append(dsts, dst)
+			src = (src + 1) % hosts
+		}
+	}
+	net, err := clos.FluidPaths(srcs, dsts)
+	if err != nil {
+		t.Fatalf("FluidPaths: %v", err)
+	}
+	return net, n
+}
+
+// TestCohortMillionFlowSmoke is the headline scale check: a million-flow
+// multi-aggregator Clos incast integrates in ONE run — impossible
+// per-flow, where the release schedule alone would blow the release-key
+// packing limit — and conserves volume (Check is on).
+func TestCohortMillionFlowSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-flow smoke is not a -short test")
+	}
+	clos := netsim.DefaultClosConfig(8, 4096)
+	// 64 aggregators per rack pull 640 Gbps of downlink demand through the
+	// rack's spine ingress: 2x400G keeps the fabric non-oversubscribed so
+	// each aggregator's downlink port stays the bottleneck under study.
+	clos.SpineLinkBps = 400 * netsim.Gbps
+	const aggs, perAgg = 512, 2048 // 1,048,576 flows
+	net, n := millionFlowNet(t, clos, aggs, perAgg)
+	segs := workload.BytesPerFlowFor(clos.HostLinkBps, 15*sim.Millisecond, perAgg) / netsim.MSS
+	if segs < 1 {
+		segs = 1
+	}
+	cfg := Config{
+		Flows:           n,
+		SegmentsPerFlow: segs,
+		Bursts:          2,
+		// Perfectly synchronized release livelocks this fluid model: every
+		// straggler retries on the identical deterministic RTO schedule and
+		// re-collides forever. Real senders desynchronize; the jitter spread
+		// is the workload's model of that.
+		JitterMax: 5 * sim.Millisecond,
+		Check:     true,
+	}
+	res, err := RunNetwork(NetworkConfig{Config: cfg, Net: net})
+	if err != nil {
+		t.Fatalf("million-flow run: %v", err)
+	}
+	if res.Flows != n || res.Cohorts < defaultCohortBuckets {
+		t.Fatalf("million-flow run: flows %d cohorts %d", res.Flows, res.Cohorts)
+	}
+	t.Logf("1M flows: mode=%s cohorts=%d splits=%d peak=%v steps=%d meanBCT=%v",
+		Classify(res.Timeouts, res.FracBelowK), res.Cohorts, res.CohortSplits,
+		res.PeakCohortWeight, res.Steps, res.MeanBCT)
+}
+
+// TestPerFlowReleasePackingLimit pins that per-flow integration still
+// refuses flow counts past the release-key packing limit — the cohort
+// path is the supported way to exceed it.
+func TestPerFlowReleasePackingLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("buildReleases accepted %d per-flow units", 1<<20)
+		}
+	}()
+	cfg := quickConfig(8, CCConfig{})
+	buildReleases(cfg, 1<<20)
+}

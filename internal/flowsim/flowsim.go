@@ -75,6 +75,16 @@ type Config struct {
 	// CC parameterizes the per-flow reduced-form controller.
 	CC CCConfig
 
+	// Aggregation selects how flows are integrated: "perflow" (one record
+	// per flow, the exact engine), "cohort" (equivalence classes of
+	// identical flows integrate as weighted records; see cohort.go), or
+	// "auto"/"" (cohorts from AutoCohortMinFlows up).
+	Aggregation string
+
+	// cohortBuckets overrides the per-class jitter bucket count (tests
+	// only; 0 means defaultCohortBuckets).
+	cohortBuckets int
+
 	// SampleInterval and SampleWindow control queue sampling per burst
 	// (defaults 100 us and demand drain time + 5 ms, capped at Interval),
 	// mirroring the packet simulator's series.
@@ -147,6 +157,10 @@ func (c *Config) fill() error {
 	if c.DupAckPackets <= 0 {
 		c.DupAckPackets = 3
 	}
+	if !KnownAggregation(c.Aggregation) {
+		return fmt.Errorf("flowsim: unknown aggregation %q (valid: %q, %q, %q)",
+			c.Aggregation, AggregationAuto, AggregationCohort, AggregationPerFlow)
+	}
 	c.CC.fill(c.BaseRTT)
 	if c.SampleInterval <= 0 {
 		c.SampleInterval = 100 * sim.Microsecond
@@ -217,6 +231,15 @@ type Result struct {
 	// time reached — the flow-level analogue of events/SimNow.
 	Steps  uint64
 	SimNow sim.Time
+
+	// Cohorts is the number of weighted flow records the run ended with
+	// (== Flows for per-flow integration), CohortSplits the number of
+	// records created mid-run by partial tail drops, and PeakCohortWeight
+	// the largest member count any record carried — together they report
+	// how much symmetry the run exploited.
+	Cohorts          int
+	CohortSplits     int64
+	PeakCohortWeight float64
 
 	// QueueCapacity and ECNThreshold echo the configuration.
 	QueueCapacity, ECNThreshold int
@@ -339,7 +362,9 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	e := newEngine(cfg)
+	// The dumbbell has a single path and uniform CC/demand/RTT, so every
+	// flow is in one equivalence class; only jitter buckets partition it.
+	e := newEngine(cfg, buildPlan(&cfg, nil, 1))
 	if err := e.run(); err != nil {
 		return nil, err
 	}
@@ -349,6 +374,23 @@ func Run(cfg Config) (*Result, error) {
 type engine struct {
 	cfg   Config
 	flows []flowState
+
+	// Cohort bookkeeping: record i represents mCnt[i] identical flows (the
+	// member IDs perm[mOff[i]:mOff[i]+mCnt[i]]). All per-record state in
+	// flows/hot is PER MEMBER; aggregate couplings scale by the count.
+	// lineNext threads each original record's split descendants into a
+	// lineage chain (-1 terminated) so release entries — built once, per
+	// original record — reach every descendant. Per-flow runs are the
+	// degenerate instance: every count 1, every chain a single node.
+	perm       []int32
+	mOff, mCnt []int32
+	lineNext   []int32
+	// releasedFlows counts flow releases by weight (== relPtr when every
+	// record is a singleton); completion targets compare against it.
+	releasedFlows float64
+	cohorts0      int
+	splitsMade    int64
+	peakW         float64
 
 	// Static rates (packets/second) and conversions.
 	drain    float64 // bottleneck effective drain
@@ -433,11 +475,17 @@ type engine struct {
 	smp sampler
 }
 
-func newEngine(cfg Config) *engine {
+func newEngine(cfg Config, plan cohortPlan) *engine {
 	n := cfg.Flows
+	m := plan.cohorts()
 	e := &engine{
 		cfg:        cfg,
-		flows:      make([]flowState, n),
+		flows:      make([]flowState, m),
+		perm:       plan.perm,
+		mOff:       plan.off,
+		mCnt:       plan.cnt,
+		lineNext:   make([]int32, m),
+		cohorts0:   m,
 		drain:      EffectivePacketRate(cfg.LineRateBps),
 		coreRate:   EffectivePacketRate(cfg.CoreRateBps),
 		baseSec:    float64(cfg.BaseRTT) / 1e9,
@@ -446,21 +494,25 @@ func newEngine(cfg Config) *engine {
 		segs:       float64(cfg.SegmentsPerFlow),
 		crumbEps:   float64(n)*volEps*4 + 1e-9,
 		nextWake:   math.MaxInt64,
-		hot:        make([]hotFlow, n),
+		hot:        make([]hotFlow, m),
 		timeRounds: cfg.CC.Kind == KindSwift,
 
 		lzG:     1,
-		gRef:    make([]float64, n),
-		mRef:    make([]float64, n),
-		lazy:    make([]bool, n),
-		lzStamp: make([]uint32, n),
+		gRef:    make([]float64, m),
+		mRef:    make([]float64, m),
+		lazy:    make([]bool, m),
+		lzStamp: make([]uint32, m),
 	}
 	for i := range e.flows {
 		e.flows[i].ctrl = newController(cfg.CC)
 		e.flows[i].lastLoss = math.MinInt64 / 2
 		e.hot[i].win = e.flows[i].ctrl.window()
+		e.lineNext[i] = -1
+		if w := float64(e.mCnt[i]); w > e.peakW {
+			e.peakW = w
+		}
 	}
-	e.releases = buildReleases(cfg)
+	e.releases = buildReleases(cfg, m)
 
 	first := 1
 	if cfg.Bursts == 1 {
@@ -470,33 +522,35 @@ func newEngine(cfg Config) *engine {
 	return e
 }
 
-// buildReleases expands the burst schedule into every flow's per-burst
-// start, globally time-sorted. Each burst is sorted by (at, flow)
-// ascending so dropTail's newest-first walk over this slice visits
-// equal-time releases in descending flow order, matching the documented
-// tail-drop victim order. Sorting packed at<<flowBits|flow keys through
-// slices.Sort beats a comparator-closure sort ~3x; release times stay far
-// below the 2^(63-flowBits) ns (~2.4 h of simulated time) packing
-// headroom. Shared between the single-queue and network engines so both
-// draw the identical jitter sequence from one seed.
-func buildReleases(cfg Config) []release {
-	n := cfg.Flows
-	const flowBits = 20
-	if n >= 1<<flowBits {
-		panic(fmt.Sprintf("flowsim: %d flows exceeds the release-key packing limit %d", n, 1<<flowBits))
+// buildReleases expands the burst schedule into every unit's per-burst
+// start, globally time-sorted — a unit is one release record: a flow in
+// per-flow runs, a cohort (one jitter draw standing for all its members)
+// in aggregated runs, so per-flow runs draw the identical jitter sequence
+// the pre-cohort engine did. Each burst is sorted by (at, unit) ascending
+// so dropTail's newest-first walk over this slice visits equal-time
+// releases in descending unit order, matching the documented tail-drop
+// victim order. Sorting packed at<<unitBits|unit keys through slices.Sort
+// beats a comparator-closure sort ~3x; release times stay far below the
+// 2^(63-unitBits) ns (~2.4 h of simulated time) packing headroom. Shared
+// between the single-queue and network engines so both draw the identical
+// jitter sequence from one seed.
+func buildReleases(cfg Config, nUnits int) []release {
+	const unitBits = 20
+	if nUnits >= 1<<unitBits {
+		panic(fmt.Sprintf("flowsim: %d release units exceeds the release-key packing limit %d (aggregate into cohorts to go bigger)", nUnits, 1<<unitBits))
 	}
 	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
-	releases := make([]release, 0, n*cfg.Bursts)
-	keys := make([]uint64, n)
+	releases := make([]release, 0, nUnits*cfg.Bursts)
+	keys := make([]uint64, nUnits)
 	for b := 0; b < cfg.Bursts; b++ {
 		start := sim.Time(b) * cfg.Interval
-		for i := 0; i < n; i++ {
+		for i := 0; i < nUnits; i++ {
 			j := sim.Time(rng.Int63n(int64(cfg.JitterMax) + 1))
-			keys[i] = uint64(start+j)<<flowBits | uint64(i)
+			keys[i] = uint64(start+j)<<unitBits | uint64(i)
 		}
 		slices.Sort(keys)
 		for _, k := range keys {
-			releases = append(releases, release{at: sim.Time(k >> flowBits), flow: int32(k & (1<<flowBits - 1))})
+			releases = append(releases, release{at: sim.Time(k >> unitBits), flow: int32(k & (1<<unitBits - 1))})
 		}
 	}
 	return releases
@@ -518,17 +572,21 @@ func (e *engine) run() error {
 	totalDemand := float64(cfg.Flows) * e.segs * float64(cfg.Bursts)
 
 	for e.now < deadline {
-		// Release pending flow starts.
+		// Release pending flow starts. Each record covers its unit's whole
+		// lineage: the original record plus any split-off descendants.
 		for e.relPtr < len(e.releases) && e.releases[e.relPtr].at <= e.now {
 			r := e.releases[e.relPtr]
-			e.hot[r.flow].unsent += e.segs
-			e.flows[r.flow].lastRelease = r.at
-			if e.lazy[r.flow] {
-				// New demand turns a parked drainer back into a sender:
-				// materialize and re-dispose (eager or blocked-lazy).
-				e.touchLazy(r.flow, e.baseSec+e.q/e.drain)
-			} else if e.hot[r.flow].stallT <= e.now {
-				e.activate(r.flow)
+			for ci := r.flow; ci >= 0; ci = e.lineNext[ci] {
+				e.hot[ci].unsent += e.segs
+				e.flows[ci].lastRelease = r.at
+				e.releasedFlows += float64(e.mCnt[ci])
+				if e.lazy[ci] {
+					// New demand turns a parked drainer back into a sender:
+					// materialize and re-dispose (eager or blocked-lazy).
+					e.touchLazy(ci, e.baseSec+e.q/e.drain)
+				} else if e.hot[ci].stallT <= e.now {
+					e.activate(ci)
+				}
 			}
 			e.relPtr++
 		}
@@ -681,7 +739,7 @@ func (e *engine) step(dt sim.Time, rttSec float64) error {
 			}
 		}
 		h.arr = a
-		totalArr += a
+		totalArr += a * float64(e.mCnt[i])
 	}
 
 	// Aggregate arrival cap: the core link serializes at CoreRateBps.
@@ -726,6 +784,7 @@ func (e *engine) step(dt sim.Time, rttSec float64) error {
 	keep := e.activeList[:0]
 	for _, i := range e.activeList {
 		h := &e.hot[i]
+		w := float64(e.mCnt[i])
 		a := h.arr
 		d := h.deliv
 		h.arr, h.deliv = 0, 0
@@ -736,7 +795,7 @@ func (e *engine) step(dt sim.Time, rttSec float64) error {
 			}
 			h.unsent = u
 			h.backlog += a
-			e.sent += a
+			e.sent += a * w
 		}
 		if d > 0 {
 			h.roundDel += d
@@ -781,7 +840,7 @@ func (e *engine) step(dt sim.Time, rttSec float64) error {
 			// orphan volume) but the silent sender has nothing to react to
 			// before the wake — MinRTO dwarfs a full-queue drain time — so
 			// the stall list owns the flow from here.
-			e.orphan += h.backlog
+			e.orphan += h.backlog * w
 			h.backlog = 0
 			h.ackPipe = 0
 			e.flows[i].active = false
@@ -790,7 +849,7 @@ func (e *engine) step(dt sim.Time, rttSec float64) error {
 		if h.unsent <= volEps && h.backlog <= finishCrumb {
 			// Done: orphan the sub-packet crumb instead of stepping the
 			// flow until multiplicative draining grinds it below volEps.
-			e.orphan += h.backlog
+			e.orphan += h.backlog * w
 			h.backlog = 0
 			h.ackPipe = 0
 			e.flows[i].active = false
@@ -829,59 +888,173 @@ func (e *engine) step(dt sim.Time, rttSec float64) error {
 // subtracted), modeling retransmission. Returns the volume dropped.
 //
 // Victims are found by walking the processed releases newest-first: the
-// slice is already time-sorted (ties by ascending flow index), so the
-// reverse walk yields exactly the (lastRelease desc, flow desc) victim
+// slice is already time-sorted (ties by ascending unit index), so the
+// reverse walk yields exactly the (lastRelease desc, unit desc) victim
 // order without sorting per step. An entry counts only when it is its
-// flow's latest release and the flow offered arrivals this step.
+// unit's latest release and the unit offered arrivals this step; split
+// descendants share their lineage's release entry and are visited newest
+// sub-cohort first. A cohort whose whole weight is consumed reacts in
+// place; the cohort the overflow runs out inside splits exactly into
+// unaffected / partially-hit / fully-hit sub-cohorts (splitDrop), so
+// aggregation never blurs who lost what — and since that terminal split
+// exhausts the overflow, each dropTail call splits at most one cohort.
 func (e *engine) dropTail(overflow float64, stepEnd, rttTime sim.Time) float64 {
 	remaining := overflow
 	var dropped float64
 	for ri := e.relPtr - 1; ri >= 0 && remaining > volEps; ri-- {
 		rel := e.releases[ri]
-		i := rel.flow
-		if e.hot[i].arr <= 0 || e.flows[i].lastRelease != rel.at {
-			continue
-		}
-		f := &e.flows[i]
-		d := e.hot[i].arr
-		if d > remaining {
-			d = remaining
-		}
-		e.hot[i].arr -= d
-		remaining -= d
-		dropped += d
-		e.drops += d
-		e.retxPkts += d
-		e.sent += d // the sender did transmit the dropped volume
-
-		if e.hot[i].backlog+e.hot[i].arr < e.cfg.DupAckPackets {
-			// Not enough in flight to trigger fast retransmit: stall.
-			e.timeouts++
-			f.ctrl.onTimeout()
-			e.hot[i].win = f.ctrl.window()
-			rto := e.cfg.MaxRTO
-			if f.backoff < 16 {
-				if r := e.cfg.MinRTO << uint(f.backoff); r < rto {
-					rto = r
-				}
+		for i := rel.flow; i >= 0 && remaining > volEps; i = e.lineNext[i] {
+			if e.hot[i].arr <= 0 || e.flows[i].lastRelease != rel.at {
+				continue
 			}
-			f.backoff++
-			e.hot[i].stallT = stepEnd + rto
-			f.roundEnd = 0
-			e.hot[i].roundDel, e.hot[i].roundMark = 0, 0
-			e.hot[i].reduced = false
-			e.stalled = append(e.stalled, i)
-			if e.hot[i].stallT < e.nextWake {
-				e.nextWake = e.hot[i].stallT
+			w := float64(e.mCnt[i])
+			avail := e.hot[i].arr * w
+			d := avail
+			if d > remaining {
+				d = remaining
 			}
-		} else if stepEnd-f.lastLoss >= rttTime {
-			e.fastRetx++
-			f.ctrl.onLoss()
-			e.hot[i].win = f.ctrl.window()
-			f.lastLoss = stepEnd
+			if d >= avail {
+				// The whole cohort's offer is consumed: every member is a
+				// full victim and the record reacts in place.
+				e.hot[i].arr -= e.hot[i].arr
+				remaining -= d
+				dropped += d
+				e.drops += d
+				e.retxPkts += d
+				e.sent += d // the sender did transmit the dropped volume
+				e.lossReact(i, stepEnd, rttTime)
+				continue
+			}
+			got := e.splitDrop(i, d, stepEnd, rttTime)
+			remaining -= got
+			dropped += got
+			e.drops += got
+			e.retxPkts += got
+			e.sent += got
 		}
 	}
 	return dropped
+}
+
+// lossReact applies the loss reaction to every member of cohort i at once
+// (members share their in-flight state, so the duplicate-ACK test answers
+// identically for all of them): a timeout stall with exponential backoff,
+// or a fast-retransmit halving at most once per RTT. Counters scale by
+// the member count.
+func (e *engine) lossReact(i int32, stepEnd, rttTime sim.Time) {
+	f := &e.flows[i]
+	w := float64(e.mCnt[i])
+	if e.hot[i].backlog+e.hot[i].arr < e.cfg.DupAckPackets {
+		// Not enough in flight to trigger fast retransmit: stall.
+		e.timeouts += w
+		f.ctrl.onTimeout()
+		e.hot[i].win = f.ctrl.window()
+		rto := e.cfg.MaxRTO
+		if f.backoff < 16 {
+			if r := e.cfg.MinRTO << uint(f.backoff); r < rto {
+				rto = r
+			}
+		}
+		f.backoff++
+		e.hot[i].stallT = stepEnd + rto
+		f.roundEnd = 0
+		e.hot[i].roundDel, e.hot[i].roundMark = 0, 0
+		e.hot[i].reduced = false
+		e.stalled = append(e.stalled, i)
+		if e.hot[i].stallT < e.nextWake {
+			e.nextWake = e.hot[i].stallT
+		}
+	} else if stepEnd-f.lastLoss >= rttTime {
+		e.fastRetx += w
+		f.ctrl.onLoss()
+		e.hot[i].win = f.ctrl.window()
+		f.lastLoss = stepEnd
+	}
+}
+
+// splitDrop removes d (< the cohort's whole offer) from cohort i's
+// arrivals by splitting it exactly: kFull = floor(d/perMember) members
+// lose their entire offer, at most one more loses the remainder, and the
+// rest are untouched. The parent record keeps the head member span (the
+// unaffected group when non-empty, else the partial victim); fully- and
+// partially-hit groups split off as new records that inherit the parent's
+// state and then take their own loss reaction — exactly the per-flow
+// outcome, just batched. Returns the volume actually dropped (== d up to
+// one float ulp of regrouping).
+func (e *engine) splitDrop(i int32, d float64, stepEnd, rttTime sim.Time) float64 {
+	per := e.hot[i].arr
+	cnt := e.mCnt[i]
+	kFull := int32(d / per)
+	if kFull > cnt-1 {
+		kFull = cnt - 1
+	}
+	dPart := d - float64(kFull)*per
+	if dPart < 0 {
+		dPart = 0
+	}
+	p := int32(0)
+	if dPart > 0 {
+		p = 1
+	}
+	if kFull == 0 && p == 0 {
+		return 0
+	}
+	unaffected := cnt - kFull - p
+
+	if unaffected == 0 && kFull == 0 {
+		// Single member, partially hit: react in place, no split.
+		e.hot[i].arr -= dPart
+		e.lossReact(i, stepEnd, rttTime)
+		return dPart
+	}
+
+	e.splitsMade++
+	off := e.mOff[i]
+	if unaffected > 0 {
+		// Parent keeps the unaffected head span untouched.
+		e.mCnt[i] = unaffected
+		if p > 0 {
+			part := e.newCohort(i, off+unaffected, 1)
+			e.hot[part].arr -= dPart
+			e.lossReact(part, stepEnd, rttTime)
+		}
+		if kFull > 0 {
+			full := e.newCohort(i, off+unaffected+p, kFull)
+			e.hot[full].arr -= e.hot[full].arr
+			e.lossReact(full, stepEnd, rttTime)
+		}
+	} else {
+		// Every member is hit (p == 1, kFull == cnt-1): the parent becomes
+		// the partial victim and the full victims split off.
+		full := e.newCohort(i, off+1, kFull)
+		e.hot[full].arr -= e.hot[full].arr
+		e.lossReact(full, stepEnd, rttTime)
+		e.mCnt[i] = 1
+		e.hot[i].arr -= dPart
+		e.lossReact(i, stepEnd, rttTime)
+	}
+	return float64(kFull)*per + dPart
+}
+
+// newCohort splits the member span [off, off+cnt) out of cohort parent as
+// a new record carrying a copy of the parent's per-member state, threaded
+// into the parent's lineage chain (so future releases reach it) and onto
+// the active list (splits only happen to records with live arrivals).
+func (e *engine) newCohort(parent, off, cnt int32) int32 {
+	ci := int32(len(e.flows))
+	e.flows = append(e.flows, e.flows[parent])
+	e.hot = append(e.hot, e.hot[parent])
+	e.mOff = append(e.mOff, off)
+	e.mCnt = append(e.mCnt, cnt)
+	e.gRef = append(e.gRef, 0)
+	e.mRef = append(e.mRef, 0)
+	e.lazy = append(e.lazy, false)
+	e.lzStamp = append(e.lzStamp, 0)
+	e.lineNext = append(e.lineNext, e.lineNext[parent])
+	e.lineNext[parent] = ci
+	e.flows[ci].active = true
+	e.activeList = append(e.activeList, ci)
+	return ci
 }
 
 // wakeDue reactivates stalled flows whose RTO expired.
@@ -1059,7 +1232,7 @@ func (e *engine) touchLazy(i int32, rttSec float64) {
 		e.hot[i].roundMark = del * fbar
 	}
 	if e.hot[i].unsent <= volEps && e.hot[i].backlog <= finishCrumb {
-		e.orphan += e.hot[i].backlog
+		e.orphan += e.hot[i].backlog * float64(e.mCnt[i])
 		e.hot[i].backlog = 0
 		return // done, exactly as pass 2's finish branch
 	}
@@ -1122,7 +1295,7 @@ func (e *engine) recordCompletions(served float64, dt, stepEnd sim.Time) {
 		if e.cumDelivered < target-e.crumbEps {
 			break
 		}
-		if e.relPtr < (e.burstsDone+1)*e.cfg.Flows {
+		if e.releasedFlows < float64((e.burstsDone+1)*e.cfg.Flows) {
 			break // not every flow of this burst has even been released
 		}
 		t := stepEnd
@@ -1148,16 +1321,17 @@ func (e *engine) recordCompletions(served float64, dt, stepEnd sim.Time) {
 func (e *engine) checkConservation() error {
 	var unsent, backlog float64
 	for i := range e.flows {
-		unsent += e.hot[i].unsent
+		w := float64(e.mCnt[i])
+		unsent += e.hot[i].unsent * w
 		b := e.hot[i].backlog
 		if e.lazy[i] {
 			b *= e.lzG / e.gRef[i] // parked: deliveries deferred in lzG
 		}
-		backlog += b
+		backlog += b * w
 	}
 	backlog += e.orphan
-	released := float64(e.relPtr) * e.segs
-	tol := 1e-6*released + float64(len(e.flows))*volEps*10 + 1e-3
+	released := e.releasedFlows * e.segs
+	tol := 1e-6*released + float64(e.cfg.Flows)*volEps*10 + 1e-3
 	if diff := math.Abs(released - (e.cumDelivered + unsent + backlog)); diff > tol {
 		return fmt.Errorf("flowsim: volume conservation violated at %v: released %.3f != delivered %.3f + unsent %.3f + queued %.3f (diff %.6f)",
 			e.now, released, e.cumDelivered, unsent, backlog, diff)
@@ -1221,13 +1395,27 @@ func (e *engine) finish() (*Result, error) {
 	r.Marks = round(e.marks - e.baseMarks)
 	r.SentPackets = round(e.sent - e.baseSent)
 	r.DeliveredPackets = round(e.cumDelivered - e.baseDelivered)
-	r.FinalCwndPkts = make([]float64, len(e.flows))
+	// Per-flow end-state: every member of a record shares its controller,
+	// so each member gets the record's window (and alpha), written at the
+	// member's flow ID so the histograms match per-flow runs flow for flow.
+	r.FinalCwndPkts = make([]float64, cfg.Flows)
+	alphas := e.flows[0].ctrl.kind == KindDCTCP
+	if alphas {
+		r.FinalAlphas = make([]float64, cfg.Flows)
+	}
 	for i := range e.flows {
-		r.CwndUpdates += e.flows[i].ctrl.updates
-		r.FinalCwndPkts[i] = e.flows[i].ctrl.window()
-		if e.flows[i].ctrl.kind == KindDCTCP {
-			r.FinalAlphas = append(r.FinalAlphas, e.flows[i].ctrl.alpha)
+		cnt := int64(e.mCnt[i])
+		r.CwndUpdates += e.flows[i].ctrl.updates * cnt
+		win := e.flows[i].ctrl.window()
+		for _, m := range e.perm[e.mOff[i] : e.mOff[i]+e.mCnt[i]] {
+			r.FinalCwndPkts[m] = win
+			if alphas {
+				r.FinalAlphas[m] = e.flows[i].ctrl.alpha
+			}
 		}
 	}
+	r.Cohorts = len(e.mCnt)
+	r.CohortSplits = e.splitsMade
+	r.PeakCohortWeight = e.peakW
 	return r, nil
 }

@@ -62,7 +62,18 @@ func RunNetwork(cfg NetworkConfig) (*Result, error) {
 	if cfg.trivial() {
 		return Run(cfg.Config)
 	}
-	e := newNetEngine(cfg)
+	// Cohort equivalence over a network is the path partition: the workload
+	// fields are uniform across flows, so (ordered queue path incl. the
+	// ECMP spine choice, base RTT) is the only behavioral discriminant.
+	var plan cohortPlan
+	if cfg.cohortEnabled() {
+		classOf, nClasses := cfg.Net.PathClasses()
+		plan = buildPlan(&cfg.Config, classOf, nClasses)
+	} else {
+		plan = singletonPlan(cfg.Flows)
+	}
+	e := newNetEngine(cfg, plan)
+	defer e.release()
 	if err := e.run(); err != nil {
 		return nil, err
 	}
@@ -169,6 +180,25 @@ type netEngine struct {
 	flows []flowState
 	hot   []netFlow
 
+	// Cohort bookkeeping, exactly as in the single-queue engine (see
+	// cohort.go): record i stands for mCnt[i] identical flows (member IDs
+	// perm[mOff[i]:mOff[i]+mCnt[i]]); all per-record flow state is PER
+	// MEMBER and aggregate couplings at queue boundaries scale by the
+	// count. paths[i] is the record's shared ordered queue path (every
+	// member of a path class traverses the same queues by construction).
+	// lineNext threads split descendants into each original record's
+	// lineage chain (-1 terminated).
+	perm       []int32
+	mOff, mCnt []int32
+	lineNext   []int32
+	paths      [][]int32
+	// releasedFlows counts flow releases by weight (== relPtr when every
+	// record is a singleton).
+	releasedFlows float64
+	cohorts0      int
+	splitsMade    int64
+	peakW         float64
+
 	// Per-queue state and per-step scratch, indexed by queue.
 	q        []float64 // backlog in packets
 	drain    []float64 // effective drain, packets/second
@@ -220,30 +250,24 @@ type netEngine struct {
 	steps      uint64
 
 	smp sampler
+
+	// scratch is the pooled backing-array bundle this run borrowed; see
+	// netscratch.go.
+	scratch *netScratch
 }
 
-func newNetEngine(cfg NetworkConfig) *netEngine {
+func newNetEngine(cfg NetworkConfig, plan cohortPlan) *netEngine {
 	n := cfg.Flows
+	m := plan.cohorts()
 	net := cfg.Net
 	nq := len(net.Queues)
 	e := &netEngine{
 		cfg:        cfg.Config,
 		net:        net,
-		flows:      make([]flowState, n),
-		hot:        make([]netFlow, n),
-		q:          make([]float64, nq),
-		drain:      make([]float64, nq),
-		capQ:       make([]float64, nq),
-		kQ:         make([]float64, nq),
-		transit:    make([]bool, nq),
-		q0:         make([]float64, nq),
-		served:     make([]float64, nq),
-		sFrac:      make([]float64, nq),
-		arrTotal:   make([]float64, nq),
-		markNow:    make([]float64, nq),
-		passFrac:   make([]float64, nq),
-		off:        make([]int32, n),
-		baseSec:    make([]float64, n),
+		perm:       plan.perm,
+		mOff:       plan.off,
+		mCnt:       plan.cnt,
+		cohorts0:   m,
 		nicRate:    EffectivePacketRate(cfg.LineRateBps),
 		bneck:      net.Bottleneck,
 		segs:       float64(cfg.SegmentsPerFlow),
@@ -251,6 +275,11 @@ func newNetEngine(cfg NetworkConfig) *netEngine {
 		nextWake:   math.MaxInt64,
 		timeRounds: cfg.CC.Kind == KindSwift,
 	}
+	var totalHops int32
+	for i := 0; i < m; i++ {
+		totalHops += int32(len(net.Paths[plan.perm[plan.off[i]]]))
+	}
+	e.attach(netScratchPool.Get().(*netScratch), nq, m, totalHops)
 	for j, qs := range net.Queues {
 		e.drain[j] = EffectivePacketRate(qs.RateBps)
 		e.capQ[j] = float64(qs.CapacityPackets)
@@ -261,23 +290,29 @@ func newNetEngine(cfg NetworkConfig) *netEngine {
 	for j, s := range net.Stage {
 		e.byStage[s] = append(e.byStage[s], int32(j))
 	}
-	var hops int32
-	for i, p := range net.Paths {
-		e.off[i] = hops
-		hops += int32(len(p))
-		e.baseSec[i] = float64(net.BaseRTT[i]) / 1e9
+	for _, p := range net.Paths {
 		e.transit[p[len(p)-1]] = false
 	}
-	e.bk = make([]float64, hops)
-	e.mk = make([]float64, hops)
-	e.arrH = make([]float64, hops)
-	e.arrMkH = make([]float64, hops)
+	var hops int32
+	for i := 0; i < m; i++ {
+		// Every member of a record shares the representative's path and
+		// base RTT: that's the class key.
+		rep := plan.perm[plan.off[i]]
+		e.paths[i] = net.Paths[rep]
+		e.off[i] = hops
+		hops += int32(len(e.paths[i]))
+		e.baseSec[i] = float64(net.BaseRTT[rep]) / 1e9
+	}
 	for i := range e.flows {
 		e.flows[i].ctrl = newController(cfg.CC)
 		e.flows[i].lastLoss = math.MinInt64 / 2
 		e.hot[i].win = e.flows[i].ctrl.window()
+		e.lineNext[i] = -1
+		if w := float64(e.mCnt[i]); w > e.peakW {
+			e.peakW = w
+		}
 	}
-	e.releases = buildReleases(cfg.Config)
+	e.releases = buildReleases(cfg.Config, m)
 
 	first := 1
 	if cfg.Bursts == 1 {
@@ -312,12 +347,17 @@ func (e *netEngine) run() error {
 	totalDemand := float64(cfg.Flows) * e.segs * float64(cfg.Bursts)
 
 	for e.now < deadline {
+		// Each release record covers its unit's whole lineage: the original
+		// record plus any split-off descendants.
 		for e.relPtr < len(e.releases) && e.releases[e.relPtr].at <= e.now {
 			r := e.releases[e.relPtr]
-			e.hot[r.flow].unsent += e.segs
-			e.flows[r.flow].lastRelease = r.at
-			if e.hot[r.flow].stallT <= e.now {
-				e.activate(r.flow)
+			for ci := r.flow; ci >= 0; ci = e.lineNext[ci] {
+				e.hot[ci].unsent += e.segs
+				e.flows[ci].lastRelease = r.at
+				e.releasedFlows += float64(e.mCnt[ci])
+				if e.hot[ci].stallT <= e.now {
+					e.activate(ci)
+				}
 			}
 			e.relPtr++
 		}
@@ -436,7 +476,7 @@ func (e *netEngine) step(dt sim.Time) error {
 	for _, i := range e.activeList {
 		h := &e.hot[i]
 		o := e.off[i]
-		path := e.net.Paths[i]
+		path := e.paths[i]
 		rtt := e.baseSec[i]
 		var inNet float64
 		for h2, j := range path {
@@ -475,7 +515,7 @@ func (e *netEngine) step(dt sim.Time) error {
 		h.inject = a
 		e.arrH[o] = a
 		e.arrMkH[o] = 0
-		e.arrTotal[path[0]] += a
+		e.arrTotal[path[0]] += a * float64(e.mCnt[i])
 	}
 
 	// Stage walk: queues finalize (mark fraction, tail drops, cut-through
@@ -519,12 +559,13 @@ func (e *netEngine) step(dt sim.Time) error {
 	keep := e.activeList[:0]
 	for _, i := range e.activeList {
 		h := &e.hot[i]
+		w := float64(e.mCnt[i])
 		d, dm := h.deliv, h.delivMark
 		h.deliv, h.delivMark = 0, 0
 		h.inject = 0
-		servedFinal += d
-		e.cumDelivered += d
-		e.marks += dm
+		servedFinal += d * w
+		e.cumDelivered += d * w
+		e.marks += dm * w
 		if d > 0 {
 			h.roundDel += d
 			if dm > 0 {
@@ -603,12 +644,14 @@ func (e *netEngine) step(dt sim.Time) error {
 	return nil
 }
 
-// stepFlowStage processes flow i's hop at stage s (at most one: paths are
-// stage-monotonic): depart pro rata with mark attribution, admit this
+// stepFlowStage processes record i's hop at stage s (at most one: paths
+// are stage-monotonic): depart pro rata with mark attribution, admit this
 // step's (post-drop) arrivals plus any cut-through share, and forward the
-// departing volume to the next hop or deliver it.
+// departing volume to the next hop or deliver it. Per-member volumes move
+// through the record's hop arrays; only the queue-aggregate couplings
+// (arrTotal, the sent counter) scale by the member count.
 func (e *netEngine) stepFlowStage(i int32, s int) {
-	path := e.net.Paths[i]
+	path := e.paths[i]
 	o := e.off[i]
 	for h, j := range path {
 		if e.net.Stage[j] != s {
@@ -655,7 +698,7 @@ func (e *netEngine) stepFlowStage(i int32, s int) {
 					u = 0
 				}
 				e.hot[i].unsent = u
-				e.sent += admitted
+				e.sent += admitted * float64(e.mCnt[i])
 			}
 		}
 		e.arrH[oh] = 0
@@ -666,7 +709,7 @@ func (e *netEngine) stepFlowStage(i int32, s int) {
 				no := o + int32(h+1)
 				e.arrH[no] += d
 				e.arrMkH[no] += dmTot
-				e.arrTotal[next] += d
+				e.arrTotal[next] += d * float64(e.mCnt[i])
 			} else {
 				e.hot[i].deliv += d
 				e.hot[i].delivMark += dmTot
@@ -677,91 +720,194 @@ func (e *netEngine) stepFlowStage(i int32, s int) {
 }
 
 // dropTailQueue removes overflow volume from this step's arrivals into
-// queue j, latest release first — the same victim order and loss
-// reactions as the single-queue dropTail. Dropped volume returns to the
-// victims' unsent pools (retransmission from the source), wherever along
-// the path it was dropped.
+// queue j, latest release first — the same victim order, split semantics,
+// and loss reactions as the single-queue dropTail. Dropped volume returns
+// to the victims' unsent pools (retransmission from the source), wherever
+// along the path it was dropped. A cohort whose whole weighted offer is
+// consumed reacts in place; the cohort the overflow runs out inside splits
+// exactly (netSplitDrop), so each call splits at most one cohort.
 func (e *netEngine) dropTailQueue(j int32, overflow float64, stepEnd sim.Time) {
 	remaining := overflow
 	for ri := e.relPtr - 1; ri >= 0 && remaining > volEps; ri-- {
 		rel := e.releases[ri]
-		i := rel.flow
-		if e.flows[i].lastRelease != rel.at {
-			continue
-		}
-		h := e.hopOf(i, j)
-		if h < 0 {
-			continue
-		}
-		oh := e.off[i] + int32(h)
-		a := e.arrH[oh]
-		if a <= 0 {
-			continue
-		}
-		d := a
-		if d > remaining {
-			d = remaining
-		}
-		frac := d / a
-		e.arrH[oh] = a - d
-		dm := e.arrMkH[oh] * frac
-		e.arrMkH[oh] -= dm
-		e.arrTotal[j] -= d
-		remaining -= d
-		e.drops += d
-		e.retxPkts += d
-		if h == 0 {
-			// A first-hop drop happens before admission: the volume never
-			// left the unsent pool, so it is already queued for
-			// retransmission — only the sender's transmit counter moves
-			// (mirroring the single-queue dropTail, where dropped volume
-			// "stays in the victims' unsent pools").
-			e.sent += d
-		} else {
-			// A deeper-hop drop was admitted (and sent-counted) in an
-			// earlier step; return it to the source for retransmission.
-			e.hot[i].unsent += d
-		}
-
-		if e.hot[i].stallT > stepEnd {
-			// The victim is already parked on an RTO: drops of its residual
-			// in-network volume belong to the same loss event, so the volume
-			// returns for retransmission but the timer does not back off
-			// again (TCP backs off per timer expiry, not per lost packet).
-			continue
-		}
-		f := &e.flows[i]
-		if e.lossInflight(i, e.net.Stage[j]) < e.cfg.DupAckPackets {
-			e.timeouts++
-			f.ctrl.onTimeout()
-			e.hot[i].win = f.ctrl.window()
-			rto := e.cfg.MaxRTO
-			if f.backoff < 16 {
-				if r := e.cfg.MinRTO << uint(f.backoff); r < rto {
-					rto = r
-				}
+		for i := rel.flow; i >= 0 && remaining > volEps; i = e.lineNext[i] {
+			if e.flows[i].lastRelease != rel.at {
+				continue
 			}
-			f.backoff++
-			e.hot[i].stallT = stepEnd + rto
-			f.roundEnd = 0
-			e.hot[i].roundDel, e.hot[i].roundMark = 0, 0
-			e.hot[i].reduced = false
-			e.stalled = append(e.stalled, i)
-			if e.hot[i].stallT < e.nextWake {
-				e.nextWake = e.hot[i].stallT
+			h := e.hopOf(i, j)
+			if h < 0 {
+				continue
 			}
-		} else if rttTime := sim.Time(e.hot[i].rttSec * 1e9); stepEnd-f.lastLoss >= rttTime {
-			e.fastRetx++
-			f.ctrl.onLoss()
-			e.hot[i].win = f.ctrl.window()
-			f.lastLoss = stepEnd
+			oh := e.off[i] + int32(h)
+			a := e.arrH[oh]
+			if a <= 0 {
+				continue
+			}
+			avail := a * float64(e.mCnt[i])
+			d := avail
+			if d > remaining {
+				d = remaining
+			}
+			if d >= avail {
+				// Whole cohort consumed: every member loses its full offer.
+				e.netDropHit(i, oh, h, j, a, stepEnd)
+				remaining -= d
+				continue
+			}
+			remaining -= e.netSplitDrop(i, oh, h, j, d, stepEnd)
 		}
 	}
 }
 
-// hopOf returns the hop index of queue j in flow i's path, or -1.
+// netDropHit removes dPer packets per member from record i's arrivals
+// into queue j at hop h (flat index oh), moves the aggregate counters by
+// weight, and applies the loss reaction — the network engine's analogue
+// of lossReact plus the arrival bookkeeping.
+func (e *netEngine) netDropHit(i, oh int32, h int, j int32, dPer float64, stepEnd sim.Time) {
+	a := e.arrH[oh]
+	frac := dPer / a
+	e.arrH[oh] = a - dPer
+	dm := e.arrMkH[oh] * frac
+	e.arrMkH[oh] -= dm
+	total := dPer * float64(e.mCnt[i])
+	e.arrTotal[j] -= total
+	e.drops += total
+	e.retxPkts += total
+	if h == 0 {
+		// A first-hop drop happens before admission: the volume never
+		// left the unsent pool, so it is already queued for
+		// retransmission — only the sender's transmit counter moves
+		// (mirroring the single-queue dropTail, where dropped volume
+		// "stays in the victims' unsent pools").
+		e.sent += total
+	} else {
+		// A deeper-hop drop was admitted (and sent-counted) in an
+		// earlier step; return it to the source for retransmission.
+		e.hot[i].unsent += dPer
+	}
+
+	if e.hot[i].stallT > stepEnd {
+		// The victim is already parked on an RTO: drops of its residual
+		// in-network volume belong to the same loss event, so the volume
+		// returns for retransmission but the timer does not back off
+		// again (TCP backs off per timer expiry, not per lost packet).
+		return
+	}
+	f := &e.flows[i]
+	w := float64(e.mCnt[i])
+	if e.lossInflight(i, e.net.Stage[j]) < e.cfg.DupAckPackets {
+		e.timeouts += w
+		f.ctrl.onTimeout()
+		e.hot[i].win = f.ctrl.window()
+		rto := e.cfg.MaxRTO
+		if f.backoff < 16 {
+			if r := e.cfg.MinRTO << uint(f.backoff); r < rto {
+				rto = r
+			}
+		}
+		f.backoff++
+		e.hot[i].stallT = stepEnd + rto
+		f.roundEnd = 0
+		e.hot[i].roundDel, e.hot[i].roundMark = 0, 0
+		e.hot[i].reduced = false
+		e.stalled = append(e.stalled, i)
+		if e.hot[i].stallT < e.nextWake {
+			e.nextWake = e.hot[i].stallT
+		}
+	} else if rttTime := sim.Time(e.hot[i].rttSec * 1e9); stepEnd-f.lastLoss >= rttTime {
+		e.fastRetx += w
+		f.ctrl.onLoss()
+		e.hot[i].win = f.ctrl.window()
+		f.lastLoss = stepEnd
+	}
+}
+
+// netSplitDrop removes d (< the cohort's whole weighted offer) from record
+// i's arrivals into queue j by splitting it exactly, mirroring the
+// single-queue splitDrop: kFull members lose their entire per-member
+// offer, at most one more loses the remainder, the rest are untouched.
+func (e *netEngine) netSplitDrop(i, oh int32, h int, j int32, d float64, stepEnd sim.Time) float64 {
+	per := e.arrH[oh]
+	cnt := e.mCnt[i]
+	kFull := int32(d / per)
+	if kFull > cnt-1 {
+		kFull = cnt - 1
+	}
+	dPart := d - float64(kFull)*per
+	if dPart < 0 {
+		dPart = 0
+	}
+	p := int32(0)
+	if dPart > 0 {
+		p = 1
+	}
+	if kFull == 0 && p == 0 {
+		return 0
+	}
+	unaffected := cnt - kFull - p
+
+	if unaffected == 0 && kFull == 0 {
+		// Single member, partially hit: react in place, no split.
+		e.netDropHit(i, oh, h, j, dPart, stepEnd)
+		return dPart
+	}
+
+	e.splitsMade++
+	off := e.mOff[i]
+	if unaffected > 0 {
+		// Parent keeps the unaffected head span untouched.
+		e.mCnt[i] = unaffected
+		if p > 0 {
+			part := e.newNetCohort(i, off+unaffected, 1)
+			e.netDropHit(part, e.off[part]+int32(h), h, j, dPart, stepEnd)
+		}
+		if kFull > 0 {
+			full := e.newNetCohort(i, off+unaffected+p, kFull)
+			fo := e.off[full] + int32(h)
+			e.netDropHit(full, fo, h, j, e.arrH[fo], stepEnd)
+		}
+	} else {
+		// Every member is hit (p == 1, kFull == cnt-1): the parent becomes
+		// the partial victim and the full victims split off.
+		full := e.newNetCohort(i, off+1, kFull)
+		fo := e.off[full] + int32(h)
+		e.netDropHit(full, fo, h, j, e.arrH[fo], stepEnd)
+		e.mCnt[i] = 1
+		e.netDropHit(i, oh, h, j, dPart, stepEnd)
+	}
+	return float64(kFull)*per + dPart
+}
+
+// newNetCohort splits the member span [off, off+cnt) out of record parent
+// as a new record: per-flow state and the per-hop backlog/mark/arrival
+// spans are copied (per-member semantics make the copy exact), the path
+// slice header is shared, and the record joins the parent's lineage chain
+// and the active list.
+func (e *netEngine) newNetCohort(parent, off, cnt int32) int32 {
+	ci := int32(len(e.flows))
+	e.flows = append(e.flows, e.flows[parent])
+	e.hot = append(e.hot, e.hot[parent])
+	e.mOff = append(e.mOff, off)
+	e.mCnt = append(e.mCnt, cnt)
+	e.paths = append(e.paths, e.paths[parent])
+	e.baseSec = append(e.baseSec, e.baseSec[parent])
+	e.lineNext = append(e.lineNext, e.lineNext[parent])
+	e.lineNext[parent] = ci
+	po := e.off[parent]
+	hops := int32(len(e.paths[parent]))
+	e.off = append(e.off, int32(len(e.bk)))
+	e.bk = append(e.bk, e.bk[po:po+hops]...)
+	e.mk = append(e.mk, e.mk[po:po+hops]...)
+	e.arrH = append(e.arrH, e.arrH[po:po+hops]...)
+	e.arrMkH = append(e.arrMkH, e.arrMkH[po:po+hops]...)
+	e.flows[ci].active = true
+	e.activeList = append(e.activeList, ci)
+	return ci
+}
+
+// hopOf returns the hop index of queue j in record i's path, or -1.
 func (e *netEngine) hopOf(i, j int32) int {
-	for h, qj := range e.net.Paths[i] {
+	for h, qj := range e.paths[i] {
 		if qj == j {
 			return h
 		}
@@ -778,7 +924,7 @@ func (e *netEngine) hopOf(i, j int32) int {
 func (e *netEngine) lossInflight(i int32, s int) float64 {
 	o := e.off[i]
 	var total float64
-	for h, j := range e.net.Paths[i] {
+	for h, j := range e.paths[i] {
 		b := e.bk[o+int32(h)]
 		if e.net.Stage[j] >= s {
 			b *= 1 - e.sFrac[j]
@@ -788,11 +934,11 @@ func (e *netEngine) lossInflight(i int32, s int) float64 {
 	return total
 }
 
-// residual is the flow's total in-network backlog.
+// residual is the record's per-member in-network backlog.
 func (e *netEngine) residual(i int32) float64 {
 	o := e.off[i]
 	var total float64
-	for h := range e.net.Paths[i] {
+	for h := range e.paths[i] {
 		total += e.bk[o+int32(h)]
 	}
 	return total
@@ -805,14 +951,15 @@ func (e *netEngine) residual(i int32) float64 {
 // packets per burst.
 func (e *netEngine) writeOff(i int32) {
 	o := e.off[i]
-	for h, j := range e.net.Paths[i] {
+	w := float64(e.mCnt[i])
+	for h, j := range e.paths[i] {
 		oh := o + int32(h)
 		if b := e.bk[oh]; b > 0 {
-			e.q[j] -= b
+			e.q[j] -= b * w
 			if e.q[j] < 0 {
 				e.q[j] = 0
 			}
-			e.cumDelivered += b
+			e.cumDelivered += b * w
 			e.bk[oh] = 0
 			e.mk[oh] = 0
 		}
@@ -850,7 +997,7 @@ func (e *netEngine) recordCompletions(served float64, dt, stepEnd sim.Time) {
 		if e.cumDelivered < target-e.crumbEps {
 			break
 		}
-		if e.relPtr < (e.burstsDone+1)*e.cfg.Flows {
+		if e.releasedFlows < float64((e.burstsDone+1)*e.cfg.Flows) {
 			break
 		}
 		t := stepEnd
@@ -876,16 +1023,17 @@ func (e *netEngine) checkConservation() error {
 	var unsent, backlog float64
 	perQueue := make([]float64, len(e.q))
 	for i := range e.flows {
-		unsent += e.hot[i].unsent
+		w := float64(e.mCnt[i])
+		unsent += e.hot[i].unsent * w
 		o := e.off[i]
-		for h, j := range e.net.Paths[i] {
-			b := e.bk[o+int32(h)]
+		for h, j := range e.paths[i] {
+			b := e.bk[o+int32(h)] * w
 			backlog += b
 			perQueue[j] += b
 		}
 	}
-	released := float64(e.relPtr) * e.segs
-	tol := 1e-6*released + float64(len(e.flows))*(volEps*10+finishCrumb) + 1e-3
+	released := e.releasedFlows * e.segs
+	tol := 1e-6*released + float64(e.cfg.Flows)*(volEps*10+finishCrumb) + 1e-3
 	if diff := math.Abs(released - (e.cumDelivered + unsent + backlog)); diff > tol {
 		return fmt.Errorf("flowsim: network volume conservation violated at %v: released %.3f != delivered %.3f + unsent %.3f + queued %.3f (diff %.6f)",
 			e.now, released, e.cumDelivered, unsent, backlog, diff)
@@ -952,13 +1100,26 @@ func (e *netEngine) finish() (*Result, error) {
 	r.Marks = round(e.marks - e.baseMarks)
 	r.SentPackets = round(e.sent - e.baseSent)
 	r.DeliveredPackets = round(e.cumDelivered - e.baseDelivered)
-	r.FinalCwndPkts = make([]float64, len(e.flows))
+	// Per-flow end-state, written at member flow IDs exactly as the
+	// single-queue engine does.
+	r.FinalCwndPkts = make([]float64, cfg.Flows)
+	alphas := e.flows[0].ctrl.kind == KindDCTCP
+	if alphas {
+		r.FinalAlphas = make([]float64, cfg.Flows)
+	}
 	for i := range e.flows {
-		r.CwndUpdates += e.flows[i].ctrl.updates
-		r.FinalCwndPkts[i] = e.flows[i].ctrl.window()
-		if e.flows[i].ctrl.kind == KindDCTCP {
-			r.FinalAlphas = append(r.FinalAlphas, e.flows[i].ctrl.alpha)
+		cnt := int64(e.mCnt[i])
+		r.CwndUpdates += e.flows[i].ctrl.updates * cnt
+		win := e.flows[i].ctrl.window()
+		for _, m := range e.perm[e.mOff[i] : e.mOff[i]+e.mCnt[i]] {
+			r.FinalCwndPkts[m] = win
+			if alphas {
+				r.FinalAlphas[m] = e.flows[i].ctrl.alpha
+			}
 		}
 	}
+	r.Cohorts = len(e.mCnt)
+	r.CohortSplits = e.splitsMade
+	r.PeakCohortWeight = e.peakW
 	return r, nil
 }

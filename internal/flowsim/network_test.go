@@ -20,7 +20,7 @@ func runGeneral(t *testing.T, cfg Config) *Result {
 	if err := ncfg.prepare(); err != nil {
 		t.Fatalf("prepare: %v", err)
 	}
-	e := newNetEngine(ncfg)
+	e := newNetEngine(ncfg, singletonPlan(ncfg.Flows))
 	if err := e.run(); err != nil {
 		t.Fatalf("netEngine run: %v", err)
 	}

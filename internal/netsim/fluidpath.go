@@ -87,6 +87,68 @@ func (p *FluidPaths) Validate() error {
 	return nil
 }
 
+// PathClasses partitions the flows into path-equivalence classes: two
+// flows are in one class iff they traverse the identical ordered queue
+// list (which encodes the ECMP spine choice — same seed, same hash, same
+// spine — so aggregating a class never blurs routing) with the identical
+// base RTT. Returns a dense class ID per flow, assigned in first-appearance
+// order (deterministic given the path set), and the class count. This is
+// the partition flowsim's cohort aggregation keys on: within a class the
+// workload layer already guarantees one CC law, one demand, and one
+// release schedule, so the path is the only behavioral discriminant left.
+func (p *FluidPaths) PathClasses() ([]int32, int) {
+	type key struct {
+		hops [4]int32
+		n    int32
+		rtt  sim.Time
+	}
+	classOf := make([]int32, len(p.Paths))
+	byKey := make(map[key]int32)
+	var byLong map[string]int32 // fallback for paths deeper than 4 hops
+	next := int32(0)
+	for i, path := range p.Paths {
+		if len(path) <= 4 {
+			k := key{n: int32(len(path)), rtt: p.BaseRTT[i]}
+			copy(k.hops[:], path)
+			id, ok := byKey[k]
+			if !ok {
+				id = next
+				next++
+				byKey[k] = id
+			}
+			classOf[i] = id
+			continue
+		}
+		if byLong == nil {
+			byLong = make(map[string]int32)
+		}
+		buf := make([]byte, 0, len(path)*4+8)
+		for _, j := range path {
+			buf = append(buf, byte(j), byte(j>>8), byte(j>>16), byte(j>>24))
+		}
+		r := p.BaseRTT[i]
+		buf = append(buf, byte(r), byte(r>>8), byte(r>>16), byte(r>>24),
+			byte(r>>32), byte(r>>40), byte(r>>48), byte(r>>56))
+		id, ok := byLong[string(buf)]
+		if !ok {
+			id = next
+			next++
+			byLong[string(buf)] = id
+		}
+		classOf[i] = id
+	}
+	return classOf, int(next)
+}
+
+// newPortIndex returns an n-slot index with every slot unresolved (-1).
+func newPortIndex(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
 // Stages returns the number of distinct topological levels (max stage + 1).
 func (p *FluidPaths) Stages() int {
 	max := 0
@@ -127,13 +189,17 @@ func (c ClosConfig) FluidPaths(srcs, dsts []NodeID) (*FluidPaths, error) {
 		BaseRTT:    make([]sim.Time, len(srcs)),
 		Bottleneck: -1,
 	}
-	// Port keys: downlink per host, uplink per (rack, spine), spine
-	// downlink per (spine, rack).
-	index := make(map[string]int32)
-	queue := func(key, name string, rateBps int64, stage int) int32 {
-		if j, ok := index[key]; ok {
-			return j
-		}
+	// Port indices resolved positionally — downlink per destination host,
+	// uplink per (source rack, spine), spine downlink per (spine,
+	// destination rack) — so the per-flow hot loop never formats a key or
+	// hashes a string. Queues still materialize in first-use order, which
+	// keeps indices (and therefore results) identical to the map-keyed
+	// builder this replaces.
+	hosts := c.Hosts()
+	downIdx := newPortIndex(hosts)
+	upIdx := newPortIndex(c.Racks * c.Spines)
+	sdIdx := newPortIndex(c.Spines * c.Racks)
+	addQueue := func(name string, rateBps int64, stage int) int32 {
 		j := int32(len(p.Queues))
 		p.Queues = append(p.Queues, FluidQueue{
 			Name:                name,
@@ -142,11 +208,14 @@ func (c ClosConfig) FluidPaths(srcs, dsts []NodeID) (*FluidPaths, error) {
 			ECNThresholdPackets: c.ECNThresholdPackets,
 		})
 		p.Stage = append(p.Stage, stage)
-		index[key] = j
 		return j
 	}
+	// Every path is at most 3 hops, so one backing array (sliced with full
+	// capacity bounds, so the sub-slices can never grow into each other)
+	// serves the whole flow set: building a million-flow path set costs a
+	// handful of allocations, not several per flow.
+	hops := make([]int32, 0, 3*len(srcs))
 
-	hosts := c.Hosts()
 	for i := range srcs {
 		src, dst := srcs[i], dsts[i]
 		if int(src) < 0 || int(src) >= hosts || int(dst) < 0 || int(dst) >= hosts {
@@ -157,22 +226,34 @@ func (c ClosConfig) FluidPaths(srcs, dsts []NodeID) (*FluidPaths, error) {
 		}
 		srcRack, dstRack := c.RackOf(src), c.RackOf(dst)
 		dstSlot := int(dst) - dstRack*c.HostsPerRack
-		down := queue(fmt.Sprintf("d%d", dst),
-			fmt.Sprintf("leaf-%d-port-%d", dstRack, dstSlot), c.HostLinkBps, 2)
+		down := downIdx[dst]
+		if down < 0 {
+			down = addQueue(fmt.Sprintf("leaf-%d-port-%d", dstRack, dstSlot), c.HostLinkBps, 2)
+			downIdx[dst] = down
+		}
 		if p.Bottleneck < 0 {
 			p.Bottleneck = int(down)
 		}
+		start := len(hops)
 		if srcRack == dstRack {
-			p.Paths[i] = []int32{down}
+			hops = append(hops, down)
+			p.Paths[i] = hops[start:len(hops):len(hops)]
 			p.BaseRTT[i] = c.BaseRTT(false)
 			continue
 		}
 		s := ECMPIndex(c.ECMPSeed, FlowID(i+1), src, dst, c.Spines)
-		up := queue(fmt.Sprintf("u%d.%d", srcRack, s),
-			fmt.Sprintf("leaf-%d-uplink-%d", srcRack, s), c.SpineLinkBps, 0)
-		sd := queue(fmt.Sprintf("s%d.%d", s, dstRack),
-			fmt.Sprintf("spine-%d-port-%d", s, dstRack), c.SpineLinkBps, 1)
-		p.Paths[i] = []int32{up, sd, down}
+		up := upIdx[srcRack*c.Spines+s]
+		if up < 0 {
+			up = addQueue(fmt.Sprintf("leaf-%d-uplink-%d", srcRack, s), c.SpineLinkBps, 0)
+			upIdx[srcRack*c.Spines+s] = up
+		}
+		sd := sdIdx[s*c.Racks+dstRack]
+		if sd < 0 {
+			sd = addQueue(fmt.Sprintf("spine-%d-port-%d", s, dstRack), c.SpineLinkBps, 1)
+			sdIdx[s*c.Racks+dstRack] = sd
+		}
+		hops = append(hops, up, sd, down)
+		p.Paths[i] = hops[start:len(hops):len(hops)]
 		p.BaseRTT[i] = c.BaseRTT(true)
 	}
 	if err := p.Validate(); err != nil {

@@ -57,6 +57,13 @@ type Spec struct {
 	// magnitude faster but rejects packet-level-only features (shared
 	// buffers, delayed ACKs, ICTCP, idle restart).
 	Fidelity string `json:"fidelity,omitempty"`
+	// Aggregation selects how the fluid backend represents the flow
+	// population: "perflow" (one record per flow), "cohort" (equivalence
+	// classes integrated as weighted records, split lazily and exactly on
+	// divergence — the million-flow fast path), or "auto" (also by
+	// omission: cohorts from the backend's flow-count threshold up).
+	// Requires fidelity "flow" when set.
+	Aggregation string `json:"aggregation,omitempty"`
 }
 
 // Topology overrides the paper's dumbbell configuration. Zero fields keep
@@ -132,6 +139,12 @@ type Workload struct {
 	// count under quick mode (default 4).
 	Bursts      int `json:"bursts,omitempty"`
 	QuickBursts int `json:"quick_bursts,omitempty"`
+	// JitterUS is the per-flow start jitter ceiling in microseconds
+	// (default 100). Very large synchronized incasts can lock their
+	// retransmission timers together and never drain the burst tail;
+	// widening the jitter desynchronizes them. Must stay below the burst
+	// interval.
+	JitterUS float64 `json:"jitter_us,omitempty"`
 }
 
 // CC selects and parameterizes the congestion-control algorithm.
@@ -287,6 +300,21 @@ var Fidelities = []string{"packet", "flow"}
 func KnownFidelity(name string) bool {
 	for _, f := range Fidelities {
 		if name == f {
+			return true
+		}
+	}
+	return name == ""
+}
+
+// Aggregations lists the flow-population representations a flow-fidelity
+// spec may name.
+var Aggregations = []string{"auto", "cohort", "perflow"}
+
+// KnownAggregation reports whether name selects an aggregation level (""
+// means auto).
+func KnownAggregation(name string) bool {
+	for _, a := range Aggregations {
+		if name == a {
 			return true
 		}
 	}
@@ -503,6 +531,14 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario %q: fidelity %q is not one of %s (or omit for packet-level)",
 			s.Name, s.Fidelity, strings.Join(Fidelities, ", "))
 	}
+	if !KnownAggregation(s.Aggregation) {
+		return fmt.Errorf("scenario %q: aggregation %q is not one of %s (or omit for auto)",
+			s.Name, s.Aggregation, strings.Join(Aggregations, ", "))
+	}
+	if s.Aggregation != "" && s.Fidelity != "flow" {
+		return fmt.Errorf("scenario %q: aggregation %q shapes the fluid backend's flow population; it requires fidelity \"flow\"",
+			s.Name, s.Aggregation)
+	}
 
 	// Clos cross-field rules.
 	var clos *Clos
@@ -641,6 +677,12 @@ func (w Workload) validate() error {
 	}
 	if w.Bursts < 0 || w.QuickBursts < 0 {
 		return fmt.Errorf("workload bursts (%d) and quick_bursts (%d) cannot be negative", w.Bursts, w.QuickBursts)
+	}
+	if w.JitterUS < 0 || math.IsNaN(w.JitterUS) || math.IsInf(w.JitterUS, 0) {
+		return fmt.Errorf("workload.jitter_us = %v: want a non-negative jitter ceiling (or omit for the 100 us default)", w.JitterUS)
+	}
+	if w.JitterUS > 0 && w.IntervalMS > 0 && w.JitterUS >= w.IntervalMS*1000 {
+		return fmt.Errorf("workload.jitter_us = %v must stay below the burst interval (%v ms)", w.JitterUS, w.IntervalMS)
 	}
 	return nil
 }
